@@ -1,0 +1,38 @@
+//! Benchmark for the §5.1 performance claim: median per-function analysis
+//! time of the modular analysis (the paper reports ~370 µs per function on
+//! its corpus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowistry_core::{analyze, AnalysisParams};
+use flowistry_lang::compile;
+
+fn bench_per_function(c: &mut Criterion) {
+    let sources = [
+        ("small_scalar", "fn f(x: i32, y: i32) -> i32 { let a = x + y; let b = a * 2; return b; }"),
+        (
+            "branching",
+            "fn f(c: bool, x: i32) -> i32 { let mut out = 0; if c { out = x + 1; } else { out = x - 1; } return out; }",
+        ),
+        (
+            "references",
+            "fn push(v: &mut (i32, i32), x: i32) { (*v).0 = x; }
+             fn f(x: i32) -> i32 { let mut out = (0, 0); push(&mut out, x); return out.0; }",
+        ),
+        (
+            "loops",
+            "fn f(n: i32) -> i32 { let mut acc = 0; let mut i = 0; while i < n { acc = acc + i; i = i + 1; } return acc; }",
+        ),
+    ];
+    let mut group = c.benchmark_group("per_function_modular");
+    for (name, src) in sources {
+        let program = compile(src).expect("benchmark program compiles");
+        let func = flowistry_lang::types::FuncId((program.bodies.len() - 1) as u32);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, program| {
+            b.iter(|| analyze(program, func, &AnalysisParams::default()).iterations())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_function);
+criterion_main!(benches);

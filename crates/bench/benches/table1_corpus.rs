@@ -1,0 +1,28 @@
+//! Benchmark for experiment E1 (Table 1): generating and compiling the
+//! synthetic corpus crates — the workload-preparation cost of the
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
+
+fn bench_table1_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_corpus_generation");
+    group.sample_size(10);
+    for profile in paper_profiles().into_iter().take(3) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let krate = generate_crate(profile, DEFAULT_SEED);
+                    assert!(krate.program.bodies.len() > 10);
+                    krate.loc()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_corpus);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmark for the §5.1 slowdown claim: naive whole-program recursion vs
+//! the modular analysis on a deep call graph (the paper reports 178× on
+//! rg3d's GameEngine::render), plus the memoized-summary ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowistry_core::{analyze, AnalysisParams, Condition};
+use flowistry_eval::stress_source;
+
+fn bench_whole_vs_modular(c: &mut Criterion) {
+    let program = flowistry_lang::compile(&stress_source(4, 2)).expect("stress program compiles");
+    let root = program.func_id("render").expect("render exists");
+
+    let mut group = c.benchmark_group("whole_vs_modular");
+    group.sample_size(10);
+    let cases = [
+        ("modular", AnalysisParams::for_condition(Condition::MODULAR)),
+        (
+            "whole_program_naive",
+            AnalysisParams::for_condition(Condition::WHOLE_PROGRAM),
+        ),
+        (
+            "whole_program_memoized",
+            AnalysisParams {
+                condition: Condition::WHOLE_PROGRAM,
+                memoize_summaries: true,
+                ..AnalysisParams::default()
+            },
+        ),
+    ];
+    for (name, params) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            b.iter(|| analyze(&program, root, params).iterations())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_whole_vs_modular);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Analysis conditions (paper §5).
+//!
+//! The evaluation compares the **Modular** analysis against three
+//! modifications, each toggling one source of information:
+//!
+//! * **Whole-program** — recursively analyze the definitions of called
+//!   functions when they are available in the current crate;
+//! * **Mut-blind** — ignore mutability qualifiers: assume a callee may
+//!   mutate through *any* reference it receives;
+//! * **Ref-blind** — ignore lifetimes: assume any two references of the same
+//!   type may alias.
+//!
+//! The three flags combine freely into the paper's 2³ = 8 conditions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A combination of the three analysis modifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Condition {
+    /// Recursively analyze available callee definitions.
+    pub whole_program: bool,
+    /// Do not distinguish mutable from immutable references.
+    pub mut_blind: bool,
+    /// Do not use lifetimes for aliasing.
+    pub ref_blind: bool,
+}
+
+impl Condition {
+    /// The baseline modular analysis (all modifications off).
+    pub const MODULAR: Condition = Condition {
+        whole_program: false,
+        mut_blind: false,
+        ref_blind: false,
+    };
+
+    /// Whole-program analysis only.
+    pub const WHOLE_PROGRAM: Condition = Condition {
+        whole_program: true,
+        mut_blind: false,
+        ref_blind: false,
+    };
+
+    /// Mutability-blind ablation only.
+    pub const MUT_BLIND: Condition = Condition {
+        whole_program: false,
+        mut_blind: true,
+        ref_blind: false,
+    };
+
+    /// Lifetime-blind ablation only.
+    pub const REF_BLIND: Condition = Condition {
+        whole_program: false,
+        mut_blind: false,
+        ref_blind: true,
+    };
+
+    /// All 2³ = 8 combinations, in a stable order (Modular first).
+    pub fn all_eight() -> Vec<Condition> {
+        let mut out = Vec::with_capacity(8);
+        for whole_program in [false, true] {
+            for mut_blind in [false, true] {
+                for ref_blind in [false, true] {
+                    out.push(Condition {
+                        whole_program,
+                        mut_blind,
+                        ref_blind,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The four conditions the paper focuses on in §5.2: Modular,
+    /// Whole-program, Mut-blind and Ref-blind.
+    pub fn headline_four() -> Vec<Condition> {
+        vec![
+            Condition::MODULAR,
+            Condition::WHOLE_PROGRAM,
+            Condition::MUT_BLIND,
+            Condition::REF_BLIND,
+        ]
+    }
+
+    /// A short, stable name for reports ("modular", "whole-program",
+    /// "mut-blind", "ref-blind", or a `+`-joined combination).
+    pub fn name(&self) -> String {
+        if *self == Condition::MODULAR {
+            return "modular".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.whole_program {
+            parts.push("whole-program");
+        }
+        if self.mut_blind {
+            parts.push("mut-blind");
+        }
+        if self.ref_blind {
+            parts.push("ref-blind");
+        }
+        parts.join("+")
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Parameters controlling one run of the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisParams {
+    /// Which condition to run under.
+    pub condition: Condition,
+    /// Function ids whose bodies are "in the current crate" and therefore
+    /// available to the Whole-program condition. `None` means every body is
+    /// available; functions outside the set are treated like pre-compiled
+    /// dependencies (only their signature is used), mirroring the paper's
+    /// single-crate limitation (§5.4.2).
+    pub available_bodies: Option<std::collections::BTreeSet<flowistry_lang::types::FuncId>>,
+    /// Cache whole-program summaries per callee instead of re-analyzing the
+    /// callee at every call site. The paper's Whole-program condition uses
+    /// naive recursion (hence the 178× slowdown it reports), so this
+    /// defaults to `false`; benchmarks flip it as an ablation.
+    pub memoize_summaries: bool,
+    /// Maximum call-graph depth for whole-program recursion before falling
+    /// back to the modular rule.
+    pub max_recursion_depth: usize,
+}
+
+impl Default for AnalysisParams {
+    fn default() -> Self {
+        AnalysisParams {
+            condition: Condition::MODULAR,
+            available_bodies: None,
+            memoize_summaries: false,
+            max_recursion_depth: 32,
+        }
+    }
+}
+
+impl AnalysisParams {
+    /// Parameters for the given condition with all other knobs at their
+    /// defaults.
+    pub fn for_condition(condition: Condition) -> Self {
+        AnalysisParams {
+            condition,
+            ..AnalysisParams::default()
+        }
+    }
+
+    /// Whether the body of `func` may be inspected by Whole-program.
+    pub fn body_available(&self, func: flowistry_lang::types::FuncId) -> bool {
+        match &self.available_bodies {
+            None => true,
+            Some(set) => set.contains(&func),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_lang::types::FuncId;
+
+    #[test]
+    fn eight_distinct_conditions() {
+        let all = Condition::all_eight();
+        assert_eq!(all.len(), 8);
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(all.contains(&Condition::MODULAR));
+        assert!(all.contains(&Condition::WHOLE_PROGRAM));
+    }
+
+    #[test]
+    fn headline_four_are_the_paper_conditions() {
+        let four = Condition::headline_four();
+        assert_eq!(four.len(), 4);
+        assert_eq!(four[0], Condition::MODULAR);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Condition::MODULAR.name(), "modular");
+        assert_eq!(Condition::WHOLE_PROGRAM.name(), "whole-program");
+        assert_eq!(Condition::MUT_BLIND.name(), "mut-blind");
+        assert_eq!(Condition::REF_BLIND.name(), "ref-blind");
+        let combo = Condition {
+            whole_program: true,
+            mut_blind: true,
+            ref_blind: false,
+        };
+        assert_eq!(combo.name(), "whole-program+mut-blind");
+        assert_eq!(combo.to_string(), combo.name());
+    }
+
+    #[test]
+    fn availability_defaults_to_everything() {
+        let params = AnalysisParams::default();
+        assert!(params.body_available(FuncId(42)));
+        let restricted = AnalysisParams {
+            available_bodies: Some([FuncId(1)].into_iter().collect()),
+            ..AnalysisParams::default()
+        };
+        assert!(restricted.body_available(FuncId(1)));
+        assert!(!restricted.body_available(FuncId(2)));
+    }
+
+    #[test]
+    fn for_condition_sets_condition_only() {
+        let p = AnalysisParams::for_condition(Condition::MUT_BLIND);
+        assert_eq!(p.condition, Condition::MUT_BLIND);
+        assert!(!p.memoize_summaries);
+        assert_eq!(p.max_recursion_depth, 32);
+    }
+}

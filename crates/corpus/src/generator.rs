@@ -1,0 +1,651 @@
+//! The synthetic Rox program generator.
+//!
+//! Programs are generated from templates rather than free-form ASTs so that
+//! every generated crate parses, type checks, passes the borrow checker and
+//! terminates under the interpreter, while still exercising the code-style
+//! features the evaluation measures (shared vs unique references, unused
+//! `&mut` parameters, subset returns, aliasing through reborrows and
+//! returned references, cross-crate calls, branching and loops).
+
+use crate::profiles::CrateProfile;
+use flowistry_lang::types::FuncId;
+use flowistry_lang::CompiledProgram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// A generated crate: source text, its compiled form, and the split between
+/// crate-local functions and external dependencies.
+#[derive(Debug, Clone)]
+pub struct GeneratedCrate {
+    /// Crate name (from the profile).
+    pub name: String,
+    /// The generated Rox source.
+    pub source: String,
+    /// The compiled program.
+    pub program: CompiledProgram,
+    /// Functions that belong to the crate (these are the ones analyzed).
+    pub crate_funcs: Vec<FuncId>,
+    /// Functions playing the role of pre-compiled dependencies: their bodies
+    /// exist (so the interpreter can run them) but the Whole-program
+    /// condition must not look inside them.
+    pub external_funcs: Vec<FuncId>,
+}
+
+impl GeneratedCrate {
+    /// The function ids whose bodies are available to Whole-program.
+    pub fn available_bodies(&self) -> BTreeSet<FuncId> {
+        self.crate_funcs.iter().copied().collect()
+    }
+
+    /// Lines of (non-empty) code, the paper's LOC metric.
+    pub fn loc(&self) -> usize {
+        self.program.loc()
+    }
+}
+
+/// The shape of a generated callable function, used by call-site generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// `fn f(x: i32, y: i32) -> i32`
+    Scalar2,
+    /// `fn f(p: &Pair, k: i32) -> i32`
+    ReadPair,
+    /// `fn f(p: &mut Pair, v: i32, w: i32) -> i32`
+    WritePair,
+    /// `fn f(t: &mut (i32, i32), v: i32) -> i32`
+    WriteTuple,
+    /// `fn f(c: bool, x: i32, y: i32) -> i32`
+    Choose,
+    /// `fn f<'a>(p: &'a mut Pair) -> &'a mut i32`
+    GetRef,
+}
+
+const SHAPES: [Shape; 6] = [
+    Shape::Scalar2,
+    Shape::ReadPair,
+    Shape::WritePair,
+    Shape::WriteTuple,
+    Shape::Choose,
+    Shape::GetRef,
+];
+
+#[derive(Debug, Clone)]
+struct GeneratedFn {
+    name: String,
+    shape: Shape,
+    text: String,
+}
+
+/// Generates one crate from a profile and a global seed.
+///
+/// # Panics
+///
+/// Panics if the generated source fails to compile — that would be a bug in
+/// the generator, and the test suite checks it never happens for the paper
+/// profiles.
+pub fn generate_crate(profile: &CrateProfile, seed: u64) -> GeneratedCrate {
+    let mut rng = StdRng::seed_from_u64(seed ^ profile.seed_offset.wrapping_mul(0x9E3779B9));
+    let mut source = String::new();
+    source.push_str("struct Pair { a: i32, b: i32 }\n\n");
+
+    // External dependency functions.
+    let mut externals = Vec::new();
+    for i in 0..profile.num_externals {
+        let f = gen_helper(&format!("ext_{i}"), profile, &mut rng);
+        source.push_str(&f.text);
+        source.push('\n');
+        externals.push(f);
+    }
+
+    // Crate-local helper functions.
+    let mut helpers = Vec::new();
+    for i in 0..profile.num_helpers {
+        let f = gen_helper(&format!("helper_{i}"), profile, &mut rng);
+        source.push_str(&f.text);
+        source.push('\n');
+        helpers.push(f);
+    }
+
+    // Driver functions: application logic calling helpers and externals.
+    let mut drivers = Vec::new();
+    for i in 0..profile.num_drivers {
+        let f = gen_driver(
+            &format!("drive_{i}"),
+            profile,
+            &externals,
+            &helpers,
+            &mut rng,
+        );
+        source.push_str(&f);
+        source.push('\n');
+        drivers.push(format!("drive_{i}"));
+    }
+
+    let program = match flowistry_lang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => panic!(
+            "generated crate `{}` failed to compile: {}\n--- source ---\n{}",
+            profile.name,
+            e.render(&source),
+            source
+        ),
+    };
+
+    let external_names: BTreeSet<&str> = externals.iter().map(|f| f.name.as_str()).collect();
+    let mut crate_funcs = Vec::new();
+    let mut external_funcs = Vec::new();
+    for (i, sig) in program.signatures.iter().enumerate() {
+        if external_names.contains(sig.name.as_str()) {
+            external_funcs.push(FuncId(i as u32));
+        } else {
+            crate_funcs.push(FuncId(i as u32));
+        }
+    }
+
+    GeneratedCrate {
+        name: profile.name.clone(),
+        source,
+        program,
+        crate_funcs,
+        external_funcs,
+    }
+}
+
+/// Generates the whole ten-crate corpus.
+pub fn generate_corpus(seed: u64) -> Vec<GeneratedCrate> {
+    crate::profiles::paper_profiles()
+        .iter()
+        .map(|p| generate_crate(p, seed))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// helpers (leaf functions)
+// ---------------------------------------------------------------------------
+
+fn gen_helper(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> GeneratedFn {
+    let shape = if rng.gen_bool(profile.p_shared_ref_helper) {
+        // Shared-reference-flavoured helpers: mostly `&Pair` readers, the
+        // pattern the Mut-blind ablation is most sensitive to (§5.3.2).
+        *[Shape::ReadPair, Shape::ReadPair, Shape::Scalar2, Shape::Choose]
+            .get(rng.gen_range(0..4))
+            .expect("index in range")
+    } else {
+        SHAPES[rng.gen_range(0..SHAPES.len())]
+    };
+    let text = match shape {
+        Shape::Scalar2 => gen_scalar2(name, profile, rng),
+        Shape::ReadPair => gen_read_pair(name, profile, rng),
+        Shape::WritePair => gen_write_pair(name, profile, rng),
+        Shape::WriteTuple => gen_write_tuple(name, profile, rng),
+        Shape::Choose => gen_choose(name, rng),
+        Shape::GetRef => gen_get_ref(name, rng),
+    };
+    GeneratedFn {
+        name: name.to_string(),
+        shape,
+        text,
+    }
+}
+
+fn gen_scalar2(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "fn {name}(x: i32, y: i32) -> i32 {{");
+    let steps = rng.gen_range(1..4);
+    let mut vars = vec!["x".to_string(), "y".to_string()];
+    for i in 0..steps {
+        let a = vars[rng.gen_range(0..vars.len())].clone();
+        let b = vars[rng.gen_range(0..vars.len())].clone();
+        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        let _ = writeln!(body, "    let v{i} = {a} {op} {b};");
+        vars.push(format!("v{i}"));
+    }
+    if rng.gen_bool(profile.p_subset_return) {
+        // Return depends only on x (or a constant), ignoring y.
+        if rng.gen_bool(0.5) {
+            let _ = writeln!(body, "    if x > 0 {{ return x + 1; }}");
+            let _ = writeln!(body, "    return 0;");
+        } else {
+            let _ = writeln!(body, "    return x * 2;");
+        }
+    } else {
+        let last = vars.last().expect("at least x and y").clone();
+        let _ = writeln!(body, "    return {last};");
+    }
+    body.push_str("}\n");
+    body
+}
+
+fn gen_read_pair(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> String {
+    let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+    let mut body = String::new();
+    let _ = writeln!(body, "fn {name}(p: &Pair, k: i32) -> i32 {{");
+    if rng.gen_bool(profile.p_subset_return) {
+        let _ = writeln!(body, "    if k > 10 {{ return k; }}");
+    }
+    let _ = writeln!(body, "    return (*p).{field} + k;");
+    body.push_str("}\n");
+    body
+}
+
+fn gen_write_pair(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "fn {name}(p: &mut Pair, v: i32, w: i32) -> i32 {{");
+    if rng.gen_bool(profile.p_unused_mut_ref) {
+        // The `crop` pattern: takes &mut but never writes through it.
+        let _ = writeln!(body, "    let probe = (*p).a;");
+        let _ = writeln!(body, "    return probe + v - w;");
+    } else {
+        let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+        // Mutate using a subset (or all) of the scalar inputs.
+        let uses_w = !rng.gen_bool(profile.p_subset_return);
+        if uses_w {
+            let _ = writeln!(body, "    (*p).{field} = v + w;");
+        } else {
+            let _ = writeln!(body, "    (*p).{field} = v;");
+        }
+        if rng.gen_bool(profile.p_subset_return) {
+            let _ = writeln!(body, "    return w;");
+        } else {
+            let _ = writeln!(body, "    return (*p).{field};");
+        }
+    }
+    body.push_str("}\n");
+    body
+}
+
+fn gen_write_tuple(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "fn {name}(t: &mut (i32, i32), v: i32) -> i32 {{");
+    if rng.gen_bool(profile.p_unused_mut_ref) {
+        let _ = writeln!(body, "    return (*t).0 + v;");
+    } else {
+        let idx = if rng.gen_bool(0.5) { "0" } else { "1" };
+        let _ = writeln!(body, "    (*t).{idx} = v;");
+        let _ = writeln!(body, "    return (*t).{idx} + 1;");
+    }
+    body.push_str("}\n");
+    body
+}
+
+fn gen_choose(name: &str, rng: &mut StdRng) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "fn {name}(c: bool, x: i32, y: i32) -> i32 {{");
+    if rng.gen_bool(0.5) {
+        let _ = writeln!(body, "    if c {{ return x; }}");
+        let _ = writeln!(body, "    return y;");
+    } else {
+        let _ = writeln!(body, "    let mut out = y;");
+        let _ = writeln!(body, "    if c {{ out = x; }}");
+        let _ = writeln!(body, "    return out;");
+    }
+    body.push_str("}\n");
+    body
+}
+
+fn gen_get_ref(name: &str, rng: &mut StdRng) -> String {
+    let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+    format!(
+        "fn {name}<'a>(p: &'a mut Pair) -> &'a mut i32 {{\n    return &mut (*p).{field};\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// drivers (application logic)
+// ---------------------------------------------------------------------------
+
+struct DriverState {
+    lines: Vec<String>,
+    /// Immutable scalar variable names.
+    scalars: Vec<String>,
+    /// Mutable scalar variable names.
+    mut_scalars: Vec<String>,
+    /// Mutable `Pair` locals.
+    pairs: Vec<String>,
+    /// Mutable `(i32, i32)` locals.
+    tuples: Vec<String>,
+    /// Boolean variables.
+    bools: Vec<String>,
+    counter: usize,
+}
+
+impl DriverState {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    fn any_scalar(&self, rng: &mut StdRng) -> String {
+        let mut pool: Vec<&String> = self.scalars.iter().chain(&self.mut_scalars).collect();
+        if pool.is_empty() {
+            return "1".to_string();
+        }
+        let idx = rng.gen_range(0..pool.len());
+        pool.swap_remove(idx).clone()
+    }
+
+    fn scalar_expr(&self, rng: &mut StdRng) -> String {
+        let a = self.any_scalar(rng);
+        match rng.gen_range(0..4) {
+            0 => a,
+            1 => format!("{a} + {}", rng.gen_range(1..5)),
+            2 => format!("{a} * 2"),
+            _ => {
+                let b = self.any_scalar(rng);
+                format!("{a} + {b}")
+            }
+        }
+    }
+
+    fn bool_expr(&self, rng: &mut StdRng) -> String {
+        if !self.bools.is_empty() && rng.gen_bool(0.4) {
+            return self.bools[rng.gen_range(0..self.bools.len())].clone();
+        }
+        let a = self.any_scalar(rng);
+        let cmp = ["<", ">", "==", "!="][rng.gen_range(0..4)];
+        format!("{a} {cmp} {}", rng.gen_range(0..8))
+    }
+}
+
+fn gen_driver(
+    name: &str,
+    profile: &CrateProfile,
+    externals: &[GeneratedFn],
+    helpers: &[GeneratedFn],
+    rng: &mut StdRng,
+) -> String {
+    let mut st = DriverState {
+        lines: Vec::new(),
+        scalars: vec!["a".into(), "b".into()],
+        mut_scalars: Vec::new(),
+        pairs: Vec::new(),
+        tuples: Vec::new(),
+        bools: vec!["flag".into()],
+        counter: 0,
+    };
+
+    // Every driver starts with an accumulator and one Pair of state.
+    st.lines.push("    let mut acc = a;".to_string());
+    st.mut_scalars.push("acc".into());
+    st.lines
+        .push("    let mut state = Pair { a: a, b: b };".to_string());
+    st.pairs.push("state".into());
+
+    let steps = (profile.avg_driver_steps as i64 + rng.gen_range(-2i64..=4i64)).max(3) as usize;
+    for _ in 0..steps {
+        gen_driver_step(&mut st, profile, externals, helpers, rng);
+    }
+
+    // Return an expression reading a mix of state so exit dependency sets are
+    // interesting.
+    let scalar = st.any_scalar(rng);
+    let pair = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+    let ret = format!("    return {scalar} + {pair}.a;");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {name}(a: i32, b: i32, flag: bool) -> i32 {{");
+    for line in &st.lines {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{ret}");
+    out.push_str("}\n");
+    out
+}
+
+fn pick_callee<'f>(
+    profile: &CrateProfile,
+    externals: &'f [GeneratedFn],
+    helpers: &'f [GeneratedFn],
+    rng: &mut StdRng,
+) -> &'f GeneratedFn {
+    let pool = if helpers.is_empty() || rng.gen_bool(profile.p_cross_crate_call) {
+        externals
+    } else {
+        helpers
+    };
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+fn gen_driver_step(
+    st: &mut DriverState,
+    profile: &CrateProfile,
+    externals: &[GeneratedFn],
+    helpers: &[GeneratedFn],
+    rng: &mut StdRng,
+) {
+    let roll = rng.gen_range(0..100);
+    if (roll as f64) < profile.p_aliasing_step * 100.0 {
+        gen_aliasing_step(st, rng);
+        return;
+    }
+    match roll % 7 {
+        0 => {
+            // New derived scalar: either pure arithmetic or a read of a
+            // field of some aggregate state (the latter is what couples most
+            // of a function's variables to its reference-typed data, as in
+            // real application code).
+            let v = st.fresh("v");
+            let expr = if rng.gen_bool(0.5) && !st.pairs.is_empty() {
+                let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+                let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+                let k = st.any_scalar(rng);
+                format!("{p}.{field} + {k}")
+            } else {
+                st.scalar_expr(rng)
+            };
+            st.lines.push(format!("    let {v} = {expr};"));
+            st.scalars.push(v);
+        }
+        1 => {
+            // New state aggregate.
+            if rng.gen_bool(0.5) {
+                let p = st.fresh("pair");
+                let e1 = st.scalar_expr(rng);
+                let e2 = st.scalar_expr(rng);
+                st.lines
+                    .push(format!("    let mut {p} = Pair {{ a: {e1}, b: {e2} }};"));
+                st.pairs.push(p);
+            } else {
+                let t = st.fresh("buf");
+                let e1 = st.scalar_expr(rng);
+                st.lines.push(format!("    let mut {t} = ({e1}, 0);"));
+                st.tuples.push(t);
+            }
+        }
+        2 => {
+            // Branch mutating the accumulator (implicit flows).
+            let cond = st.bool_expr(rng);
+            let target = st.mut_scalars[rng.gen_range(0..st.mut_scalars.len())].clone();
+            let e1 = st.scalar_expr(rng);
+            let e2 = st.scalar_expr(rng);
+            if rng.gen_bool(0.5) {
+                st.lines.push(format!(
+                    "    if {cond} {{ {target} = {e1}; }} else {{ {target} = {e2}; }}"
+                ));
+            } else {
+                st.lines
+                    .push(format!("    if {cond} {{ {target} = {e1}; }}"));
+            }
+        }
+        3 => {
+            // Bounded loop accumulating values. (The prefix is `idx`, not
+            // `i`, so the generated name can never collide with the `i32`
+            // keyword token.)
+            let i = st.fresh("idx");
+            let target = st.mut_scalars[rng.gen_range(0..st.mut_scalars.len())].clone();
+            let bound = rng.gen_range(2..5);
+            let expr = st.scalar_expr(rng);
+            st.lines.push(format!("    let mut {i} = 0;"));
+            st.lines.push(format!(
+                "    while {i} < {bound} {{ {target} = {target} + {expr}; {i} = {i} + 1; }}"
+            ));
+        }
+        4 => {
+            // Field mutation of an aggregate.
+            if !st.pairs.is_empty() && rng.gen_bool(0.6) {
+                let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+                let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+                let expr = st.scalar_expr(rng);
+                st.lines.push(format!("    {p}.{field} = {expr};"));
+            } else if !st.tuples.is_empty() {
+                let t = st.tuples[rng.gen_range(0..st.tuples.len())].clone();
+                let idx = if rng.gen_bool(0.5) { "0" } else { "1" };
+                let expr = st.scalar_expr(rng);
+                st.lines.push(format!("    {t}.{idx} = {expr};"));
+            } else {
+                let v = st.fresh("m");
+                st.lines.push(format!("    let mut {v} = 0;"));
+                st.mut_scalars.push(v);
+            }
+        }
+        _ => {
+            // Call a helper or external function (the most common step, as
+            // in real application code).
+            gen_call_step(st, profile, externals, helpers, rng);
+        }
+    }
+}
+
+fn gen_call_step(
+    st: &mut DriverState,
+    profile: &CrateProfile,
+    externals: &[GeneratedFn],
+    helpers: &[GeneratedFn],
+    rng: &mut StdRng,
+) {
+    let callee = pick_callee(profile, externals, helpers, rng);
+    let result = st.fresh("r");
+    let line = match callee.shape {
+        Shape::Scalar2 => {
+            let a = st.scalar_expr(rng);
+            let b = st.scalar_expr(rng);
+            format!("    let {result} = {}({a}, {b});", callee.name)
+        }
+        Shape::ReadPair => {
+            let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+            let k = st.scalar_expr(rng);
+            format!("    let {result} = {}(&{p}, {k});", callee.name)
+        }
+        Shape::WritePair => {
+            let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+            let v = st.scalar_expr(rng);
+            let w = st.scalar_expr(rng);
+            format!("    let {result} = {}(&mut {p}, {v}, {w});", callee.name)
+        }
+        Shape::WriteTuple => {
+            if st.tuples.is_empty() {
+                let t = st.fresh("buf");
+                st.lines.push(format!("    let mut {t} = (0, 0);"));
+                st.tuples.push(t);
+            }
+            let t = st.tuples[rng.gen_range(0..st.tuples.len())].clone();
+            let v = st.scalar_expr(rng);
+            format!("    let {result} = {}(&mut {t}, {v});", callee.name)
+        }
+        Shape::Choose => {
+            let c = st.bool_expr(rng);
+            let x = st.scalar_expr(rng);
+            let y = st.scalar_expr(rng);
+            format!("    let {result} = {}({c}, {x}, {y});", callee.name)
+        }
+        Shape::GetRef => {
+            let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+            let refname = st.fresh("slot");
+            let v = st.scalar_expr(rng);
+            st.lines.push(format!(
+                "    let {refname} = {}(&mut {p});",
+                callee.name
+            ));
+            st.lines.push(format!("    *{refname} = {v};"));
+            let k = st.scalar_expr(rng);
+            format!("    let {result} = {k} + {p}.a;")
+        }
+    };
+    st.lines.push(line);
+    st.scalars.push(result);
+}
+
+fn gen_aliasing_step(st: &mut DriverState, rng: &mut StdRng) {
+    // A reborrow chain mutating a field of an existing Pair through two
+    // levels of references (the §2.2 example shape).
+    let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
+    let r1 = st.fresh("ref_");
+    let r2 = st.fresh("slot");
+    let field = if rng.gen_bool(0.5) { "a" } else { "b" };
+    let expr = st.scalar_expr(rng);
+    st.lines.push(format!("    let {r1} = &mut {p};"));
+    st.lines
+        .push(format!("    let {r2} = &mut (*{r1}).{field};"));
+    st.lines.push(format!("    *{r2} = {expr};"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{paper_profiles, DEFAULT_SEED};
+
+    #[test]
+    fn every_profile_generates_a_compiling_crate() {
+        for profile in paper_profiles() {
+            let krate = generate_crate(&profile, DEFAULT_SEED);
+            assert_eq!(krate.name, profile.name);
+            assert!(!krate.crate_funcs.is_empty());
+            assert!(!krate.external_funcs.is_empty());
+            assert!(krate.loc() > 50, "{} too small: {}", krate.name, krate.loc());
+        }
+    }
+
+    #[test]
+    fn generated_crates_are_borrow_check_clean() {
+        for profile in paper_profiles().into_iter().take(4) {
+            let krate = generate_crate(&profile, DEFAULT_SEED);
+            assert!(
+                krate.program.borrow_errors.is_empty(),
+                "{}: {:?}",
+                krate.name,
+                krate.program.borrow_errors
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profile = &paper_profiles()[0];
+        let a = generate_crate(profile, 42);
+        let b = generate_crate(profile, 42);
+        assert_eq!(a.source, b.source);
+        let c = generate_crate(profile, 43);
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn crate_and_external_functions_partition_the_program() {
+        let profile = &paper_profiles()[1];
+        let krate = generate_crate(profile, DEFAULT_SEED);
+        let total = krate.program.bodies.len();
+        assert_eq!(total, krate.crate_funcs.len() + krate.external_funcs.len());
+        let available = krate.available_bodies();
+        for f in &krate.external_funcs {
+            assert!(!available.contains(f));
+        }
+    }
+
+    #[test]
+    fn drivers_call_both_crates_and_dependencies() {
+        let profile = &paper_profiles()[3]; // sccache has high cross-crate ratio
+        let krate = generate_crate(profile, DEFAULT_SEED);
+        assert!(krate.source.contains("ext_"));
+        assert!(krate.source.contains("drive_"));
+    }
+
+    #[test]
+    fn corpus_has_ten_crates() {
+        // Only generate (don't deeply analyze) to keep the test fast.
+        let corpus = generate_corpus(DEFAULT_SEED);
+        assert_eq!(corpus.len(), 10);
+        let total_loc: usize = corpus.iter().map(|c| c.loc()).sum();
+        assert!(total_loc > 2000, "corpus too small: {total_loc} LOC");
+    }
+}

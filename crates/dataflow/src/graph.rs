@@ -1,0 +1,179 @@
+//! A minimal directed-graph abstraction for control-flow graphs.
+
+/// A directed graph whose nodes are `0..num_nodes()`.
+///
+/// Control-flow graphs implement this trait so the dominator, control
+/// dependence and dataflow algorithms can stay independent of the MIR
+/// representation.
+pub trait Graph {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+    /// The entry node.
+    fn start_node(&self) -> usize;
+    /// Successors of `node`.
+    fn successors(&self, node: usize) -> Vec<usize>;
+    /// Predecessors of `node`.
+    fn predecessors(&self, node: usize) -> Vec<usize>;
+
+    /// Nodes in reverse post-order from the start node (a topological order
+    /// for acyclic graphs; loops appear in a stable order).
+    fn reverse_post_order(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.num_nodes()];
+        let mut post = Vec::with_capacity(self.num_nodes());
+        // Iterative DFS with an explicit stack of (node, next-child-index).
+        let mut stack = vec![(self.start_node(), 0usize)];
+        visited[self.start_node()] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let succs = self.successors(node);
+            if *idx < succs.len() {
+                let child = succs[*idx];
+                *idx += 1;
+                if !visited[child] {
+                    visited[child] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Nodes reachable from the start node.
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![self.start_node()];
+        seen[self.start_node()] = true;
+        while let Some(n) = stack.pop() {
+            for s in self.successors(n) {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// A simple adjacency-list graph, useful for tests and for building derived
+/// graphs (e.g. the reversed CFG used for post-dominators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecGraph {
+    start: usize,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl VecGraph {
+    /// Builds a graph with `n` nodes, the given entry node, and edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint or the start node is out of range.
+    pub fn new(n: usize, start: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(start < n, "start node out of range");
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            succs[a].push(b);
+            preds[b].push(a);
+        }
+        VecGraph {
+            start,
+            succs,
+            preds,
+        }
+    }
+
+    /// The graph with every edge reversed and a new start node.
+    pub fn reversed(&self, new_start: usize) -> VecGraph {
+        let mut edges = Vec::new();
+        for (a, succs) in self.succs.iter().enumerate() {
+            for &b in succs {
+                edges.push((b, a));
+            }
+        }
+        VecGraph::new(self.succs.len(), new_start, &edges)
+    }
+}
+
+impl Graph for VecGraph {
+    fn num_nodes(&self) -> usize {
+        self.succs.len()
+    }
+    fn start_node(&self) -> usize {
+        self.start
+    }
+    fn successors(&self, node: usize) -> Vec<usize> {
+        self.succs[node].clone()
+    }
+    fn predecessors(&self, node: usize) -> Vec<usize> {
+        self.preds[node].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> VecGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        VecGraph::new(4, 0, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let g = diamond();
+        assert_eq!(g.successors(0), vec![1, 2]);
+        assert_eq!(g.predecessors(3), vec![1, 2]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.start_node(), 0);
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry() {
+        let g = diamond();
+        let rpo = g.reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        // 3 must come after both 1 and 2.
+        let pos = |n: usize| rpo.iter().position(|&x| x == n).unwrap();
+        assert!(pos(3) > pos(1));
+        assert!(pos(3) > pos(2));
+    }
+
+    #[test]
+    fn reverse_post_order_handles_cycles() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let g = VecGraph::new(4, 0, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let rpo = g.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], 0);
+    }
+
+    #[test]
+    fn reachability_ignores_disconnected_nodes() {
+        let g = VecGraph::new(5, 0, &[(0, 1), (1, 2)]);
+        let reach = g.reachable();
+        assert_eq!(reach, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn reversed_graph_swaps_edges() {
+        let g = diamond();
+        let r = g.reversed(3);
+        assert_eq!(r.successors(3), vec![1, 2]);
+        assert_eq!(r.predecessors(0), vec![1, 2]);
+        assert_eq!(r.start_node(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let _ = VecGraph::new(2, 0, &[(0, 5)]);
+    }
+}

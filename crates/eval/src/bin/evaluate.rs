@@ -1,0 +1,193 @@
+//! The evaluation driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p flowistry-eval --bin evaluate -- all
+//! cargo run --release -p flowistry-eval --bin evaluate -- fig2 --seed 0xF10A
+//! ```
+//!
+//! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
+//! `perf`, `noninterference`, `all` (default). Results are printed and also
+//! written as JSON under `results/`.
+
+use flowistry_core::Condition;
+use flowistry_eval::{
+    boundary_stats, diff_stats, measure_corpus, measure_slowdown, per_crate_stats,
+    CrateMeasurements, VariableRecord,
+};
+use flowistry_eval::report;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = "all".to_string();
+    let mut seed = flowistry_corpus::DEFAULT_SEED;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                if let Some(v) = iter.next() {
+                    let v = v.trim_start_matches("0x");
+                    seed = u64::from_str_radix(v, 16)
+                        .or_else(|_| v.parse())
+                        .unwrap_or(flowistry_corpus::DEFAULT_SEED);
+                }
+            }
+            other if !other.starts_with("--") => command = other.to_string(),
+            _ => {}
+        }
+    }
+
+    let out_dir = Path::new("results");
+    let _ = std::fs::create_dir_all(out_dir);
+
+    println!("== Flowistry reproduction evaluation (seed 0x{seed:X}) ==\n");
+
+    match command.as_str() {
+        "table2" => {
+            println!("{}", report::render_table2(&flowistry_corpus::paper_profiles(), seed));
+        }
+        "perf" => run_perf(seed, out_dir),
+        "noninterference" => run_noninterference(seed),
+        cmd => {
+            // Everything else needs the corpus measured under the four
+            // headline conditions.
+            eprintln!("measuring corpus (4 conditions x 10 crates)...");
+            let measurements = measure_corpus(seed, &Condition::headline_four());
+            let records: Vec<VariableRecord> = measurements
+                .iter()
+                .flat_map(|m| m.records.iter().cloned())
+                .collect();
+            write_json(out_dir.join("measurements.json"), &measurements);
+
+            match cmd {
+                "table1" => print_table1(&measurements, out_dir),
+                "fig2" => print_fig2(&records, out_dir),
+                "fig3" => print_fig3(&records, out_dir),
+                "fig4" => print_fig4(&measurements, out_dir),
+                "boundary" => print_boundary(&records, out_dir),
+                _ => {
+                    print_table1(&measurements, out_dir);
+                    print_fig2(&records, out_dir);
+                    print_fig3(&records, out_dir);
+                    print_fig4(&measurements, out_dir);
+                    print_boundary(&records, out_dir);
+                    print_perf_from(&measurements, out_dir);
+                    println!(
+                        "{}",
+                        report::render_table2(&flowistry_corpus::paper_profiles(), seed)
+                    );
+                    run_noninterference(seed);
+                }
+            }
+        }
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: std::path::PathBuf, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {}: {e}", path.display()),
+    }
+}
+
+fn print_table1(measurements: &[CrateMeasurements], out_dir: &Path) {
+    let text = report::render_table1(measurements);
+    println!("{text}");
+    let _ = std::fs::write(out_dir.join("table1.txt"), &text);
+}
+
+fn print_fig2(records: &[VariableRecord], out_dir: &Path) {
+    let stats = diff_stats(records, Condition::MODULAR, Condition::WHOLE_PROGRAM);
+    let text = report::render_diff(
+        "Figure 2: Modular vs Whole-program dependency-set sizes",
+        &stats,
+    );
+    println!("{text}");
+    write_json(out_dir.join("fig2.json"), &stats);
+}
+
+fn print_fig3(records: &[VariableRecord], out_dir: &Path) {
+    let whole = diff_stats(records, Condition::MODULAR, Condition::WHOLE_PROGRAM);
+    let mut_blind = diff_stats(records, Condition::MUT_BLIND, Condition::MODULAR);
+    let ref_blind = diff_stats(records, Condition::REF_BLIND, Condition::MODULAR);
+    let mut text = String::new();
+    text.push_str(&report::render_diff(
+        "Figure 3a: Modular vs Whole-program (for comparison)",
+        &whole,
+    ));
+    text.push_str(&report::render_diff(
+        "Figure 3b: Mut-blind vs Modular",
+        &mut_blind,
+    ));
+    text.push_str(&report::render_diff(
+        "Figure 3c: Ref-blind vs Modular",
+        &ref_blind,
+    ));
+    println!("{text}");
+    write_json(out_dir.join("fig3.json"), &vec![whole, mut_blind, ref_blind]);
+}
+
+fn print_fig4(measurements: &[CrateMeasurements], out_dir: &Path) {
+    let stats = per_crate_stats(measurements, Condition::MUT_BLIND, Condition::MODULAR);
+    let text = report::render_per_crate(&stats);
+    println!("{text}");
+    write_json(out_dir.join("fig4.json"), &stats);
+}
+
+fn print_boundary(records: &[VariableRecord], out_dir: &Path) {
+    let stats = boundary_stats(records);
+    let text = report::render_boundary(&stats);
+    println!("{text}");
+    write_json(out_dir.join("boundary.json"), &stats);
+}
+
+fn print_perf_from(measurements: &[CrateMeasurements], out_dir: &Path) {
+    let medians: Vec<(String, f64)> = measurements
+        .iter()
+        .map(|m| (m.name.clone(), m.median_analysis_micros))
+        .collect();
+    let slowdown = measure_slowdown(6, 2);
+    let text = report::render_perf(&medians, &slowdown);
+    println!("{text}");
+    write_json(out_dir.join("perf.json"), &slowdown);
+}
+
+fn run_perf(seed: u64, out_dir: &Path) {
+    eprintln!("measuring corpus for per-function timings...");
+    let measurements = measure_corpus(seed, &[Condition::MODULAR]);
+    print_perf_from(&measurements, out_dir);
+}
+
+fn run_noninterference(seed: u64) {
+    println!("Empirical noninterference check (Theorem 3.1) on corpus drivers");
+    let corpus = flowistry_corpus::generate_corpus(seed);
+    let mut checked = 0usize;
+    let mut trials = 0usize;
+    let mut violations = 0usize;
+    for krate in corpus.iter().take(3) {
+        for &func in krate.crate_funcs.iter().take(30) {
+            let report = flowistry_interp::check_function(
+                &krate.program,
+                func,
+                &flowistry_core::AnalysisParams::default(),
+                8,
+                seed ^ func.0 as u64,
+            );
+            if let Some(report) = report {
+                checked += 1;
+                trials += report.completed_trials;
+                violations += report.violations.len();
+                for v in &report.violations {
+                    eprintln!("  VIOLATION in {}: {v}", krate.name);
+                }
+            }
+        }
+    }
+    println!(
+        "  checked {checked} functions, {trials} completed trials, {violations} violations\n"
+    );
+}

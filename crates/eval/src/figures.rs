@@ -1,0 +1,298 @@
+//! Statistics and figure data: the paper's Figures 2–4 and §5.4 analyses.
+
+use crate::measure::{percentile, CrateMeasurements, VariableRecord};
+use flowistry_core::Condition;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Histogram bucket boundaries (percent increase), log-ish spaced like the
+/// paper's log-scale x axis, with an explicit zero bucket.
+pub const BUCKETS: [(&str, f64, f64); 8] = [
+    ("0%", 0.0, 0.0),
+    ("(0,1%]", 0.0, 1.0),
+    ("(1,3%]", 1.0, 3.0),
+    ("(3,10%]", 3.0, 10.0),
+    ("(10,30%]", 10.0, 30.0),
+    ("(30,100%]", 30.0, 100.0),
+    ("(100,300%]", 100.0, 300.0),
+    (">300%", 300.0, f64::INFINITY),
+];
+
+/// The distribution of per-variable percentage differences between two
+/// conditions (one panel of Figure 2 / Figure 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffStats {
+    /// The coarser condition (whose sets are expected to be larger).
+    pub coarse: String,
+    /// The baseline condition.
+    pub baseline: String,
+    /// Number of variables compared.
+    pub total: usize,
+    /// Variables whose dependency sets were identical.
+    pub zero: usize,
+    /// Variables with a non-zero difference.
+    pub nonzero: usize,
+    /// Share of non-zero cases, in percent.
+    pub pct_nonzero: f64,
+    /// Median percentage increase among the non-zero cases.
+    pub median_nonzero_pct: f64,
+    /// 90th percentile increase among the non-zero cases.
+    pub p90_nonzero_pct: f64,
+    /// Histogram over [`BUCKETS`].
+    pub histogram: Vec<(String, usize)>,
+}
+
+/// Indexes records by (crate, function, variable) for one condition.
+fn index_by_variable<'r>(
+    records: &'r [VariableRecord],
+    condition: &Condition,
+) -> BTreeMap<(&'r str, &'r str, &'r str), &'r VariableRecord> {
+    records
+        .iter()
+        .filter(|r| r.condition == condition.name())
+        .map(|r| ((r.krate.as_str(), r.function.as_str(), r.variable.as_str()), r))
+        .collect()
+}
+
+/// Percentage increase of `coarse` over `baseline` for one variable.
+fn pct_increase(coarse: usize, baseline: usize) -> f64 {
+    if coarse == baseline {
+        0.0
+    } else {
+        let base = baseline.max(1) as f64;
+        (coarse as f64 - baseline as f64) / base * 100.0
+    }
+}
+
+/// Computes the difference distribution between two conditions over a set of
+/// records (Figure 2 when `coarse = Modular, baseline = Whole-program`;
+/// Figure 3 panels when `coarse = Mut-blind / Ref-blind, baseline = Modular`).
+pub fn diff_stats(
+    records: &[VariableRecord],
+    coarse: Condition,
+    baseline: Condition,
+) -> DiffStats {
+    let coarse_idx = index_by_variable(records, &coarse);
+    let baseline_idx = index_by_variable(records, &baseline);
+
+    let mut diffs = Vec::new();
+    for (key, c) in &coarse_idx {
+        if let Some(b) = baseline_idx.get(key) {
+            diffs.push(pct_increase(c.size, b.size));
+        }
+    }
+
+    let total = diffs.len();
+    let nonzero_vals: Vec<f64> = diffs.iter().copied().filter(|d| *d != 0.0).collect();
+    let zero = total - nonzero_vals.len();
+    let mut sorted = nonzero_vals.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let mut histogram = Vec::new();
+    for (label, lo, hi) in BUCKETS {
+        let count = if label == "0%" {
+            zero
+        } else {
+            diffs
+                .iter()
+                .filter(|d| **d > lo && **d <= hi && **d != 0.0)
+                .count()
+        };
+        histogram.push((label.to_string(), count));
+    }
+
+    DiffStats {
+        coarse: coarse.name(),
+        baseline: baseline.name(),
+        total,
+        zero,
+        nonzero: nonzero_vals.len(),
+        pct_nonzero: if total == 0 {
+            0.0
+        } else {
+            nonzero_vals.len() as f64 / total as f64 * 100.0
+        },
+        median_nonzero_pct: percentile(&sorted, 0.5),
+        p90_nonzero_pct: percentile(&sorted, 0.9),
+        histogram,
+    }
+}
+
+/// Per-crate breakdown of one comparison (Figure 4), plus the correlation
+/// between non-zero counts and crate size reported in §5.4.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerCrateStats {
+    /// One [`DiffStats`] per crate.
+    pub per_crate: Vec<(String, DiffStats)>,
+    /// Coefficient of determination (R²) of non-zero count against the
+    /// number of analyzed variables per crate.
+    pub r_squared_vs_num_vars: f64,
+}
+
+/// Computes Figure 4: the Mut-blind vs Modular comparison broken down by
+/// crate.
+pub fn per_crate_stats(
+    measurements: &[CrateMeasurements],
+    coarse: Condition,
+    baseline: Condition,
+) -> PerCrateStats {
+    let mut per_crate = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for m in measurements {
+        let stats = diff_stats(&m.records, coarse, baseline);
+        xs.push(m.num_vars as f64);
+        ys.push(stats.nonzero as f64);
+        per_crate.push((m.name.clone(), stats));
+    }
+    PerCrateStats {
+        per_crate,
+        r_squared_vs_num_vars: r_squared(&xs, &ys),
+    }
+}
+
+/// R² of a simple linear regression of `ys` on `xs`.
+pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let var_x: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    let var_y: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    let r = cov / (var_x.sqrt() * var_y.sqrt());
+    r * r
+}
+
+/// The crate-boundary sensitivity analysis of §5.4.2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundaryStats {
+    /// Share of Whole-program cases whose flow crossed a crate boundary.
+    pub pct_hit_boundary: f64,
+    /// Among boundary-crossing cases, share with a non-zero Modular vs
+    /// Whole-program difference.
+    pub pct_nonzero_given_boundary: f64,
+    /// Among cases that never crossed a boundary, share with a non-zero
+    /// difference.
+    pub pct_nonzero_given_no_boundary: f64,
+    /// Total cases considered.
+    pub total: usize,
+}
+
+/// Computes the boundary statistics from records that include the
+/// Whole-program and Modular conditions.
+pub fn boundary_stats(records: &[VariableRecord]) -> BoundaryStats {
+    let whole = index_by_variable(records, &Condition::WHOLE_PROGRAM);
+    let modular = index_by_variable(records, &Condition::MODULAR);
+
+    let mut total = 0usize;
+    let mut hit = 0usize;
+    let mut nonzero_hit = 0usize;
+    let mut nonzero_nohit = 0usize;
+    let mut nohit = 0usize;
+    for (key, w) in &whole {
+        let Some(m) = modular.get(key) else { continue };
+        total += 1;
+        let nonzero = m.size != w.size;
+        if w.hit_boundary {
+            hit += 1;
+            if nonzero {
+                nonzero_hit += 1;
+            }
+        } else {
+            nohit += 1;
+            if nonzero {
+                nonzero_nohit += 1;
+            }
+        }
+    }
+    let pct = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64 * 100.0
+        }
+    };
+    BoundaryStats {
+        pct_hit_boundary: pct(hit, total),
+        pct_nonzero_given_boundary: pct(nonzero_hit, hit),
+        pct_nonzero_given_no_boundary: pct(nonzero_nohit, nohit),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(krate: &str, func: &str, var: &str, cond: Condition, size: usize) -> VariableRecord {
+        VariableRecord {
+            krate: krate.into(),
+            function: func.into(),
+            variable: var.into(),
+            condition: cond.name(),
+            size,
+            hit_boundary: false,
+        }
+    }
+
+    #[test]
+    fn diff_stats_counts_zero_and_nonzero_cases() {
+        let records = vec![
+            record("c", "f", "x", Condition::MODULAR, 5),
+            record("c", "f", "x", Condition::WHOLE_PROGRAM, 5),
+            record("c", "f", "y", Condition::MODULAR, 8),
+            record("c", "f", "y", Condition::WHOLE_PROGRAM, 4),
+        ];
+        let stats = diff_stats(&records, Condition::MODULAR, Condition::WHOLE_PROGRAM);
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.zero, 1);
+        assert_eq!(stats.nonzero, 1);
+        assert!((stats.pct_nonzero - 50.0).abs() < 1e-9);
+        assert!((stats.median_nonzero_pct - 100.0).abs() < 1e-9);
+        let zero_bucket = &stats.histogram[0];
+        assert_eq!(zero_bucket.1, 1);
+        let total_in_hist: usize = stats.histogram.iter().map(|(_, c)| c).sum();
+        assert_eq!(total_in_hist, 2);
+    }
+
+    #[test]
+    fn pct_increase_handles_zero_baseline() {
+        assert_eq!(pct_increase(3, 0), 300.0);
+        assert_eq!(pct_increase(0, 0), 0.0);
+        assert_eq!(pct_increase(4, 4), 0.0);
+        assert_eq!(pct_increase(6, 4), 50.0);
+    }
+
+    #[test]
+    fn r_squared_of_perfect_line_is_one() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((r_squared(&xs, &ys) - 1.0).abs() < 1e-9);
+        assert_eq!(r_squared(&[1.0], &[1.0]), 0.0);
+        assert_eq!(r_squared(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn boundary_stats_distinguish_boundary_cases() {
+        let mut r1 = record("c", "f", "x", Condition::WHOLE_PROGRAM, 3);
+        r1.hit_boundary = true;
+        let r2 = record("c", "f", "x", Condition::MODULAR, 5);
+        let r3 = record("c", "g", "y", Condition::WHOLE_PROGRAM, 2);
+        let r4 = record("c", "g", "y", Condition::MODULAR, 2);
+        let stats = boundary_stats(&[r1, r2, r3, r4]);
+        assert_eq!(stats.total, 2);
+        assert!((stats.pct_hit_boundary - 50.0).abs() < 1e-9);
+        assert!((stats.pct_nonzero_given_boundary - 100.0).abs() < 1e-9);
+        assert!((stats.pct_nonzero_given_no_boundary - 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Performance measurements (§5.1's performance paragraph).
+//!
+//! The paper reports a median per-function analysis time of ~370 µs for the
+//! modular analysis, and a 178× blow-up for the naive whole-program
+//! recursion on a function with thousands of callees in its call graph
+//! (`GameEngine::render` in rg3d). This module reproduces both experiments:
+//! the per-function median comes from the corpus measurements, and the
+//! blow-up from a synthetic deep-call-graph stress program.
+
+use flowistry_core::{analyze, AnalysisParams, Condition};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Results of the modular vs whole-program timing comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowdownReport {
+    /// Depth of the generated call tree.
+    pub depth: usize,
+    /// Fan-out at every level.
+    pub fanout: usize,
+    /// Number of functions in the stress program.
+    pub num_functions: usize,
+    /// Modular analysis time of the root function, in seconds.
+    pub modular_seconds: f64,
+    /// Whole-program (naive recursion) analysis time of the root, seconds.
+    pub whole_program_seconds: f64,
+    /// Whole-program with memoized summaries, seconds (ablation).
+    pub memoized_seconds: f64,
+    /// `whole_program_seconds / modular_seconds`.
+    pub slowdown: f64,
+}
+
+/// Builds a stress program shaped like a deep call graph: `layer_d_i` calls
+/// `fanout` functions of layer `d+1`; the leaves mutate through a reference.
+pub fn stress_source(depth: usize, fanout: usize) -> String {
+    let mut src = String::new();
+    // Leaves.
+    let _ = writeln!(
+        src,
+        "fn leaf(p: &mut i32, v: i32) -> i32 {{ *p = *p + v; return *p; }}"
+    );
+    // One function per layer; each calls the next layer `fanout` times.
+    for d in (0..depth).rev() {
+        let callee = if d + 1 == depth {
+            "leaf".to_string()
+        } else {
+            format!("layer_{}", d + 1)
+        };
+        let mut body = String::new();
+        let _ = writeln!(body, "fn layer_{d}(p: &mut i32, v: i32) -> i32 {{");
+        let _ = writeln!(body, "    let mut acc = v;");
+        for i in 0..fanout {
+            let _ = writeln!(body, "    let r{i} = {callee}(p, acc + {i});");
+            let _ = writeln!(body, "    acc = acc + r{i};");
+        }
+        let _ = writeln!(body, "    return acc;");
+        let _ = writeln!(body, "}}");
+        src.push_str(&body);
+    }
+    // The root driver, analogous to GameEngine::render.
+    let first = if depth == 0 { "leaf" } else { "layer_0" };
+    let _ = writeln!(
+        src,
+        "fn render(v: i32) -> i32 {{ let mut state = 0; let out = {first}(&mut state, v); return out + state; }}"
+    );
+    src
+}
+
+/// Times the modular and whole-program analyses of the stress program's root.
+pub fn measure_slowdown(depth: usize, fanout: usize) -> SlowdownReport {
+    let src = stress_source(depth, fanout);
+    let program = flowistry_lang::compile(&src).expect("stress program must compile");
+    let root = program.func_id("render").expect("render exists");
+
+    let time = |params: &AnalysisParams| {
+        let start = Instant::now();
+        let results = analyze(&program, root, params);
+        let elapsed = start.elapsed().as_secs_f64();
+        // Keep the results alive so the measurement is not optimized away.
+        assert!(results.iterations() > 0);
+        elapsed
+    };
+
+    let modular_seconds = time(&AnalysisParams::for_condition(Condition::MODULAR));
+    let whole_program_seconds = time(&AnalysisParams::for_condition(Condition::WHOLE_PROGRAM));
+    let memoized_seconds = time(&AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        memoize_summaries: true,
+        ..AnalysisParams::default()
+    });
+
+    SlowdownReport {
+        depth,
+        fanout,
+        num_functions: program.bodies.len(),
+        modular_seconds,
+        whole_program_seconds,
+        memoized_seconds,
+        slowdown: whole_program_seconds / modular_seconds.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_program_compiles_and_scales_with_depth() {
+        let small = flowistry_lang::compile(&stress_source(2, 2)).unwrap();
+        let bigger = flowistry_lang::compile(&stress_source(4, 2)).unwrap();
+        assert!(bigger.bodies.len() > small.bodies.len());
+        assert!(small.borrow_errors.is_empty());
+    }
+
+    #[test]
+    fn whole_program_recursion_is_slower_than_modular() {
+        let report = measure_slowdown(5, 3);
+        assert!(report.num_functions >= 7);
+        assert!(
+            report.slowdown > 1.0,
+            "expected naive whole-program recursion to cost more: {report:?}"
+        );
+        // Memoization must not be slower than naive recursion.
+        assert!(report.memoized_seconds <= report.whole_program_seconds * 1.5);
+    }
+
+    #[test]
+    fn zero_depth_degenerates_to_a_single_leaf_call() {
+        let src = stress_source(0, 3);
+        let program = flowistry_lang::compile(&src).unwrap();
+        assert!(program.func_id("render").is_some());
+        assert!(program.func_id("leaf").is_some());
+    }
+}

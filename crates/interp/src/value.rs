@@ -1,0 +1,177 @@
+//! Runtime values for the Rox interpreter.
+
+use flowistry_lang::mir::Place;
+use flowistry_lang::types::{StructId, StructTable, Ty};
+use std::fmt;
+
+/// A pointer to a place inside a specific stack frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pointer {
+    /// Index of the frame the pointee lives in (0 is the oldest frame).
+    pub frame: usize,
+    /// The pointee place within that frame (no dereferences).
+    pub place: Place,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// `()`
+    Unit,
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A tuple of values.
+    Tuple(Vec<Value>),
+    /// A struct value (fields in declaration order).
+    Struct(StructId, Vec<Value>),
+    /// A reference.
+    Ref(Pointer),
+}
+
+impl Value {
+    /// The integer inside, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A default value of the given type: zero, false, unit, recursively for
+    /// aggregates. References have no default and return `None`.
+    pub fn zero_of(ty: &Ty, structs: &StructTable) -> Option<Value> {
+        Some(match ty {
+            Ty::Unit => Value::Unit,
+            Ty::Int => Value::Int(0),
+            Ty::Bool => Value::Bool(false),
+            Ty::Tuple(tys) => Value::Tuple(
+                tys.iter()
+                    .map(|t| Value::zero_of(t, structs))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Ty::Struct(sid) => Value::Struct(
+                *sid,
+                structs
+                    .get(*sid)
+                    .fields
+                    .iter()
+                    .map(|(_, t)| Value::zero_of(t, structs))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Ty::Ref(..) => return None,
+        })
+    }
+
+    /// Reads the sub-value at field index `idx`.
+    pub fn field(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Tuple(vs) | Value::Struct(_, vs) => vs.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the sub-value at field index `idx`.
+    pub fn field_mut(&mut self, idx: usize) -> Option<&mut Value> {
+        match self {
+            Value::Tuple(vs) | Value::Struct(_, vs) => vs.get_mut(idx),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Struct(sid, vs) => {
+                write!(f, "struct#{}(", sid.0)?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Ref(p) => write!(f, "&frame{}:{}", p.frame, p.place),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_lang::types::{StructData, StructTable};
+
+    #[test]
+    fn zero_values() {
+        let structs = StructTable::new();
+        assert_eq!(Value::zero_of(&Ty::Int, &structs), Some(Value::Int(0)));
+        assert_eq!(Value::zero_of(&Ty::Bool, &structs), Some(Value::Bool(false)));
+        assert_eq!(Value::zero_of(&Ty::Unit, &structs), Some(Value::Unit));
+        let t = Ty::Tuple(vec![Ty::Int, Ty::Bool]);
+        assert_eq!(
+            Value::zero_of(&t, &structs),
+            Some(Value::Tuple(vec![Value::Int(0), Value::Bool(false)]))
+        );
+        let r = Ty::make_ref(
+            flowistry_lang::types::RegionVid(0),
+            flowistry_lang::ast::Mutability::Shared,
+            Ty::Int,
+        );
+        assert_eq!(Value::zero_of(&r, &structs), None);
+    }
+
+    #[test]
+    fn zero_of_struct() {
+        let mut structs = StructTable::new();
+        let id = structs.push(StructData {
+            name: "P".into(),
+            fields: vec![("a".into(), Ty::Int), ("b".into(), Ty::Bool)],
+        });
+        assert_eq!(
+            Value::zero_of(&Ty::Struct(id), &structs),
+            Some(Value::Struct(id, vec![Value::Int(0), Value::Bool(false)]))
+        );
+    }
+
+    #[test]
+    fn field_access() {
+        let mut v = Value::Tuple(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(v.field(1), Some(&Value::Int(2)));
+        assert_eq!(v.field(5), None);
+        *v.field_mut(0).unwrap() = Value::Int(9);
+        assert_eq!(v.field(0), Some(&Value::Int(9)));
+        assert_eq!(Value::Int(3).field(0), None);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(4).as_bool(), None);
+        assert_eq!(Value::Tuple(vec![Value::Int(1), Value::Unit]).to_string(), "(1, ())");
+    }
+}

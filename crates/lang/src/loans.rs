@@ -1,0 +1,294 @@
+//! Loan-set computation (paper §2.2 and §4.2).
+//!
+//! For every region variable `r` of a body we compute its loan set Γ(r): the
+//! set of place expressions the references with provenance `r` may point to.
+//!
+//! * Each borrow statement `_x = &'r p` seeds Γ(r) with `{p}`.
+//! * Each **universal** region (a lifetime from the function signature) is
+//!   seeded with the opaque dereference places of the arguments that carry
+//!   it: for an argument `p: &'a mut T`, Γ('a) ⊇ {(*p)}. This models "the
+//!   loans the caller passed in", which the body cannot name concretely.
+//! * Constraints `r1 :> r2` propagate Γ(r1) ⊆ Γ(r2) until fixpoint, exactly
+//!   the iteration described in §4.2.
+
+use crate::mir::{Body, Place, PlaceElem, Rvalue, StatementKind};
+use crate::types::{RegionVid, StructTable, Ty};
+use std::collections::BTreeSet;
+
+/// The loan sets Γ of one body, indexed by [`RegionVid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoanSets {
+    sets: Vec<BTreeSet<Place>>,
+}
+
+impl LoanSets {
+    /// The loan set of region `r`.
+    pub fn loans(&self, r: RegionVid) -> &BTreeSet<Place> {
+        &self.sets[r.0 as usize]
+    }
+
+    /// Whether region `r` has any loans.
+    pub fn is_empty(&self, r: RegionVid) -> bool {
+        self.sets[r.0 as usize].is_empty()
+    }
+
+    /// Number of regions covered.
+    pub fn region_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Iterates over `(region, loan set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionVid, &BTreeSet<Place>)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RegionVid(i as u32), s))
+    }
+}
+
+/// Computes the loan sets of `body`.
+///
+/// [`crate::regions::infer_regions`] must have installed the body's outlives
+/// constraints first; otherwise only the seeding step has any effect.
+pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
+    let mut sets: Vec<BTreeSet<Place>> = vec![BTreeSet::new(); body.regions.len()];
+
+    // Seed from borrow expressions.
+    for bb in body.block_ids() {
+        for stmt in &body.block(bb).statements {
+            if let StatementKind::Assign(_, Rvalue::Ref { region, place, .. }) = &stmt.kind {
+                sets[region.0 as usize].insert(place.clone());
+            }
+        }
+    }
+
+    // Seed universal regions from the argument types.
+    for arg in body.args() {
+        let ty = body.local_decl(arg).ty.clone();
+        seed_universal(body, &Place::from_local(arg), &ty, structs, &mut sets);
+    }
+
+    // Propagate along `longer :> shorter` (Γ(shorter) ⊇ Γ(longer)) and
+    // resolve dereferences inside loan places (the §2.2 worked example:
+    // Γ(r3) for `&mut (*y).1` contains both `(*y).1` and `x.1`). The two
+    // steps feed each other, so iterate them together to a fixpoint.
+    const MAX_PROJECTION_LEN: usize = 8;
+    const MAX_ROUNDS: usize = 64;
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < MAX_ROUNDS {
+        changed = false;
+        rounds += 1;
+        for c in &body.outlives {
+            if c.longer == c.shorter {
+                continue;
+            }
+            let (longer, shorter) = (c.longer.0 as usize, c.shorter.0 as usize);
+            if longer >= sets.len() || shorter >= sets.len() {
+                continue;
+            }
+            let additions: Vec<Place> = sets[longer]
+                .iter()
+                .filter(|p| !sets[shorter].contains(*p))
+                .cloned()
+                .collect();
+            if !additions.is_empty() {
+                sets[shorter].extend(additions);
+                changed = true;
+            }
+        }
+
+        // Deref expansion: a loan `(*q).rest` where `q: &'r T` additionally
+        // yields `l.rest` for every loan `l ∈ Γ('r)`.
+        for region_idx in 0..sets.len() {
+            let mut additions = Vec::new();
+            for loan in &sets[region_idx] {
+                let Some(deref_pos) = loan.projection.iter().position(|e| *e == PlaceElem::Deref)
+                else {
+                    continue;
+                };
+                let pointer = Place {
+                    local: loan.local,
+                    projection: loan.projection[..deref_pos].to_vec(),
+                };
+                let suffix = &loan.projection[deref_pos + 1..];
+                let Ty::Ref(pointer_region, _, _) = body.place_ty(&pointer, structs) else {
+                    continue;
+                };
+                for base in &sets[pointer_region.0 as usize] {
+                    if base == loan {
+                        continue;
+                    }
+                    let mut projection = base.projection.clone();
+                    projection.extend_from_slice(suffix);
+                    if projection.len() > MAX_PROJECTION_LEN {
+                        continue;
+                    }
+                    let expanded = Place {
+                        local: base.local,
+                        projection,
+                    };
+                    if !sets[region_idx].contains(&expanded) {
+                        additions.push(expanded);
+                    }
+                }
+            }
+            if !additions.is_empty() {
+                sets[region_idx].extend(additions);
+                changed = true;
+            }
+        }
+    }
+
+    LoanSets { sets }
+}
+
+/// Seeds Γ(r) ⊇ {(*path)} for every reference position with universal region
+/// `r` reachable inside an argument's type.
+fn seed_universal(
+    body: &Body,
+    place: &Place,
+    ty: &Ty,
+    structs: &StructTable,
+    sets: &mut Vec<BTreeSet<Place>>,
+) {
+    match ty {
+        Ty::Ref(r, _, inner) => {
+            let deref_place = place.project(PlaceElem::Deref);
+            if body
+                .regions
+                .get(r.0 as usize)
+                .is_some_and(|data| data.is_universal)
+            {
+                sets[r.0 as usize].insert(deref_place.clone());
+            }
+            seed_universal(body, &deref_place, inner, structs, sets);
+        }
+        Ty::Tuple(tys) => {
+            for (i, t) in tys.iter().enumerate() {
+                seed_universal(body, &place.field(i as u32), t, structs, sets);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::mir::Local;
+
+    fn compiled(src: &str) -> crate::CompiledProgram {
+        compile(src).expect("compile failure")
+    }
+
+    fn body<'a>(prog: &'a crate::CompiledProgram, name: &str) -> &'a Body {
+        prog.bodies.iter().find(|b| b.name == name).unwrap()
+    }
+
+    #[test]
+    fn borrow_seeds_loan_set() {
+        let prog = compiled("fn f() { let mut x = 1; let r = &mut x; *r = 2; }");
+        let b = body(&prog, "f");
+        let loans = compute_loans(b, &prog.structs);
+        // Some region's loan set contains the place of x.
+        let x_local = b
+            .local_decls
+            .iter()
+            .position(|d| d.name.as_deref() == Some("x"))
+            .unwrap();
+        let x_place = Place::from_local(Local(x_local as u32));
+        assert!(loans.iter().any(|(_, set)| set.contains(&x_place)));
+    }
+
+    #[test]
+    fn propagation_follows_reborrows() {
+        // The §2.2 example: z reborrows a field of *y which borrows x, so the
+        // loan set of z's region must contain x.1.
+        let prog = compiled(
+            "fn f() {
+                let mut x = (0, 0);
+                let y = &mut x;
+                let z = &mut (*y).1;
+                *z = 1;
+            }",
+        );
+        let b = body(&prog, "f");
+        let loans = compute_loans(b, &prog.structs);
+        let x_local = b
+            .local_decls
+            .iter()
+            .position(|d| d.name.as_deref() == Some("x"))
+            .unwrap();
+        let z_local = b
+            .local_decls
+            .iter()
+            .position(|d| d.name.as_deref() == Some("z"))
+            .unwrap();
+        let x_place = Place::from_local(Local(x_local as u32));
+        // The region of z's type must (transitively) have a loan rooted at x.
+        let z_ty = &b.local_decl(Local(z_local as u32)).ty;
+        let z_region = z_ty.regions()[0];
+        let rooted_at_x = loans
+            .loans(z_region)
+            .iter()
+            .any(|p| p.local == x_place.local);
+        assert!(rooted_at_x, "loans of z's region: {:?}", loans.loans(z_region));
+    }
+
+    #[test]
+    fn universal_regions_get_opaque_deref_loans() {
+        let prog = compiled("fn f<'a>(p: &'a mut (i32, i32)) { (*p).0 = 1; }");
+        let b = body(&prog, "f");
+        let loans = compute_loans(b, &prog.structs);
+        let expected = Place::from_local(Local(1)).deref();
+        assert!(loans.loans(RegionVid(0)).contains(&expected));
+    }
+
+    #[test]
+    fn nested_argument_references_are_seeded() {
+        let prog = compiled("fn f<'a, 'b>(t: (&'a mut i32, &'b i32)) { *t.0 = 1; }");
+        let b = body(&prog, "f");
+        let loans = compute_loans(b, &prog.structs);
+        let t = Place::from_local(Local(1));
+        assert!(loans.loans(RegionVid(0)).contains(&t.field(0).deref()));
+        assert!(loans.loans(RegionVid(1)).contains(&t.field(1).deref()));
+    }
+
+    #[test]
+    fn call_returning_reference_aliases_argument() {
+        let prog = compiled(
+            "fn get<'a>(p: &'a mut (i32, i32)) -> &'a mut i32 { return &mut (*p).0; }
+             fn caller() { let mut t = (1, 2); let r = get(&mut t); *r = 5; }",
+        );
+        let b = body(&prog, "caller");
+        let loans = compute_loans(b, &prog.structs);
+        let t_local = b
+            .local_decls
+            .iter()
+            .position(|d| d.name.as_deref() == Some("t"))
+            .unwrap() as u32;
+        let r_local = b
+            .local_decls
+            .iter()
+            .position(|d| d.name.as_deref() == Some("r"))
+            .unwrap() as u32;
+        let r_region = b.local_decl(Local(r_local)).ty.regions()[0];
+        let has_t = loans
+            .loans(r_region)
+            .iter()
+            .any(|p| p.local == Local(t_local));
+        assert!(has_t, "expected the returned reference to alias t, got {:?}", loans.loans(r_region));
+    }
+
+    #[test]
+    fn scalar_bodies_have_empty_loans() {
+        let prog = compiled("fn f(x: i32) -> i32 { return x + 1; }");
+        let b = body(&prog, "f");
+        let loans = compute_loans(b, &prog.structs);
+        for (_, set) in loans.iter() {
+            assert!(set.is_empty());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Pretty-printing of MIR bodies, in the style of Figure 1 of the paper.
+
+use super::{Body, StatementKind, TerminatorKind};
+use crate::types::StructTable;
+use std::fmt::Write;
+
+/// Renders a whole body as text, one basic block at a time.
+///
+/// # Examples
+///
+/// ```
+/// use flowistry_lang::compile;
+/// let prog = compile("fn id(x: i32) -> i32 { return x; }").unwrap();
+/// let text = flowistry_lang::mir::pretty::body_to_string(&prog.bodies[0], &prog.structs);
+/// assert!(text.contains("fn id"));
+/// assert!(text.contains("bb0"));
+/// ```
+pub fn body_to_string(body: &Body, structs: &StructTable) -> String {
+    let mut out = String::new();
+    let params = body
+        .args()
+        .map(|l| {
+            let d = body.local_decl(l);
+            format!(
+                "{}: {}",
+                d.name.clone().unwrap_or_else(|| l.to_string()),
+                d.ty.display(structs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret_ty = body.local_decl(super::Local::RETURN).ty.clone();
+    let _ = writeln!(out, "fn {}({}) -> {} {{", body.name, params, ret_ty.display(structs));
+
+    for (i, decl) in body.local_decls.iter().enumerate() {
+        let name = decl
+            .name
+            .as_ref()
+            .map(|n| format!(" // {n}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    let {}_{}: {};{}",
+            if decl.mutable { "mut " } else { "" },
+            i,
+            decl.ty.display(structs),
+            name
+        );
+    }
+
+    for bb in body.block_ids() {
+        let data = body.block(bb);
+        let _ = writeln!(out, "\n    {bb}: {{");
+        for stmt in &data.statements {
+            match &stmt.kind {
+                StatementKind::Assign(place, rvalue) => {
+                    let _ = writeln!(out, "        {place} = {rvalue};");
+                }
+                StatementKind::Nop => {
+                    let _ = writeln!(out, "        nop;");
+                }
+            }
+        }
+        let term = data.terminator();
+        let line = match &term.kind {
+            TerminatorKind::Goto { target } => format!("goto -> {target}"),
+            TerminatorKind::SwitchBool {
+                discr,
+                true_block,
+                false_block,
+            } => format!("switch {discr} -> [true: {true_block}, false: {false_block}]"),
+            TerminatorKind::Call {
+                func,
+                args,
+                destination,
+                target,
+            } => {
+                let args = args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("{destination} = fn#{}({args}) -> {target}", func.0)
+            }
+            TerminatorKind::Return => "return".to_string(),
+            TerminatorKind::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(out, "        {line};");
+        let _ = writeln!(out, "    }}");
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn prints_blocks_statements_and_terminators() {
+        let prog = compile(
+            "fn f(x: i32, flag: bool) -> i32 {
+                let mut y = 0;
+                if flag { y = x + 1; } else { y = x - 1; }
+                return y;
+            }",
+        )
+        .unwrap();
+        let s = super::body_to_string(&prog.bodies[0], &prog.structs);
+        assert!(s.contains("switch"));
+        assert!(s.contains("return"));
+        assert!(s.contains("bb0"));
+        assert!(s.contains("goto"));
+    }
+
+    #[test]
+    fn prints_calls_and_borrows() {
+        let prog = compile(
+            "fn inc(p: &mut i32) { *p = *p + 1; }
+             fn g() -> i32 { let mut x = 1; inc(&mut x); return x; }",
+        )
+        .unwrap();
+        let s = super::body_to_string(&prog.bodies[1], &prog.structs);
+        assert!(s.contains("fn#0"), "expected a call in:\n{s}");
+        assert!(s.contains("&"), "expected a borrow in:\n{s}");
+    }
+}

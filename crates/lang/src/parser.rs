@@ -1,0 +1,958 @@
+//! Recursive-descent parser for the Rox surface language.
+//!
+//! The grammar (roughly):
+//!
+//! ```text
+//! program    := (struct_def | fn_def)*
+//! struct_def := "struct" IDENT "{" (IDENT ":" ty ","?)* "}"
+//! fn_def     := "fn" IDENT lifetimes? "(" params ")" ("->" ty)? where? block
+//! lifetimes  := "<" LIFETIME ("," LIFETIME)* ">"
+//! where      := "where" LIFETIME ":" LIFETIME ("," LIFETIME ":" LIFETIME)*
+//! ty         := "(" ")" | "i32" | "bool" | "(" ty ("," ty)+ ")" | IDENT
+//!             | "&" LIFETIME? "mut"? ty
+//! block      := "{" stmt* "}"
+//! stmt       := "let" "mut"? IDENT (":" ty)? "=" expr ";"
+//!             | "if" expr block ("else" (block | if_stmt))?
+//!             | "while" expr block | "loop" block
+//!             | "return" expr? ";" | "break" ";" | "continue" ";"
+//!             | expr ("=" expr)? ";"
+//! expr       := or_expr
+//! ```
+//!
+//! Operator precedence: `||` < `&&` < comparisons < `+ -` < `* / %` < unary.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::span::{Diagnostic, Span};
+
+/// Parses a complete Rox program.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing [`Diagnostic`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use flowistry_lang::parser::parse_program;
+/// let src = "fn add(x: i32, y: i32) -> i32 { return x + y; }";
+/// let program = parse_program(src).unwrap();
+/// assert_eq!(program.funcs.len(), 1);
+/// assert_eq!(program.funcs[0].params.len(), 2);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = tokenize(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression (useful in tests and tools).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] if the source is not a single valid expression.
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostic> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_expr_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            next_expr_id: 0,
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.check(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected identifier, found `{other}`"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn expect_lifetime(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Lifetime(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(Diagnostic::error(
+                format!("expected lifetime, found `{other}`"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn fresh_id(&mut self) -> ExprId {
+        let id = ExprId(self.next_expr_id);
+        self.next_expr_id += 1;
+        id
+    }
+
+    fn mk_expr(&mut self, kind: ExprKind, span: Span) -> Expr {
+        Expr {
+            id: self.fresh_id(),
+            kind,
+            span,
+        }
+    }
+
+    // ---------------- items ----------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Struct => program.structs.push(self.struct_def()?),
+                TokenKind::Fn => program.funcs.push(self.fn_def()?),
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("expected `fn` or `struct`, found `{other}`"),
+                        self.peek_span(),
+                    ));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, Diagnostic> {
+        let start = self.expect(TokenKind::Struct)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            let (fname, _) = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let fty = self.ty()?;
+            fields.push((fname, fty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.to(end),
+        })
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, Diagnostic> {
+        let start = self.expect(TokenKind::Fn)?.span;
+        let (name, _) = self.expect_ident()?;
+
+        let mut lifetime_params = Vec::new();
+        if self.eat(&TokenKind::Lt) {
+            loop {
+                lifetime_params.push(self.expect_lifetime()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt)?;
+        }
+
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        while !self.check(&TokenKind::RParen) {
+            let (pname, pspan) = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let pty = self.ty()?;
+            params.push(Param {
+                name: pname,
+                ty: pty,
+                span: pspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+
+        let ret_ty = if self.eat(&TokenKind::Arrow) {
+            self.ty()?
+        } else {
+            AstTy::Unit
+        };
+
+        let mut outlives_bounds = Vec::new();
+        if self.eat(&TokenKind::Where) {
+            loop {
+                let long = self.expect_lifetime()?;
+                self.expect(TokenKind::Colon)?;
+                let short = self.expect_lifetime()?;
+                outlives_bounds.push((long, short));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let body = self.block()?;
+        let span = start.to(body.span);
+        Ok(FnDef {
+            name,
+            lifetime_params,
+            outlives_bounds,
+            params,
+            ret_ty,
+            body,
+            span,
+        })
+    }
+
+    // ---------------- types ----------------
+
+    fn ty(&mut self) -> Result<AstTy, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::I32 => {
+                self.bump();
+                Ok(AstTy::Int)
+            }
+            TokenKind::Bool => {
+                self.bump();
+                Ok(AstTy::Bool)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(AstTy::Named(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(AstTy::Unit);
+                }
+                let mut tys = vec![self.ty()?];
+                while self.eat(&TokenKind::Comma) {
+                    if self.check(&TokenKind::RParen) {
+                        break;
+                    }
+                    tys.push(self.ty()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                if tys.len() == 1 {
+                    Ok(tys.pop().expect("len checked"))
+                } else {
+                    Ok(AstTy::Tuple(tys))
+                }
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let lifetime = if let TokenKind::Lifetime(lt) = self.peek().clone() {
+                    self.bump();
+                    Some(lt)
+                } else {
+                    None
+                };
+                let mutbl = if self.eat(&TokenKind::Mut) {
+                    Mutability::Mut
+                } else {
+                    Mutability::Shared
+                };
+                let inner = Box::new(self.ty()?);
+                Ok(AstTy::Ref {
+                    lifetime,
+                    mutbl,
+                    inner,
+                })
+            }
+            other => Err(Diagnostic::error(
+                format!("expected type, found `{other}`"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        let start = self.expect(TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                return Err(Diagnostic::error("unterminated block", start));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Let => {
+                self.bump();
+                let mutable = self.eat(&TokenKind::Mut);
+                let (name, _) = self.expect_ident()?;
+                let ty = if self.eat(&TokenKind::Colon) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Eq)?;
+                let init = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Let {
+                        name,
+                        mutable,
+                        ty,
+                        init,
+                    },
+                    span: start.to(end),
+                })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                let span = start.to(body.span);
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
+            }
+            TokenKind::Loop => {
+                self.bump();
+                let body = self.block()?;
+                let span = start.to(body.span);
+                Ok(Stmt {
+                    kind: StmtKind::Loop { body },
+                    span,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Break => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span: start.to(end),
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&TokenKind::Eq) {
+                    if !e.is_place() {
+                        return Err(Diagnostic::error(
+                            "left-hand side of assignment is not a place expression",
+                            e.span,
+                        ));
+                    }
+                    let value = self.expr()?;
+                    let end = self.expect(TokenKind::Semi)?.span;
+                    Ok(Stmt {
+                        kind: StmtKind::Assign { place: e, value },
+                        span: start.to(end),
+                    })
+                } else {
+                    let end = self.expect(TokenKind::Semi)?.span;
+                    Ok(Stmt {
+                        kind: StmtKind::Expr(e),
+                        span: start.to(end),
+                    })
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::If)?.span;
+        let cond = self.expr()?;
+        let then_block = self.block()?;
+        let mut span = start.to(then_block.span);
+        let else_block = if self.eat(&TokenKind::Else) {
+            if self.check(&TokenKind::If) {
+                // `else if` chains desugar into a nested block containing an if.
+                let nested = self.if_stmt()?;
+                let nested_span = nested.span;
+                span = span.to(nested_span);
+                Some(Block {
+                    stmts: vec![nested],
+                    span: nested_span,
+                })
+            } else {
+                let b = self.block()?;
+                span = span.to(b.span);
+                Some(b)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            },
+            span,
+        })
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.check(&TokenKind::PipePipe) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.check(&TokenKind::AmpAmp) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span.to(rhs.span);
+            Ok(self.mk_expr(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span);
+                Ok(self.mk_expr(
+                    ExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span);
+                Ok(self.mk_expr(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Star => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span);
+                Ok(self.mk_expr(ExprKind::Deref(Box::new(operand)), span))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let mutbl = if self.eat(&TokenKind::Mut) {
+                    Mutability::Mut
+                } else {
+                    Mutability::Shared
+                };
+                let operand = self.unary_expr()?;
+                let span = start.to(operand.span);
+                Ok(self.mk_expr(
+                    ExprKind::Borrow {
+                        mutbl,
+                        expr: Box::new(operand),
+                    },
+                    span,
+                ))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary_expr()?;
+        while self.check(&TokenKind::Dot) {
+            self.bump();
+            let field = match self.peek().clone() {
+                TokenKind::Int(n) => {
+                    self.bump();
+                    if n < 0 {
+                        return Err(Diagnostic::error(
+                            "tuple field index must be non-negative",
+                            self.peek_span(),
+                        ));
+                    }
+                    FieldName::Index(n as u32)
+                }
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    FieldName::Named(name)
+                }
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("expected field name or index after `.`, found `{other}`"),
+                        self.peek_span(),
+                    ));
+                }
+            };
+            let span = e.span.to(self.tokens[self.pos.saturating_sub(1)].span);
+            e = self.mk_expr(ExprKind::Field(Box::new(e), field), span);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(self.mk_expr(ExprKind::Int(n), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(self.mk_expr(ExprKind::Bool(true), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(self.mk_expr(ExprKind::Bool(false), start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(&TokenKind::RParen) {
+                    let span = start.to(self.tokens[self.pos - 1].span);
+                    return Ok(self.mk_expr(ExprKind::Unit, span));
+                }
+                let first = self.expr()?;
+                if self.check(&TokenKind::Comma) {
+                    let mut elems = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        if self.check(&TokenKind::RParen) {
+                            break;
+                        }
+                        elems.push(self.expr()?);
+                    }
+                    let end = self.expect(TokenKind::RParen)?.span;
+                    Ok(self.mk_expr(ExprKind::Tuple(elems), start.to(end)))
+                } else {
+                    self.expect(TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.check(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while !self.check(&TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen)?.span;
+                    Ok(self.mk_expr(ExprKind::Call { callee: name, args }, start.to(end)))
+                } else if self.check(&TokenKind::LBrace)
+                    && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                {
+                    // Struct literal: only for capitalized names, to avoid
+                    // ambiguity with `while x { ... }` style conditions.
+                    self.bump();
+                    let mut fields = Vec::new();
+                    while !self.check(&TokenKind::RBrace) {
+                        let (fname, _) = self.expect_ident()?;
+                        self.expect(TokenKind::Colon)?;
+                        let fexpr = self.expr()?;
+                        fields.push((fname, fexpr));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.expect(TokenKind::RBrace)?.span;
+                    Ok(self.mk_expr(ExprKind::StructLit { name, fields }, start.to(end)))
+                } else {
+                    Ok(self.mk_expr(ExprKind::Var(name), start))
+                }
+            }
+            other => Err(Diagnostic::error(
+                format!("expected expression, found `{other}`"),
+                start,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("fn main() { }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].ret_ty, AstTy::Unit);
+        assert!(p.funcs[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_params_and_return_type() {
+        let p = parse_program("fn add(x: i32, y: i32) -> i32 { return x + y; }").unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "x");
+        assert_eq!(f.ret_ty, AstTy::Int);
+    }
+
+    #[test]
+    fn parses_lifetimes_and_where_clause() {
+        let src = "fn f<'a, 'b>(x: &'a mut i32, y: &'b i32) -> &'a i32 where 'a: 'b { return x; }";
+        let p = parse_program(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.lifetime_params, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(f.outlives_bounds, vec![("a".to_string(), "b".to_string())]);
+        match &f.params[0].ty {
+            AstTy::Ref {
+                lifetime, mutbl, ..
+            } => {
+                assert_eq!(lifetime.as_deref(), Some("a"));
+                assert!(mutbl.is_mut());
+            }
+            other => panic!("unexpected type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_struct_definition() {
+        let p = parse_program("struct Point { x: i32, y: i32 }").unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+    }
+
+    #[test]
+    fn parses_struct_literal_and_field_access() {
+        let src = "struct P { a: i32, b: i32 } fn f() -> i32 { let p = P { a: 1, b: 2 }; return p.a; }";
+        let p = parse_program(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_tuples_and_indexing() {
+        let e = parse_expr("(1, true, (2, 3)).2").unwrap();
+        match e.kind {
+            ExprKind::Field(base, FieldName::Index(2)) => match base.kind {
+                ExprKind::Tuple(elems) => assert_eq!(elems.len(), 3),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_references_and_derefs() {
+        let e = parse_expr("*&mut x").unwrap();
+        match e.kind {
+            ExprKind::Deref(inner) => match inner.kind {
+                ExprKind::Borrow { mutbl, .. } => assert!(mutbl.is_mut()),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_of_arithmetic() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, rhs, .. } => match rhs.kind {
+                ExprKind::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_of_logic_and_comparison() {
+        let e = parse_expr("a < b && c == d || e").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let src = "fn f(x: i32) -> i32 { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }";
+        let p = parse_program(src).unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::If { else_block, .. } => {
+                let eb = else_block.as_ref().unwrap();
+                assert!(matches!(eb.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_while_loop_break_continue() {
+        let src = "fn f() { let mut i = 0; while i < 10 { if i == 5 { break; } i = i + 1; } loop { continue; } }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_assignment_to_place() {
+        let src = "fn f(p: &mut (i32, i32)) { (*p).1 = 3; }";
+        let p = parse_program(src).unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::Assign { place, .. } => assert!(place.is_place()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_assignment_to_non_place() {
+        assert!(parse_program("fn f() { 1 + 2 = 3; }").is_err());
+    }
+
+    #[test]
+    fn parses_calls_with_arguments() {
+        let src = "fn g(x: i32) -> i32 { return x; } fn f() { let a = g(1); g(a); }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse_program("fn f() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse_program("fn f() { let x = 1 }").is_err());
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse_program("fn f(x: i32) -> i32 { let y = x + x; return y * y; }").unwrap();
+        let mut ids = Vec::new();
+        fn collect(e: &Expr, ids: &mut Vec<u32>) {
+            ids.push(e.id.0);
+            match &e.kind {
+                ExprKind::Field(b, _) | ExprKind::Deref(b) => collect(b, ids),
+                ExprKind::Borrow { expr, .. } => collect(expr, ids),
+                ExprKind::Binary { lhs, rhs, .. } => {
+                    collect(lhs, ids);
+                    collect(rhs, ids);
+                }
+                ExprKind::Unary { operand, .. } => collect(operand, ids),
+                ExprKind::Call { args, .. } => args.iter().for_each(|a| collect(a, ids)),
+                ExprKind::Tuple(es) => es.iter().for_each(|a| collect(a, ids)),
+                ExprKind::StructLit { fields, .. } => {
+                    fields.iter().for_each(|(_, a)| collect(a, ids))
+                }
+                _ => {}
+            }
+        }
+        for f in &p.funcs {
+            for s in &f.body.stmts {
+                match &s.kind {
+                    StmtKind::Let { init, .. } => collect(init, &mut ids),
+                    StmtKind::Return(Some(e)) => collect(e, &mut ids),
+                    _ => {}
+                }
+            }
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn single_element_paren_is_not_tuple() {
+        let e = parse_expr("(5)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Int(5)));
+    }
+
+    #[test]
+    fn parses_unit_expression() {
+        let e = parse_expr("()").unwrap();
+        assert!(matches!(e.kind, ExprKind::Unit));
+    }
+}

@@ -1,0 +1,290 @@
+//! Region (provenance) constraint generation over MIR.
+//!
+//! This pass reconstructs the information that rustc's borrow checker exposes
+//! to Flowistry (paper §4.2): *outlives constraints* between region
+//! variables. Constraints come from two sources:
+//!
+//! 1. **Assignments**: storing a value of type `&'a T` into a place of type
+//!    `&'b T` requires `'a :> 'b` (the source must outlive the target), so
+//!    loans of `'a` flow into the loan set of `'b`.
+//! 2. **Calls**: the callee's signature regions are matched against the
+//!    concrete regions of the arguments and destination, producing
+//!    constraints that connect argument loans to the returned reference and
+//!    between arguments that share a signature region, plus any declared
+//!    `where 'a: 'b` bounds (paper §2.3).
+
+use crate::mir::*;
+use crate::types::{FnSig, RegionVid, StructTable, Ty};
+use std::collections::HashMap;
+
+/// Computes and installs the outlives constraints of every body.
+///
+/// Must be called after lowering and before [`crate::loans::compute_loans`].
+pub fn infer_regions(bodies: &mut [Body], signatures: &[FnSig], structs: &StructTable) {
+    for body in bodies.iter_mut() {
+        let constraints = body_constraints(body, signatures, structs);
+        body.outlives = constraints;
+    }
+}
+
+/// Computes the outlives constraints of one body without installing them.
+pub fn body_constraints(
+    body: &Body,
+    signatures: &[FnSig],
+    structs: &StructTable,
+) -> Vec<OutlivesConstraint> {
+    let mut out = Vec::new();
+
+    // Declared bounds between the body's own universal regions.
+    if let Some(sig) = signatures.iter().find(|s| s.name == body.name) {
+        for (longer, shorter) in &sig.outlives {
+            out.push(OutlivesConstraint {
+                longer: *longer,
+                shorter: *shorter,
+            });
+        }
+    }
+
+    for bb in body.block_ids() {
+        let data = body.block(bb);
+        for stmt in &data.statements {
+            if let StatementKind::Assign(place, rvalue) = &stmt.kind {
+                let rv_ty = rvalue_ty(body, rvalue, structs);
+                let place_ty = body.place_ty(place, structs);
+                relate_types(&rv_ty, &place_ty, &mut out);
+            }
+        }
+        if let TerminatorKind::Call {
+            func,
+            args,
+            destination,
+            ..
+        } = &data.terminator().kind
+        {
+            let sig = &signatures[func.0 as usize];
+            call_constraints(body, sig, args, destination, structs, &mut out);
+        }
+    }
+
+    out.sort_unstable_by_key(|c| (c.longer, c.shorter));
+    out.dedup();
+    out
+}
+
+/// The type of an rvalue, as used for constraint generation.
+pub fn rvalue_ty(body: &Body, rvalue: &Rvalue, structs: &StructTable) -> Ty {
+    match rvalue {
+        Rvalue::Use(op) => operand_ty(body, op, structs),
+        Rvalue::BinaryOp(op, ..) => {
+            if op.is_comparison() || op.is_logical() {
+                Ty::Bool
+            } else {
+                Ty::Int
+            }
+        }
+        Rvalue::UnaryOp(crate::ast::UnOp::Neg, _) => Ty::Int,
+        Rvalue::UnaryOp(crate::ast::UnOp::Not, _) => Ty::Bool,
+        Rvalue::Ref {
+            region,
+            mutbl,
+            place,
+        } => Ty::make_ref(*region, *mutbl, body.place_ty(place, structs)),
+        Rvalue::Aggregate(AggregateKind::Tuple, ops) => {
+            Ty::Tuple(ops.iter().map(|o| operand_ty(body, o, structs)).collect())
+        }
+        Rvalue::Aggregate(AggregateKind::Struct(sid), _) => Ty::Struct(*sid),
+    }
+}
+
+/// The type of an operand.
+pub fn operand_ty(body: &Body, operand: &Operand, structs: &StructTable) -> Ty {
+    match operand {
+        Operand::Copy(p) | Operand::Move(p) => body.place_ty(p, structs),
+        Operand::Constant(ConstValue::Unit) => Ty::Unit,
+        Operand::Constant(ConstValue::Int(_)) => Ty::Int,
+        Operand::Constant(ConstValue::Bool(_)) => Ty::Bool,
+    }
+}
+
+/// Walks `src` and `dst` in parallel and emits `src_region :> dst_region` at
+/// every reference position.
+fn relate_types(src: &Ty, dst: &Ty, out: &mut Vec<OutlivesConstraint>) {
+    match (src, dst) {
+        (Ty::Ref(r1, _, inner1), Ty::Ref(r2, _, inner2)) => {
+            out.push(OutlivesConstraint {
+                longer: *r1,
+                shorter: *r2,
+            });
+            relate_types(inner1, inner2, out);
+        }
+        (Ty::Tuple(a), Ty::Tuple(b)) => {
+            for (x, y) in a.iter().zip(b) {
+                relate_types(x, y, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collects, at each reference position, the pairing between a signature
+/// region and the concrete region of the matching type.
+fn collect_region_pairs(sig_ty: &Ty, concrete_ty: &Ty, pairs: &mut Vec<(RegionVid, RegionVid)>) {
+    match (sig_ty, concrete_ty) {
+        (Ty::Ref(sr, _, inner_s), Ty::Ref(cr, _, inner_c)) => {
+            pairs.push((*sr, *cr));
+            collect_region_pairs(inner_s, inner_c, pairs);
+        }
+        (Ty::Tuple(a), Ty::Tuple(b)) => {
+            for (x, y) in a.iter().zip(b) {
+                collect_region_pairs(x, y, pairs);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn call_constraints(
+    body: &Body,
+    sig: &FnSig,
+    args: &[Operand],
+    destination: &Place,
+    structs: &StructTable,
+    out: &mut Vec<OutlivesConstraint>,
+) {
+    // Substitution: signature region -> concrete regions it is instantiated
+    // with at this call site.
+    let mut subst: HashMap<RegionVid, Vec<RegionVid>> = HashMap::new();
+    for (sig_ty, arg) in sig.inputs.iter().zip(args) {
+        let arg_ty = operand_ty(body, arg, structs);
+        let mut pairs = Vec::new();
+        collect_region_pairs(sig_ty, &arg_ty, &mut pairs);
+        for (sr, cr) in pairs {
+            subst.entry(sr).or_default().push(cr);
+        }
+    }
+
+    // A signature region instantiated with several concrete regions unifies
+    // them: loans may flow either way through the callee (e.g. a callee that
+    // stores one argument's reference into another).
+    for regions in subst.values() {
+        for &a in regions {
+            for &b in regions {
+                if a != b {
+                    out.push(OutlivesConstraint {
+                        longer: a,
+                        shorter: b,
+                    });
+                }
+            }
+        }
+    }
+
+    // Declared `where` bounds, instantiated.
+    for (longer, shorter) in &sig.outlives {
+        if let (Some(ls), Some(ss)) = (subst.get(longer), subst.get(shorter)) {
+            for &l in ls {
+                for &s in ss {
+                    out.push(OutlivesConstraint {
+                        longer: l,
+                        shorter: s,
+                    });
+                }
+            }
+        }
+    }
+
+    // Return type: loans of every argument region mapped to a signature
+    // region appearing in the output flow into the destination's regions.
+    let dest_ty = body.place_ty(destination, structs);
+    let mut ret_pairs = Vec::new();
+    collect_region_pairs(&sig.output, &dest_ty, &mut ret_pairs);
+    for (sr, dest_r) in ret_pairs {
+        if let Some(concrete) = subst.get(&sr) {
+            for &cr in concrete {
+                out.push(OutlivesConstraint {
+                    longer: cr,
+                    shorter: dest_r,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use crate::mir::Local;
+
+    /// Returns the compiled body named `name`.
+    fn body(src: &str, name: &str) -> crate::mir::Body {
+        let prog = compile(src).unwrap();
+        prog.bodies
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn reborrow_chain_produces_constraints() {
+        // Mirrors the paper's §2.2 example: x -> y -> z.
+        let src = "fn f() {
+            let mut x = (0, 0);
+            let y = &mut x;
+            let z = &mut (*y).1;
+            *z = 1;
+        }";
+        let b = body(src, "f");
+        assert!(!b.outlives.is_empty());
+    }
+
+    #[test]
+    fn call_connects_argument_to_returned_reference() {
+        let src = "
+            fn get<'a>(p: &'a mut (i32, i32)) -> &'a mut i32 { return &mut (*p).0; }
+            fn caller() { let mut t = (1, 2); let r = get(&mut t); *r = 5; }
+        ";
+        let b = body(src, "caller");
+        // The borrow &mut t has some region r_b; the destination of the call
+        // has region r_d; there must be a path r_b :> ... :> r_d.
+        assert!(!b.outlives.is_empty());
+        // And loans must make (*r) alias t.0 or t (checked in loans tests).
+    }
+
+    #[test]
+    fn where_clause_adds_constraints_between_argument_regions() {
+        let src = "
+            fn link<'a, 'b>(x: &'a i32, y: &'b i32) -> &'b i32 where 'a: 'b { return y; }
+            fn caller(p: &i32, q: &i32) { let r = link(p, q); let v = *r; }
+        ";
+        let b = body(src, "caller");
+        assert!(!b.outlives.is_empty());
+    }
+
+    #[test]
+    fn no_constraints_for_scalar_code() {
+        let b = body("fn f(x: i32, y: i32) -> i32 { return x * y + 1; }", "f");
+        assert!(b.outlives.is_empty());
+    }
+
+    #[test]
+    fn assignment_of_reference_relates_regions() {
+        let src = "fn f() {
+            let mut x = 1;
+            let mut y = 2;
+            let mut r = &x;
+            r = &y;
+            let v = *r;
+        }";
+        let b = body(src, "f");
+        // Two borrows and one local of reference type: at least two
+        // constraints (each borrow region outlives r's region).
+        assert!(b.outlives.len() >= 2);
+        // All constraints reference valid regions.
+        for c in &b.outlives {
+            assert!((c.longer.0 as usize) < b.regions.len());
+            assert!((c.shorter.0 as usize) < b.regions.len());
+        }
+        let _ = Local(0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Source spans and spanned diagnostics.
+//!
+//! Every token, AST node and MIR statement carries a [`Span`] pointing back
+//! into the original source text. Spans are what the program slicer uses to
+//! highlight or fade lines (Figure 5a of the paper), and what diagnostics use
+//! to report errors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source string.
+///
+/// # Examples
+///
+/// ```
+/// use flowistry_lang::span::Span;
+/// let s = Span::new(2, 5);
+/// assert_eq!(s.len(), 3);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub lo: u32,
+    /// Exclusive end byte offset.
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span used for synthesized nodes that have no source location.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Creates a span covering bytes `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "span lo must not exceed hi");
+        Span { lo, hi }
+    }
+
+    /// Number of bytes covered by this span.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether the byte offset `pos` falls inside the span.
+    pub fn contains(&self, pos: u32) -> bool {
+        self.lo <= pos && pos < self.hi
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    pub fn to(&self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Extracts the text this span covers from `src`.
+    ///
+    /// Returns an empty string if the span is out of bounds for `src`.
+    pub fn snippet<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.lo as usize..self.hi as usize).unwrap_or("")
+    }
+
+    /// The 1-based line number on which this span starts in `src`.
+    pub fn line_of(&self, src: &str) -> usize {
+        src.bytes()
+            .take(self.lo as usize)
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A value paired with the span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where the value came from in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+/// A diagnostic produced by any compiler stage (lexing, parsing, type
+/// checking, borrow checking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Severity of the diagnostic.
+    pub level: Level,
+}
+
+/// Severity level of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Compilation cannot proceed meaningfully.
+    Error,
+    /// Something suspicious, compilation continues.
+    Warning,
+}
+
+impl Diagnostic {
+    /// Creates an error-level diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+            level: Level::Error,
+        }
+    }
+
+    /// Creates a warning-level diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+            level: Level::Warning,
+        }
+    }
+
+    /// Renders the diagnostic against the source it refers to, including the
+    /// 1-based line number.
+    pub fn render(&self, src: &str) -> String {
+        let line = self.span.line_of(src);
+        let kind = match self.level {
+            Level::Error => "error",
+            Level::Warning => "warning",
+        };
+        format!("{kind}: {} (line {line})", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.level {
+            Level::Error => "error",
+            Level::Warning => "warning",
+        };
+        write!(f, "{kind}: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(3, 8);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(s.contains(3));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(2, 4);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn span_invalid() {
+        let _ = Span::new(5, 3);
+    }
+
+    #[test]
+    fn snippet_and_line() {
+        let src = "let x = 1;\nlet y = 2;";
+        let s = Span::new(11, 14);
+        assert_eq!(s.snippet(src), "let");
+        assert_eq!(s.line_of(src), 2);
+        assert_eq!(Span::new(0, 3).line_of(src), 1);
+    }
+
+    #[test]
+    fn snippet_out_of_bounds_is_empty() {
+        let s = Span::new(100, 120);
+        assert_eq!(s.snippet("short"), "");
+    }
+
+    #[test]
+    fn diagnostic_render() {
+        let src = "fn f() {\n  oops\n}";
+        let d = Diagnostic::error("unknown variable `oops`", Span::new(11, 15));
+        assert_eq!(d.render(src), "error: unknown variable `oops` (line 2)");
+        let w = Diagnostic::warning("unused", Span::new(0, 2));
+        assert!(w.render(src).starts_with("warning:"));
+    }
+
+    #[test]
+    fn spanned_pairs_value_with_span() {
+        let s = Spanned::new(42u32, Span::new(1, 2));
+        assert_eq!(s.node, 42);
+        assert_eq!(s.span, Span::new(1, 2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Compares the four analysis conditions of the evaluation (§5) on the
+//! paper's own motivating examples: `crop` (an unused `&mut` parameter),
+//! `solve_lower_triangular` (a return value depending on a subset of the
+//! inputs), `read_until` (immutable references protecting a buffer) and
+//! `link_child_with_parent_component` (two `&mut` parameters that cannot
+//! alias).
+//!
+//! Run with: `cargo run --example modular_vs_whole`
+
+use flowistry::prelude::*;
+use flowistry_lang::mir::Local;
+
+const PROGRAM: &str = r#"
+fn crop_dimms(image: &(i32, i32), x: i32, w: i32) -> i32 { return (*image).0 + x + w; }
+
+fn crop(image: &mut (i32, i32), x: i32, w: i32) -> i32 {
+    let d = crop_dimms(image, x, w);
+    return d;
+}
+
+fn solve(b: &mut i32, diag: i32) -> bool {
+    if diag == 0 { return false; }
+    *b = *b + diag;
+    return true;
+}
+
+fn func(buf: &i32) -> bool { return *buf > 10; }
+
+fn read_until(io: &mut i32, limit: i32) -> i32 {
+    let mut buf = 0;
+    let mut pos = 0;
+    while pos < limit {
+        buf = buf + *io;
+        if func(&buf) { return buf; }
+        pos = pos + 1;
+    }
+    return buf;
+}
+
+fn link(parent: &mut i32, child: &mut i32, handle: i32) {
+    *parent = *parent + handle;
+}
+
+fn driver(a: i32, b: i32) -> i32 {
+    let mut image = (a, b);
+    let crop_result = crop(&mut image, 1, 2);
+    let mut vec = a;
+    let ok = solve(&mut vec, b);
+    let mut io = b;
+    let read = read_until(&mut io, 3);
+    let mut parent = a;
+    let mut child = b;
+    link(&mut parent, &mut child, 5);
+    return crop_result + vec + read + parent + child;
+}
+"#;
+
+fn main() {
+    let program = compile(PROGRAM).expect("the example program compiles");
+    let func = program.func_id("driver").expect("driver exists");
+    let body = program.body(func);
+
+    println!("per-variable dependency-set sizes in `driver`, by analysis condition\n");
+    println!(
+        "{:<14} {:>10} {:>14} {:>10} {:>10}",
+        "variable", "modular", "whole-program", "mut-blind", "ref-blind"
+    );
+
+    let conditions = Condition::headline_four();
+    let mut per_condition = Vec::new();
+    for condition in &conditions {
+        let results = analyze(&program, func, &AnalysisParams::for_condition(*condition));
+        per_condition.push(results);
+    }
+
+    for (local_idx, decl) in body.local_decls.iter().enumerate() {
+        let Some(name) = &decl.name else { continue };
+        let sizes: Vec<usize> = per_condition
+            .iter()
+            .map(|r| r.exit_deps_of_local(Local(local_idx as u32)).len())
+            .collect();
+        println!(
+            "{:<14} {:>10} {:>14} {:>10} {:>10}",
+            name, sizes[0], sizes[1], sizes[2], sizes[3]
+        );
+    }
+
+    println!("\nobservations (mirroring §5.3 of the paper):");
+    println!("* whole-program shrinks `image`/`vec` because it sees crop never writes and solve's");
+    println!("  return ignores the buffer;");
+    println!("* mut-blind inflates everything touched through the shared references in read_until;");
+    println!("* ref-blind inflates `parent`/`child`, which lifetimes would keep apart.");
+}

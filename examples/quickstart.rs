@@ -1,0 +1,70 @@
+//! Quickstart: compile a Rox program, run the modular information flow
+//! analysis, and inspect dependency sets.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flowistry::prelude::*;
+use flowistry_lang::mir::Local;
+
+/// The paper's introductory `copy_to` example (Section 1), adapted to Rox:
+/// the vector is modelled as a pair of slots and `push` as a function that
+/// writes one of them. The key flow the analysis must find is that the
+/// output vector is influenced by the input vector *through the call to
+/// `push`*, using nothing but `push`'s type signature.
+const COPY_TO: &str = r#"
+fn push(out: &mut (i32, i32), slot: i32, value: i32) {
+    if slot == 0 { (*out).0 = value; } else { (*out).1 = value; }
+}
+
+fn copy_to(v: &(i32, i32), max: i32) -> (i32, i32) {
+    let mut out = (0, 0);
+    let mut i = 0;
+    while i < max {
+        push(&mut out, i, (*v).0);
+        i = i + 1;
+    }
+    return out;
+}
+"#;
+
+fn main() {
+    let program = compile(COPY_TO).expect("the example program compiles");
+    println!("compiled {} functions, {} MIR instructions total\n", program.bodies.len(), program.total_instructions());
+
+    let func = program.func_id("copy_to").expect("copy_to exists");
+    println!("=== MIR of copy_to ===");
+    println!(
+        "{}",
+        flowistry_lang::mir::pretty::body_to_string(program.body(func), &program.structs)
+    );
+
+    let results = analyze(&program, func, &AnalysisParams::default());
+    let body = program.body(func);
+
+    println!("=== dependency sets at function exit ===");
+    for (local, deps) in results.user_variable_deps(body) {
+        let name = body.local_decl(local).name.clone().unwrap_or_default();
+        let rendered: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        println!("  {name:<5} ({local}): {{{}}}", rendered.join(", "));
+    }
+    let ret = results.exit_deps_of_local(Local(0));
+    println!(
+        "\nreturn value depends on arguments: {:?}",
+        ret.iter().filter_map(|d| d.arg()).collect::<Vec<_>>()
+    );
+    println!("(arg(_1) is the source vector `v`, arg(_2) is `max` — both flow into the result,");
+    println!(" and the analysis never looked at the body of `push`, only its signature.)");
+
+    // Execute the program to confirm the flows are real.
+    let interp = Interpreter::new(&program);
+    let out = interp
+        .run_with_env(
+            func,
+            vec![
+                Value::Tuple(vec![Value::Int(7), Value::Int(9)]),
+                Value::Int(2),
+            ],
+        )
+        .expect("execution succeeds");
+    println!("\ninterpreted copy_to((7, 9), 2) = {}", out.return_value);
+}
