@@ -1,0 +1,136 @@
+//! Benchmark for the incremental analysis engine: cold whole-program
+//! analysis vs warm-cache re-analysis after a single-function edit, plus
+//! sequential vs parallel scheduling of the cold run.
+//!
+//! The headline check — warm re-analysis after one edit must be at least
+//! 5x faster than a cold run — is asserted here, not just printed: the
+//! whole point of the engine is that an edit costs the dirty cone, not the
+//! program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowistry_core::{AnalysisParams, Condition};
+use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
+use flowistry_engine::{AnalysisEngine, EngineConfig};
+use std::time::Instant;
+
+fn params_for(krate: &flowistry_corpus::GeneratedCrate) -> AnalysisParams {
+    AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        available_bodies: Some(krate.available_bodies()),
+        ..AnalysisParams::default()
+    }
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    // The rg3d stand-in: the largest corpus crate.
+    let profile = paper_profiles().into_iter().nth(7).expect("ten profiles");
+    let krate = generate_crate(&profile, DEFAULT_SEED);
+    let params = params_for(&krate);
+    let edited_source =
+        flowistry_eval::engine_perf::edit_one_helper(&krate.source).expect("helper_0 exists");
+    let edited_program = flowistry_lang::compile(&edited_source).expect("edited crate compiles");
+
+    let mut group = c.benchmark_group("engine_incremental");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_analyze_all"),
+        &krate,
+        |b, krate| {
+            b.iter(|| {
+                let mut engine = AnalysisEngine::new(
+                    &krate.program,
+                    EngineConfig::default().with_params(params.clone()),
+                );
+                engine.analyze_all().analyzed
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm_after_one_edit"),
+        &krate,
+        |b, krate| {
+            // Prime the cache once; each iteration then swaps between the
+            // original and edited program, paying only the dirty cone.
+            let mut engine = AnalysisEngine::new(
+                &krate.program,
+                EngineConfig::default().with_params(params.clone()),
+            );
+            engine.analyze_all();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                if flip {
+                    engine.update_program(&edited_program);
+                } else {
+                    engine.update_program(&krate.program);
+                }
+                engine.analyze_all().analyzed
+            })
+        },
+    );
+    group.finish();
+
+    // The acceptance check, measured directly (not through the harness) so
+    // it can assert the ratio.
+    let mut engine = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default().with_params(params.clone()),
+    );
+    let start = Instant::now();
+    let cold_stats = engine.analyze_all();
+    let cold = start.elapsed().as_secs_f64();
+
+    engine.update_program(&edited_program);
+    let start = Instant::now();
+    let warm_stats = engine.analyze_all();
+    let warm = start.elapsed().as_secs_f64();
+
+    let speedup = cold / warm.max(1e-9);
+    println!(
+        "engine_incremental/speedup: cold {:.3} ms ({} analyzed) vs edited {:.3} ms ({} analyzed) => {:.1}x",
+        cold * 1e3,
+        cold_stats.analyzed,
+        warm * 1e3,
+        warm_stats.analyzed,
+        speedup
+    );
+    assert!(
+        warm_stats.analyzed < cold_stats.analyzed / 5,
+        "dirty cone too large: {}/{}",
+        warm_stats.analyzed,
+        cold_stats.analyzed
+    );
+    assert!(
+        speedup >= 5.0,
+        "warm re-analysis after one edit must be at least 5x faster than cold \
+         whole-program analysis, got {speedup:.1}x"
+    );
+}
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let profile = paper_profiles().into_iter().nth(7).expect("ten profiles");
+    let krate = generate_crate(&profile, DEFAULT_SEED);
+    let params = params_for(&krate);
+
+    let mut group = c.benchmark_group("engine_scheduling");
+    group.sample_size(10);
+    for (name, threads) in [("sequential", 1usize), ("parallel", 0usize)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &krate, |b, krate| {
+            b.iter(|| {
+                let mut engine = AnalysisEngine::new(
+                    &krate.program,
+                    EngineConfig::default()
+                        .with_params(params.clone())
+                        .with_threads(threads),
+                );
+                engine.analyze_all().analyzed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_sequential_vs_parallel);
+criterion_main!(benches);

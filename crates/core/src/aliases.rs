@@ -218,10 +218,9 @@ mod tests {
 
     #[test]
     fn reborrow_chain_resolves_to_field_of_root() {
-        let prog = compile(
-            "fn f() { let mut x = (0, 0); let y = &mut x; let z = &mut (*y).1; *z = 1; }",
-        )
-        .unwrap();
+        let prog =
+            compile("fn f() { let mut x = (0, 0); let y = &mut x; let z = &mut (*y).1; *z = 1; }")
+                .unwrap();
         let body = prog.body_by_name("f").unwrap();
         let aa = AliasAnalysis::new(body, &prog.structs, AliasMode::Lifetimes);
         let z = find_local(body, "z");
@@ -249,8 +248,8 @@ mod tests {
     fn distinct_mutable_references_do_not_alias_with_lifetimes() {
         // Mirrors the paper's rg3d example (§5.3.3): two &mut parameters
         // cannot alias under the ownership rules.
-        let prog = compile("fn link(parent: &mut i32, child: &mut i32) { *parent = *child; }")
-            .unwrap();
+        let prog =
+            compile("fn link(parent: &mut i32, child: &mut i32) { *parent = *child; }").unwrap();
         let body = prog.body_by_name("link").unwrap();
         let aa = AliasAnalysis::new(body, &prog.structs, AliasMode::Lifetimes);
         let parent = find_local(body, "parent");
@@ -261,8 +260,8 @@ mod tests {
 
     #[test]
     fn ref_blind_mode_aliases_same_typed_references() {
-        let prog = compile("fn link(parent: &mut i32, child: &mut i32) { *parent = *child; }")
-            .unwrap();
+        let prog =
+            compile("fn link(parent: &mut i32, child: &mut i32) { *parent = *child; }").unwrap();
         let body = prog.body_by_name("link").unwrap();
         let aa = AliasAnalysis::new(body, &prog.structs, AliasMode::TypeBased);
         let parent = find_local(body, "parent");
@@ -274,7 +273,10 @@ mod tests {
         let child_like = parent_aliases
             .iter()
             .any(|p| p.local == child || p.local != parent);
-        assert!(child_like, "expected type-based aliasing in {parent_aliases:?}");
+        assert!(
+            child_like,
+            "expected type-based aliasing in {parent_aliases:?}"
+        );
         assert!(aa.mode() == AliasMode::TypeBased);
     }
 

@@ -12,11 +12,10 @@
 //!
 //! The three flags combine freely into the paper's 2³ = 8 conditions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A combination of the three analysis modifications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Condition {
     /// Recursively analyze available callee definitions.
     pub whole_program: bool,

@@ -9,14 +9,13 @@
 //! parameters influence a result.
 
 use flowistry_lang::mir::{Local, Location};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use flowistry_lang::mir::Place;
 
 /// One dependency: an instruction location or a function argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dep {
     /// The value produced or mutated by the instruction at this location.
     Instr(Location),

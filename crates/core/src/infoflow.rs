@@ -77,15 +77,37 @@ impl Graph for BodyGraph<'_> {
     }
 }
 
+/// A function summary together with the boundary flag of the analysis that
+/// produced it — the unit stored by summary caches (the in-run memo table
+/// and the incremental engine's content-addressed cache).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CachedSummary {
+    /// The callee's caller-visible effects.
+    pub summary: FunctionSummary,
+    /// Whether computing the summary crossed a crate boundary (§5.4.2);
+    /// propagated into every analysis that consumes the cached entry so
+    /// [`InfoFlowResults::hit_boundary`] matches a from-scratch run.
+    pub hit_boundary: bool,
+}
+
 /// Shared state threaded through recursive Whole-program analyses.
+///
+/// `seeds` are the caller-provided precomputed summaries (borrowed, so
+/// seeding is O(1) no matter how many functions the engine has cached);
+/// `memo` is the per-run memo table filled when `memoize_summaries` is on.
 #[derive(Default)]
-struct SharedCtx {
+struct SharedCtx<'s> {
     stack: Vec<FuncId>,
-    cache: HashMap<FuncId, FunctionSummary>,
+    seeds: Option<&'s HashMap<FuncId, CachedSummary>>,
+    memo: HashMap<FuncId, CachedSummary>,
 }
 
 /// The results of analyzing one function under one condition.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every per-location dependency context, so the
+/// engine's "identical to a from-scratch `analyze`" guarantee can be tested
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InfoFlowResults {
     func: FuncId,
     entry_states: Vec<Theta>,
@@ -187,16 +209,60 @@ impl InfoFlowResults {
 /// assert!(ret.iter().any(|d| d.arg() == Some(flowistry_lang::mir::Local(1))));
 /// assert!(!ret.iter().any(|d| d.arg() == Some(flowistry_lang::mir::Local(2))));
 /// ```
-pub fn analyze(program: &CompiledProgram, func: FuncId, params: &AnalysisParams) -> InfoFlowResults {
+pub fn analyze(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+) -> InfoFlowResults {
     let ctx = RefCell::new(SharedCtx::default());
     analyze_inner(program, func, params, &ctx)
+}
+
+/// Like [`analyze`], but seeds the callee-summary cache with precomputed
+/// entries: when the Whole-program condition needs a callee's summary and
+/// `summaries` has one, it is used instead of recursively re-analyzing the
+/// callee's body.
+///
+/// This is the entry point the incremental analysis engine builds on — it
+/// computes every function's summary once, bottom-up over the call graph,
+/// then serves per-function analyses with all callee summaries pre-seeded.
+/// Because the analysis is deterministic, seeding a summary that equals what
+/// recursion would have computed leaves the results bit-for-bit identical
+/// (the cached [`CachedSummary::hit_boundary`] flag is propagated too).
+pub fn analyze_with_summaries(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+    summaries: &HashMap<FuncId, CachedSummary>,
+) -> InfoFlowResults {
+    let ctx = RefCell::new(SharedCtx {
+        stack: Vec::new(),
+        seeds: Some(summaries),
+        memo: HashMap::new(),
+    });
+    analyze_inner(program, func, params, &ctx)
+}
+
+/// Computes just the [`FunctionSummary`] of `func` (plus its boundary flag),
+/// reusing any seeded callee summaries. This is the engine's unit of work.
+pub fn compute_summary(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+    summaries: &HashMap<FuncId, CachedSummary>,
+) -> CachedSummary {
+    let results = analyze_with_summaries(program, func, params, summaries);
+    CachedSummary {
+        summary: FunctionSummary::from_exit_state(program.body(func), results.exit_theta()),
+        hit_boundary: results.hit_boundary(),
+    }
 }
 
 fn analyze_inner(
     program: &CompiledProgram,
     func: FuncId,
     params: &AnalysisParams,
-    ctx: &RefCell<SharedCtx>,
+    ctx: &RefCell<SharedCtx<'_>>,
 ) -> InfoFlowResults {
     ctx.borrow_mut().stack.push(func);
 
@@ -266,17 +332,17 @@ fn analyze_inner(
     }
 }
 
-struct FlowAnalysis<'a> {
+struct FlowAnalysis<'a, 's> {
     program: &'a CompiledProgram,
     body: &'a Body,
     aliases: AliasAnalysis<'a>,
     control_deps: ControlDependencies,
     params: &'a AnalysisParams,
-    ctx: &'a RefCell<SharedCtx>,
+    ctx: &'a RefCell<SharedCtx<'s>>,
     hit_boundary: Cell<bool>,
 }
 
-impl Analysis for FlowAnalysis<'_> {
+impl Analysis for FlowAnalysis<'_, '_> {
     type Domain = Theta;
 
     fn bottom(&self) -> Theta {
@@ -313,7 +379,7 @@ impl Analysis for FlowAnalysis<'_> {
     }
 }
 
-impl<'a> FlowAnalysis<'a> {
+impl FlowAnalysis<'_, '_> {
     // ---------------- reading dependencies ----------------
 
     fn operand_deps(&self, op: &Operand, state: &Theta) -> DepSet {
@@ -413,12 +479,7 @@ impl<'a> FlowAnalysis<'a> {
     }
 
     /// Applies one terminator to `state`.
-    pub(crate) fn apply_terminator(
-        &self,
-        loc: Location,
-        term: &TerminatorKind,
-        state: &mut Theta,
-    ) {
+    pub(crate) fn apply_terminator(&self, loc: Location, term: &TerminatorKind, state: &mut Theta) {
         if let TerminatorKind::Call {
             func,
             args,
@@ -528,9 +589,13 @@ impl<'a> FlowAnalysis<'a> {
             let Some((arg, _)) = arg_of(mutation.param) else {
                 continue;
             };
-            let Some(arg_place) = arg.place() else { continue };
+            let Some(arg_place) = arg.place() else {
+                continue;
+            };
             let mut target = arg_place.clone();
-            target.projection.extend(mutation.projection.iter().copied());
+            target
+                .projection
+                .extend(mutation.projection.iter().copied());
 
             let mut kappa = base.clone();
             for src in &mutation.sources {
@@ -550,13 +615,23 @@ impl<'a> FlowAnalysis<'a> {
 
     /// Computes (or fetches) the callee's summary, re-analyzing its body.
     /// Returns `None` on recursion cycles or when the depth limit is hit.
+    ///
+    /// Seeded summaries ([`analyze_with_summaries`]) are consulted first,
+    /// then the per-run memo table (filled only when `memoize_summaries`
+    /// is set). Plain [`analyze`] without memoization has neither, so its
+    /// naive-recursion behavior is unchanged.
     fn callee_summary(&self, func: FuncId) -> Option<FunctionSummary> {
         {
             let ctx = self.ctx.borrow();
-            if self.params.memoize_summaries {
-                if let Some(cached) = ctx.cache.get(&func) {
-                    return Some(cached.clone());
+            let cached = ctx
+                .seeds
+                .and_then(|seeds| seeds.get(&func))
+                .or_else(|| ctx.memo.get(&func));
+            if let Some(cached) = cached {
+                if cached.hit_boundary {
+                    self.hit_boundary.set(true);
                 }
+                return Some(cached.summary.clone());
             }
             if ctx.stack.contains(&func) || ctx.stack.len() >= self.params.max_recursion_depth {
                 return None;
@@ -569,7 +644,13 @@ impl<'a> FlowAnalysis<'a> {
             self.hit_boundary.set(true);
         }
         if self.params.memoize_summaries {
-            self.ctx.borrow_mut().cache.insert(func, summary.clone());
+            self.ctx.borrow_mut().memo.insert(
+                func,
+                CachedSummary {
+                    summary: summary.clone(),
+                    hit_boundary: callee_results.hit_boundary(),
+                },
+            );
         }
         Some(summary)
     }
@@ -590,7 +671,11 @@ mod tests {
         )
     }
 
-    fn run(src: &str, func: &str, condition: Condition) -> (flowistry_lang::CompiledProgram, InfoFlowResults) {
+    fn run(
+        src: &str,
+        func: &str,
+        condition: Condition,
+    ) -> (flowistry_lang::CompiledProgram, InfoFlowResults) {
         let prog = compile(src).expect("compile failure");
         assert!(
             prog.borrow_errors.is_empty(),
@@ -616,7 +701,10 @@ mod tests {
         let body = prog.body_by_name("f").unwrap();
         let ret = r.exit_deps_of_local(Local(0));
         assert!(arg_deps(&ret).contains(&Local(1)), "return depends on x");
-        assert!(!arg_deps(&ret).contains(&Local(2)), "return does not depend on y");
+        assert!(
+            !arg_deps(&ret).contains(&Local(2)),
+            "return does not depend on y"
+        );
         let b = find_local(body, "b");
         assert!(!r.exit_deps_of_local(b).is_empty());
     }
@@ -644,7 +732,10 @@ mod tests {
         );
         let _ = prog;
         let ret = r.exit_deps_of_local(Local(0));
-        assert!(arg_deps(&ret).contains(&Local(1)), "a was written with x through p");
+        assert!(
+            arg_deps(&ret).contains(&Local(1)),
+            "a was written with x through p"
+        );
     }
 
     #[test]
@@ -682,7 +773,10 @@ mod tests {
         );
         let _ = prog;
         let ret = r.exit_deps_of_local(Local(0));
-        assert!(arg_deps(&ret).contains(&Local(1)), "accumulator depends on the bound n");
+        assert!(
+            arg_deps(&ret).contains(&Local(1)),
+            "accumulator depends on the bound n"
+        );
         assert!(r.iterations() >= 3);
     }
 
@@ -739,8 +833,14 @@ mod tests {
         let (_, whole) = run(src, "caller", Condition::WHOLE_PROGRAM);
         let modular_ret = arg_deps(&modular.exit_deps_of_local(Local(0)));
         let whole_ret = arg_deps(&whole.exit_deps_of_local(Local(0)));
-        assert!(modular_ret.contains(&Local(1)), "modular assumes the flow y -> x");
-        assert!(!whole_ret.contains(&Local(1)), "whole-program knows x is untouched");
+        assert!(
+            modular_ret.contains(&Local(1)),
+            "modular assumes the flow y -> x"
+        );
+        assert!(
+            !whole_ret.contains(&Local(1)),
+            "whole-program knows x is untouched"
+        );
     }
 
     #[test]
@@ -765,7 +865,10 @@ mod tests {
         ";
         let (_, whole) = run(src, "caller", Condition::WHOLE_PROGRAM);
         let ret = arg_deps(&whole.exit_deps_of_local(Local(0)));
-        assert!(ret.contains(&Local(1)), "the actual mutation carries v into x");
+        assert!(
+            ret.contains(&Local(1)),
+            "the actual mutation carries v into x"
+        );
     }
 
     #[test]
@@ -802,7 +905,10 @@ mod tests {
         let (_, refblind) = run(src, "caller", Condition::REF_BLIND);
         let modular_args = arg_deps(&modular.exit_deps_of_local(Local(0)));
         let refblind_args = arg_deps(&refblind.exit_deps_of_local(Local(0)));
-        assert!(!modular_args.contains(&Local(1)), "lifetimes keep x and y apart");
+        assert!(
+            !modular_args.contains(&Local(1)),
+            "lifetimes keep x and y apart"
+        );
         assert!(
             refblind_args.contains(&Local(1)),
             "without lifetimes *p may alias y, so y picks up a's dependency"
@@ -906,7 +1012,10 @@ mod tests {
                 ..AnalysisParams::default()
             },
         );
-        assert_eq!(naive.exit_deps_of_local(Local(0)), memo.exit_deps_of_local(Local(0)));
+        assert_eq!(
+            naive.exit_deps_of_local(Local(0)),
+            memo.exit_deps_of_local(Local(0))
+        );
     }
 
     #[test]
@@ -936,7 +1045,10 @@ mod tests {
         let h = find_local(body, "h");
         let h_deref_deps = r.exit_theta().read_conflicts(&Place::from_local(h).deref());
         let args = arg_deps(&h_deref_deps);
-        assert!(args.contains(&Local(2)), "*h depends on k: {h_deref_deps:?}");
+        assert!(
+            args.contains(&Local(2)),
+            "*h depends on k: {h_deref_deps:?}"
+        );
         // The return value depends on both the map and the key.
         let ret = arg_deps(&r.exit_deps_of_local(Local(0)));
         assert!(ret.contains(&Local(1)));

@@ -53,5 +53,7 @@ pub mod summary;
 pub use aliases::{AliasAnalysis, AliasMode};
 pub use condition::{AnalysisParams, Condition};
 pub use deps::{Dep, DepSet, Theta, ThetaExt};
-pub use infoflow::{analyze, BodyGraph, InfoFlowResults};
+pub use infoflow::{
+    analyze, analyze_with_summaries, compute_summary, BodyGraph, CachedSummary, InfoFlowResults,
+};
 pub use summary::{FunctionSummary, SummaryMutation};

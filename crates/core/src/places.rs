@@ -112,15 +112,15 @@ pub fn transitive_refs(
     structs: &StructTable,
     only_unique: bool,
 ) -> Vec<ReachableRef> {
+    let _ = structs; // struct fields are reference-free, so the walk never needs them
     let mut out = Vec::new();
-    collect_refs(place, ty, structs, only_unique, 0, &mut out);
+    collect_refs(place, ty, only_unique, 0, &mut out);
     out
 }
 
 fn collect_refs(
     place: &Place,
     ty: &Ty,
-    structs: &StructTable,
     only_unique: bool,
     depth: usize,
     out: &mut Vec<ReachableRef>,
@@ -141,12 +141,12 @@ fn collect_refs(
             // below a shared reference is frozen, so the unique-refs
             // collection stops there. Reads keep going either way.
             if !only_unique || mutbl.is_mut() {
-                collect_refs(&deref, inner, structs, only_unique, depth + 1, out);
+                collect_refs(&deref, inner, only_unique, depth + 1, out);
             }
         }
         Ty::Tuple(tys) => {
             for (i, t) in tys.iter().enumerate() {
-                collect_refs(&place.field(i as u32), t, structs, only_unique, depth + 1, out);
+                collect_refs(&place.field(i as u32), t, only_unique, depth + 1, out);
             }
         }
         _ => {}
@@ -236,7 +236,10 @@ mod tests {
     fn transitive_refs_unique_only_stops_at_shared() {
         let structs = StructTable::new();
         // (&mut i32, &i32)
-        let ty = Ty::Tuple(vec![r(Mutability::Mut, Ty::Int), r(Mutability::Shared, Ty::Int)]);
+        let ty = Ty::Tuple(vec![
+            r(Mutability::Mut, Ty::Int),
+            r(Mutability::Shared, Ty::Int),
+        ]);
         let place = Place::from_local(Local(1));
         let uniq = transitive_refs(&place, &ty, &structs, true);
         assert_eq!(uniq.len(), 1);

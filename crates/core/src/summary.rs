@@ -76,6 +76,92 @@ impl FunctionSummary {
     pub fn is_inert(&self) -> bool {
         self.mutations.is_empty() && self.return_sources.is_empty()
     }
+
+    /// Encodes the summary as one line of text for the engine's on-disk
+    /// cache: `ret:<locals>` followed by one `mut:<param>:<proj>:<sources>`
+    /// segment per mutation, `;`-separated. Projections render as `*` for a
+    /// dereference and `.N` for a field. [`FunctionSummary::decode`] inverts
+    /// it exactly.
+    pub fn encode(&self) -> String {
+        let locals = |set: &BTreeSet<Local>| {
+            set.iter()
+                .map(|l| l.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut segments = vec![format!("ret:{}", locals(&self.return_sources))];
+        for m in &self.mutations {
+            let mut proj = String::new();
+            for elem in &m.projection {
+                match elem {
+                    PlaceElem::Deref => proj.push('*'),
+                    PlaceElem::Field(i) => {
+                        proj.push('.');
+                        proj.push_str(&i.to_string());
+                    }
+                }
+            }
+            segments.push(format!("mut:{}:{}:{}", m.param.0, proj, locals(&m.sources)));
+        }
+        segments.join(";")
+    }
+
+    /// Decodes a summary produced by [`FunctionSummary::encode`]. Returns
+    /// `None` on any malformed input (the engine treats that as a cache
+    /// miss).
+    pub fn decode(text: &str) -> Option<FunctionSummary> {
+        fn locals(text: &str) -> Option<BTreeSet<Local>> {
+            if text.is_empty() {
+                return Some(BTreeSet::new());
+            }
+            text.split(',')
+                .map(|part| part.parse::<u32>().ok().map(Local))
+                .collect()
+        }
+        fn projection(text: &str) -> Option<Vec<PlaceElem>> {
+            let mut out = Vec::new();
+            let mut chars = text.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '*' => out.push(PlaceElem::Deref),
+                    '.' => {
+                        let mut digits = String::new();
+                        while chars.peek().is_some_and(char::is_ascii_digit) {
+                            digits.push(chars.next()?);
+                        }
+                        out.push(PlaceElem::Field(digits.parse().ok()?));
+                    }
+                    _ => return None,
+                }
+            }
+            Some(out)
+        }
+
+        let mut summary = FunctionSummary::default();
+        let mut saw_ret = false;
+        for segment in text.split(';') {
+            if let Some(rest) = segment.strip_prefix("ret:") {
+                if saw_ret {
+                    return None;
+                }
+                saw_ret = true;
+                summary.return_sources = locals(rest)?;
+            } else if let Some(rest) = segment.strip_prefix("mut:") {
+                let mut parts = rest.splitn(3, ':');
+                let param = Local(parts.next()?.parse().ok()?);
+                let proj = projection(parts.next()?)?;
+                let sources = locals(parts.next()?)?;
+                summary.mutations.push(SummaryMutation {
+                    param,
+                    projection: proj,
+                    sources,
+                });
+            } else {
+                return None;
+            }
+        }
+        saw_ret.then_some(summary)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +233,75 @@ mod tests {
         // The return value must not depend on `b` (Local 1).
         assert!(!s.return_sources.contains(&Local(1)));
         assert!(s.return_sources.contains(&Local(2)));
+    }
+
+    #[test]
+    fn each_mutation_records_its_own_sources() {
+        // Two unique references mutated from different scalar inputs: the
+        // summaries must not blur the sources together.
+        let s = summary_of(
+            "fn split(p: &mut i32, q: &mut i32, v: i32, w: i32) {
+                 *p = v;
+                 *q = w;
+             }",
+            "split",
+        );
+        assert_eq!(s.mutations.len(), 2);
+        let of_param = |l: u32| {
+            s.mutations
+                .iter()
+                .find(|m| m.param == Local(l))
+                .unwrap_or_else(|| panic!("no mutation through _{l}"))
+        };
+        assert!(of_param(1).sources.contains(&Local(3)));
+        assert!(!of_param(1).sources.contains(&Local(4)));
+        assert!(of_param(2).sources.contains(&Local(4)));
+        assert!(!of_param(2).sources.contains(&Local(3)));
+    }
+
+    #[test]
+    fn self_referential_mutation_keeps_the_param_as_source() {
+        // *p = *p + 1 : the new value flows from p's own initial contents.
+        let s = summary_of("fn bump(p: &mut i32) { *p = *p + 1; }", "bump");
+        assert_eq!(s.mutations.len(), 1);
+        assert!(s.mutations[0].sources.contains(&Local(1)));
+    }
+
+    #[test]
+    fn control_dependent_mutation_includes_the_branch_source() {
+        // The mutation only happens under `c`, so c's argument is a source
+        // of the written data (implicit flow).
+        let s = summary_of(
+            "fn maybe(p: &mut i32, c: bool, v: i32) { if c { *p = v; } }",
+            "maybe",
+        );
+        assert_eq!(s.mutations.len(), 1);
+        let m = &s.mutations[0];
+        assert!(
+            m.sources.contains(&Local(2)),
+            "missing c in {:?}",
+            m.sources
+        );
+        assert!(
+            m.sources.contains(&Local(3)),
+            "missing v in {:?}",
+            m.sources
+        );
+    }
+
+    #[test]
+    fn summary_codec_roundtrips_real_summaries() {
+        for (src, name) in [
+            ("fn add(x: i32, y: i32) -> i32 { return x + y; }", "add"),
+            ("fn store(p: &mut i32, v: i32) { *p = v; }", "store"),
+            (
+                "fn set_first(p: &mut (i32, i32), v: i32) { (*p).0 = v; }",
+                "set_first",
+            ),
+        ] {
+            let s = summary_of(src, name);
+            assert_eq!(FunctionSummary::decode(&s.encode()), Some(s), "{name}");
+        }
     }
 
     #[test]

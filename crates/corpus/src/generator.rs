@@ -169,9 +169,14 @@ fn gen_helper(name: &str, profile: &CrateProfile, rng: &mut StdRng) -> Generated
     let shape = if rng.gen_bool(profile.p_shared_ref_helper) {
         // Shared-reference-flavoured helpers: mostly `&Pair` readers, the
         // pattern the Mut-blind ablation is most sensitive to (§5.3.2).
-        *[Shape::ReadPair, Shape::ReadPair, Shape::Scalar2, Shape::Choose]
-            .get(rng.gen_range(0..4))
-            .expect("index in range")
+        *[
+            Shape::ReadPair,
+            Shape::ReadPair,
+            Shape::Scalar2,
+            Shape::Choose,
+        ]
+        .get(rng.gen_range(0..4))
+        .expect("index in range")
     } else {
         SHAPES[rng.gen_range(0..SHAPES.len())]
     };
@@ -287,9 +292,7 @@ fn gen_choose(name: &str, rng: &mut StdRng) -> String {
 
 fn gen_get_ref(name: &str, rng: &mut StdRng) -> String {
     let field = if rng.gen_bool(0.5) { "a" } else { "b" };
-    format!(
-        "fn {name}<'a>(p: &'a mut Pair) -> &'a mut i32 {{\n    return &mut (*p).{field};\n}}\n"
-    )
+    format!("fn {name}<'a>(p: &'a mut Pair) -> &'a mut i32 {{\n    return &mut (*p).{field};\n}}\n")
 }
 
 // ---------------------------------------------------------------------------
@@ -554,10 +557,8 @@ fn gen_call_step(
             let p = st.pairs[rng.gen_range(0..st.pairs.len())].clone();
             let refname = st.fresh("slot");
             let v = st.scalar_expr(rng);
-            st.lines.push(format!(
-                "    let {refname} = {}(&mut {p});",
-                callee.name
-            ));
+            st.lines
+                .push(format!("    let {refname} = {}(&mut {p});", callee.name));
             st.lines.push(format!("    *{refname} = {v};"));
             let k = st.scalar_expr(rng);
             format!("    let {result} = {k} + {p}.a;")
@@ -593,7 +594,12 @@ mod tests {
             assert_eq!(krate.name, profile.name);
             assert!(!krate.crate_funcs.is_empty());
             assert!(!krate.external_funcs.is_empty());
-            assert!(krate.loc() > 50, "{} too small: {}", krate.name, krate.loc());
+            assert!(
+                krate.loc() > 50,
+                "{} too small: {}",
+                krate.name,
+                krate.loc()
+            );
         }
     }
 

@@ -9,10 +9,8 @@
 //! down ~20× so the full evaluation runs in seconds on a laptop; DESIGN.md
 //! documents this substitution.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters controlling the style of one generated crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrateProfile {
     /// Crate name (named after the paper's dataset entry it stands in for).
     pub name: String,

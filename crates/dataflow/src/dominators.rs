@@ -99,12 +99,7 @@ impl DominatorTree {
     }
 }
 
-fn intersect(
-    idom: &[Option<usize>],
-    order_index: &[usize],
-    mut a: usize,
-    mut b: usize,
-) -> usize {
+fn intersect(idom: &[Option<usize>], order_index: &[usize], mut a: usize, mut b: usize) -> usize {
     while a != b {
         while order_index[a] > order_index[b] {
             a = idom[a].expect("node in intersect without idom");

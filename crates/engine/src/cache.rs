@@ -1,0 +1,310 @@
+//! The content-addressed summary cache.
+//!
+//! Entries are keyed by a [`SummaryKey`]: a stable hash covering everything
+//! a function's summary can depend on — its own MIR content hash, the keys
+//! of its callees (transitively, by construction), the content hashes of
+//! its recursion partners, and a fingerprint of the analysis parameters.
+//! Two functions with the same key are guaranteed to have the same summary,
+//! so a hit can skip the analysis entirely; any edit to a function changes
+//! its own key and (through the key recurrence) the keys of every
+//! transitive caller, invalidating exactly the dirty subgraph.
+//!
+//! The cache optionally persists to disk as a line-oriented text file
+//! (`flowistry-engine-cache v1` header, then `<key> <boundary> <summary>`
+//! per line) so repeated runs over the same corpus start warm. Malformed
+//! lines are skipped — a corrupt cache degrades to cold misses, never to
+//! wrong results.
+
+use flowistry_core::{CachedSummary, FunctionSummary};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// The cache key of one function's summary under one parameterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SummaryKey(pub u64);
+
+impl std::fmt::Display for SummaryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const HEADER: &str = "flowistry-engine-cache v1";
+
+/// One cached summary plus the last generation that used it.
+#[derive(Debug, Clone)]
+struct Entry {
+    value: CachedSummary,
+    last_seen: u64,
+}
+
+/// An in-memory map from [`SummaryKey`] to cached summaries, with optional
+/// disk persistence and generation-based eviction.
+///
+/// Content-addressed keys never repeat across program versions, so without
+/// eviction an edit-reanalyze loop would grow the cache with every stale
+/// version forever. The engine marks the keys each run actually used
+/// ([`SummaryCache::touch`]) and then closes the run with
+/// [`SummaryCache::end_generation`], which drops entries that have not been
+/// used for `max_age` runs — recently flipped-between program versions stay
+/// warm, ancient ones are reclaimed.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryCache {
+    entries: HashMap<SummaryKey, Entry>,
+    generation: u64,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SummaryCache::default()
+    }
+
+    /// Number of cached summaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a summary by key.
+    pub fn get(&self, key: SummaryKey) -> Option<&CachedSummary> {
+        self.entries.get(&key).map(|e| &e.value)
+    }
+
+    /// Stores a summary under `key`, marking it used in this generation.
+    pub fn insert(&mut self, key: SummaryKey, entry: CachedSummary) {
+        self.entries.insert(
+            key,
+            Entry {
+                value: entry,
+                last_seen: self.generation,
+            },
+        );
+    }
+
+    /// Marks `keys` as used in the current generation.
+    pub fn touch(&mut self, keys: impl IntoIterator<Item = SummaryKey>) {
+        for key in keys {
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.last_seen = self.generation;
+            }
+        }
+    }
+
+    /// Closes one engine run: advances the generation and evicts every
+    /// entry that has not been touched for more than `max_age` runs.
+    pub fn end_generation(&mut self, max_age: u64) {
+        self.generation += 1;
+        let cutoff = self.generation.saturating_sub(max_age);
+        self.entries.retain(|_, e| e.last_seen >= cutoff);
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Loads a cache previously written by [`SummaryCache::save`]. Missing
+    /// files yield an empty cache; malformed lines are skipped.
+    pub fn load(path: &Path) -> io::Result<SummaryCache> {
+        let mut cache = SummaryCache::new();
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e),
+        };
+        let mut lines = io::BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(header)) if header == HEADER => {}
+            // Unknown version or unreadable header: treat as cold.
+            _ => return Ok(cache),
+        }
+        for line in lines {
+            let line = line?;
+            let mut parts = line.splitn(3, ' ');
+            let (Some(key), Some(boundary), Some(body)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(key, 16) else {
+                continue;
+            };
+            let hit_boundary = match boundary {
+                "0" => false,
+                "1" => true,
+                _ => continue,
+            };
+            let Some(summary) = FunctionSummary::decode(body) else {
+                continue;
+            };
+            cache.entries.insert(
+                SummaryKey(key),
+                Entry {
+                    value: CachedSummary {
+                        summary,
+                        hit_boundary,
+                    },
+                    last_seen: 0,
+                },
+            );
+        }
+        Ok(cache)
+    }
+
+    /// Writes the cache to `path` (atomically, via a sibling temp file), in
+    /// sorted key order so the output is reproducible.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(out, "{HEADER}")?;
+            let mut keys: Vec<&SummaryKey> = self.entries.keys().collect();
+            keys.sort();
+            for key in keys {
+                let entry = &self.entries[key].value;
+                writeln!(
+                    out,
+                    "{key} {} {}",
+                    if entry.hit_boundary { 1 } else { 0 },
+                    entry.summary.encode()
+                )?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_core::SummaryMutation;
+    use flowistry_lang::mir::{Local, PlaceElem};
+    use std::collections::BTreeSet;
+
+    fn sample_entry() -> CachedSummary {
+        CachedSummary {
+            summary: FunctionSummary {
+                mutations: vec![SummaryMutation {
+                    param: Local(1),
+                    projection: vec![PlaceElem::Deref, PlaceElem::Field(2)],
+                    sources: [Local(2), Local(3)].into_iter().collect(),
+                }],
+                return_sources: [Local(1)].into_iter().collect(),
+            },
+            hit_boundary: true,
+        }
+    }
+
+    #[test]
+    fn summary_codec_roundtrips() {
+        let entry = sample_entry();
+        let encoded = entry.summary.encode();
+        assert_eq!(FunctionSummary::decode(&encoded), Some(entry.summary));
+        // Inert summary too.
+        let inert = FunctionSummary::default();
+        assert_eq!(FunctionSummary::decode(&inert.encode()), Some(inert));
+        // Sources-free mutation.
+        let bare = FunctionSummary {
+            mutations: vec![SummaryMutation {
+                param: Local(1),
+                projection: vec![PlaceElem::Deref],
+                sources: BTreeSet::new(),
+            }],
+            return_sources: BTreeSet::new(),
+        };
+        assert_eq!(FunctionSummary::decode(&bare.encode()), Some(bare));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_text() {
+        assert_eq!(FunctionSummary::decode(""), None);
+        assert_eq!(FunctionSummary::decode("nonsense"), None);
+        assert_eq!(FunctionSummary::decode("mut:1:*:"), None, "missing ret");
+        assert_eq!(FunctionSummary::decode("ret:xyz"), None);
+        assert_eq!(FunctionSummary::decode("ret:1;mut:1:q:2"), None);
+        assert_eq!(FunctionSummary::decode("ret:;ret:"), None);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("flowistry-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.cache");
+
+        let mut cache = SummaryCache::new();
+        cache.insert(SummaryKey(0xDEAD), sample_entry());
+        cache.insert(
+            SummaryKey(0xBEEF),
+            CachedSummary {
+                summary: FunctionSummary::default(),
+                hit_boundary: false,
+            },
+        );
+        cache.save(&path).unwrap();
+
+        let loaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(SummaryKey(0xDEAD)), Some(&sample_entry()));
+        assert!(!loaded.get(SummaryKey(0xBEEF)).unwrap().hit_boundary);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_evict_untouched_entries() {
+        let mut cache = SummaryCache::new();
+        cache.insert(SummaryKey(1), sample_entry());
+        cache.insert(SummaryKey(2), sample_entry());
+        // Keep key 1 alive every run; let key 2 go idle.
+        for _ in 0..3 {
+            cache.touch([SummaryKey(1)]);
+            cache.end_generation(2);
+        }
+        assert!(cache.get(SummaryKey(1)).is_some());
+        assert!(cache.get(SummaryKey(2)).is_none(), "idle entry survived");
+        assert_eq!(cache.len(), 1);
+        // Touching a missing key is a no-op, and clear empties everything.
+        cache.touch([SummaryKey(99)]);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn missing_file_loads_as_empty() {
+        let cache = SummaryCache::load(Path::new("/nonexistent/path/xyz.cache")).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn wrong_header_loads_as_empty() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("flowistry-header-test-{}", std::process::id()));
+        std::fs::write(&path, "some-other-format v9\ngarbage\n").unwrap();
+        let cache = SummaryCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("flowistry-corrupt-test-{}", std::process::id()));
+        std::fs::write(
+            &path,
+            format!("{HEADER}\nnot-hex 0 ret:\n00000000000000aa 0 ret:1\nzz\n"),
+        )
+        .unwrap();
+        let cache = SummaryCache::load(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(SummaryKey(0xaa)).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,575 @@
+//! # flowistry-engine: the incremental analysis engine
+//!
+//! The paper's central result is that ownership makes information flow
+//! analyzable **modularly**: a function's caller-visible flows are captured
+//! by a [`FunctionSummary`] that depends only on the function's own body and
+//! its callees' summaries. This crate exploits that result operationally:
+//!
+//! * a [`CallGraph`](flowistry_lang::CallGraph) is extracted from the
+//!   program and condensed into strongly connected components;
+//! * summary computation is scheduled **bottom-up** over the condensation,
+//!   fanning the independent functions of each level out across threads;
+//! * each summary is stored in a [`SummaryCache`] keyed by a stable content
+//!   hash of the function's MIR plus its callees' keys, so re-running after
+//!   an edit re-analyzes only the edited function and its transitive
+//!   callers — everything else is a cache hit (optionally warm from disk);
+//! * one engine instance then serves many queries ([`AnalysisEngine::results`],
+//!   [`AnalysisEngine::backward_slice`], [`AnalysisEngine::check_ifc`]) with
+//!   all callee summaries pre-seeded, producing results identical to a
+//!   from-scratch [`analyze`](flowistry_core::analyze).
+//!
+//! One caveat to "identical": direct `analyze` bounds its naive recursion
+//! with `AnalysisParams::max_recursion_depth` and falls back to the
+//! conservative modular rule past that depth. The engine never recurses, so
+//! the guard never fires — on call chains deeper than the limit the engine
+//! is *strictly more precise* than direct analysis (still sound; the guard
+//! exists only to bound recursion cost, which summaries eliminate). For
+//! chains within the limit — including the entire evaluation corpus — the
+//! results are equal bit for bit.
+//!
+//! ```
+//! use flowistry_engine::{AnalysisEngine, EngineConfig};
+//! use flowistry_core::{analyze, AnalysisParams, Condition};
+//!
+//! let program = flowistry_lang::compile("
+//!     fn store(p: &mut i32, v: i32) { *p = v; }
+//!     fn caller(v: i32) -> i32 { let mut x = 0; store(&mut x, v); return x; }
+//! ").unwrap();
+//! let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+//! let mut engine = AnalysisEngine::new(&program, EngineConfig::default().with_params(params.clone()));
+//! let stats = engine.analyze_all();
+//! assert_eq!(stats.analyzed, 2);
+//!
+//! // Engine-served results equal a direct analyze() call exactly.
+//! let caller = program.func_id("caller").unwrap();
+//! assert_eq!(*engine.results(caller), analyze(&program, caller, &params));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+pub use cache::{SummaryCache, SummaryKey};
+
+use flowistry_core::{
+    analyze_with_summaries, compute_summary, AnalysisParams, CachedSummary, FunctionSummary,
+    InfoFlowResults,
+};
+use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
+use flowistry_lang::mir::Location;
+use flowistry_lang::types::FuncId;
+use flowistry_lang::{function_content_hash, CallGraph, CompiledProgram, StableHasher};
+use flowistry_slicer::{Slice, Slicer};
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of an [`AnalysisEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Analysis parameters applied to every function.
+    pub params: AnalysisParams,
+    /// Worker threads for the per-level fan-out. `0` (the default) uses the
+    /// machine's available parallelism; `1` runs strictly sequentially.
+    pub threads: usize,
+    /// When set, the summary cache is loaded from this file on construction
+    /// and written back after every [`AnalysisEngine::analyze_all`].
+    pub cache_path: Option<PathBuf>,
+    /// How many [`AnalysisEngine::analyze_all`] runs a cache entry survives
+    /// without being used before it is evicted (default 8). Content-hash
+    /// keys never repeat across program versions, so this bounds cache
+    /// growth over long edit sessions while keeping recently-visited
+    /// versions warm.
+    pub cache_retention: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            params: AnalysisParams::default(),
+            threads: 0,
+            cache_path: None,
+            cache_retention: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Replaces the analysis parameters.
+    pub fn with_params(mut self, params: AnalysisParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables disk persistence of the summary cache.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Overrides how many runs an unused cache entry survives.
+    pub fn with_cache_retention(mut self, runs: u64) -> Self {
+        self.cache_retention = runs;
+        self
+    }
+}
+
+/// What one [`AnalysisEngine::analyze_all`] run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Functions whose summary was computed by running the analysis.
+    pub analyzed: usize,
+    /// Functions whose summary came out of the cache.
+    pub cache_hits: usize,
+    /// Scheduling levels executed.
+    pub levels: usize,
+    /// Worker threads used for the widest level.
+    pub threads: usize,
+}
+
+/// The incremental analysis engine serving batch queries over one program.
+///
+/// The engine borrows the [`CompiledProgram`]; after an edit, `compile` the
+/// new source and call [`AnalysisEngine::update_program`] — the summary
+/// cache carries over, so the next [`AnalysisEngine::analyze_all`] only
+/// re-analyzes functions whose content (or whose callees' content) changed.
+pub struct AnalysisEngine<'p> {
+    program: &'p CompiledProgram,
+    config: EngineConfig,
+    call_graph: CallGraph,
+    keys: Vec<SummaryKey>,
+    cache: SummaryCache,
+    summaries: HashMap<FuncId, CachedSummary>,
+    results: Mutex<HashMap<FuncId, Arc<InfoFlowResults>>>,
+}
+
+impl<'p> AnalysisEngine<'p> {
+    /// Creates an engine for `program`, loading the disk cache if one is
+    /// configured (a missing or corrupt cache file just starts cold).
+    pub fn new(program: &'p CompiledProgram, config: EngineConfig) -> Self {
+        let cache = match &config.cache_path {
+            Some(path) => SummaryCache::load(path).unwrap_or_default(),
+            None => SummaryCache::new(),
+        };
+        let call_graph = CallGraph::extract(program);
+        let keys = compute_keys(program, &call_graph, &config.params);
+        AnalysisEngine {
+            program,
+            config,
+            call_graph,
+            keys,
+            cache,
+            summaries: HashMap::new(),
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The program currently served.
+    pub fn program(&self) -> &'p CompiledProgram {
+        self.program
+    }
+
+    /// The engine's call graph.
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.call_graph
+    }
+
+    /// The analysis parameters in use.
+    pub fn params(&self) -> &AnalysisParams {
+        &self.config.params
+    }
+
+    /// The cache key of `func` under the current program and parameters.
+    pub fn key(&self, func: FuncId) -> SummaryKey {
+        self.keys[func.0 as usize]
+    }
+
+    /// Swaps in a re-compiled program (after a source edit). Summaries and
+    /// memoized results are dropped; the content-addressed cache is kept, so
+    /// the next [`AnalysisEngine::analyze_all`] is incremental: only
+    /// functions whose key changed are re-analyzed.
+    ///
+    /// An `available_bodies` restriction is carried across the update **by
+    /// function name**: [`FuncId`]s are positional and shift when the edit
+    /// adds or removes functions, so the ids are re-resolved against the
+    /// new program (names that no longer exist are dropped).
+    pub fn update_program(&mut self, program: &'p CompiledProgram) {
+        if let Some(old_set) = &self.config.params.available_bodies {
+            let names: std::collections::BTreeSet<&str> = old_set
+                .iter()
+                .filter_map(|f| self.program.signatures.get(f.0 as usize))
+                .map(|sig| sig.name.as_str())
+                .collect();
+            let remapped = program
+                .signatures
+                .iter()
+                .enumerate()
+                .filter(|(_, sig)| names.contains(sig.name.as_str()))
+                .map(|(i, _)| FuncId(i as u32))
+                .collect();
+            self.config.params.available_bodies = Some(remapped);
+        }
+        self.program = program;
+        self.call_graph = CallGraph::extract(program);
+        self.keys = compute_keys(program, &self.call_graph, &self.config.params);
+        self.summaries.clear();
+        self.results.lock().expect("results lock").clear();
+    }
+
+    /// Computes (or fetches) the summary of every available function,
+    /// bottom-up over the call graph with per-level parallel fan-out, and
+    /// persists the cache if a path is configured.
+    pub fn analyze_all(&mut self) -> RunStats {
+        let levels = self.call_graph.schedule_levels();
+        let max_threads = match self.config.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let mut stats = RunStats {
+            levels: levels.len(),
+            ..RunStats::default()
+        };
+
+        for level in &levels {
+            // Partition the level's components across workers. The snapshot
+            // of `summaries` holds every lower level already (the levels are
+            // barriers), which is exactly the seed set each function needs.
+            let work: Vec<FuncId> = level
+                .iter()
+                .flat_map(|&scc| self.call_graph.sccs()[scc].iter().copied())
+                .filter(|&f| self.config.params.body_available(f))
+                .collect();
+            if work.is_empty() {
+                continue;
+            }
+            let threads = max_threads.min(work.len()).max(1);
+            stats.threads = stats.threads.max(threads);
+            let computed = if threads == 1 {
+                self.run_chunk(&work)
+            } else {
+                let chunk_size = work.len().div_ceil(threads);
+                let mut out = Vec::with_capacity(work.len());
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = work
+                        .chunks(chunk_size)
+                        .map(|chunk| s.spawn(|| self.run_chunk(chunk)))
+                        .collect();
+                    for handle in handles {
+                        out.extend(handle.join().expect("engine worker panicked"));
+                    }
+                });
+                out
+            };
+            for (func, entry, was_hit) in computed {
+                if was_hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.analyzed += 1;
+                    self.cache.insert(self.key(func), entry.clone());
+                }
+                self.summaries.insert(func, entry);
+            }
+        }
+
+        // Close the run: mark every key this program version uses (hits and
+        // fresh inserts alike) and evict entries idle for too many runs.
+        let used: Vec<SummaryKey> = self.summaries.keys().map(|&f| self.key(f)).collect();
+        self.cache.touch(used);
+        self.cache.end_generation(self.config.cache_retention);
+
+        if let Some(path) = &self.config.cache_path {
+            if let Err(e) = self.cache.save(path) {
+                eprintln!("warning: could not persist summary cache: {e}");
+            }
+        }
+        stats
+    }
+
+    /// One worker's share of a level: resolve each function against the
+    /// cache, analyzing on a miss. Runs with `summaries` frozen at the
+    /// previous level boundary.
+    fn run_chunk(&self, chunk: &[FuncId]) -> Vec<(FuncId, CachedSummary, bool)> {
+        chunk
+            .iter()
+            .map(|&func| match self.cache.get(self.key(func)) {
+                Some(entry) => (func, entry.clone(), true),
+                None => {
+                    let entry =
+                        compute_summary(self.program, func, &self.config.params, &self.summaries);
+                    (func, entry, false)
+                }
+            })
+            .collect()
+    }
+
+    /// The cached summary of `func`, if [`AnalysisEngine::analyze_all`] has
+    /// produced one (external functions have none).
+    pub fn summary(&self, func: FuncId) -> Option<&FunctionSummary> {
+        self.summaries.get(&func).map(|e| &e.summary)
+    }
+
+    /// The full per-location analysis results for `func`, served from the
+    /// engine's memo table. All callee summaries are pre-seeded, so this
+    /// never recurses — and it returns exactly what a from-scratch
+    /// [`analyze`](flowistry_core::analyze) call would, provided no call
+    /// chain exceeds `AnalysisParams::max_recursion_depth` (past that,
+    /// direct analysis falls back to the conservative modular rule while
+    /// the engine keeps using summaries, making the engine strictly more
+    /// precise; see the crate docs).
+    pub fn results(&self, func: FuncId) -> Arc<InfoFlowResults> {
+        let mut results = self.results.lock().expect("results lock");
+        results
+            .entry(func)
+            .or_insert_with(|| {
+                Arc::new(analyze_with_summaries(
+                    self.program,
+                    func,
+                    &self.config.params,
+                    &self.summaries,
+                ))
+            })
+            .clone()
+    }
+
+    /// Backward slice of the user variable `var` of `func` (engine-backed
+    /// counterpart of [`Slicer::backward_slice_of_var`]).
+    pub fn backward_slice(&self, func: FuncId, var: &str) -> Option<Slice> {
+        self.slicer(func).backward_slice_of_var(var)
+    }
+
+    /// Backward slice of `func`'s return value.
+    pub fn backward_slice_of_return(&self, func: FuncId) -> Slice {
+        self.slicer(func).backward_slice_of_return()
+    }
+
+    /// Locations in the dependency set of `place` just before `loc` — the
+    /// raw location-level slice of §5.1.
+    pub fn backward_slice_at(
+        &self,
+        func: FuncId,
+        place: &flowistry_lang::mir::Place,
+        loc: Location,
+    ) -> BTreeSet<Location> {
+        self.results(func).backward_slice(place, loc)
+    }
+
+    /// An engine-backed [`Slicer`] for `func`, reusing the memoized results.
+    pub fn slicer(&self, func: FuncId) -> Slicer<'p> {
+        Slicer::from_results(self.program, func, (*self.results(func)).clone())
+    }
+
+    /// Checks every function of the program against `policy`, serving each
+    /// function's analysis from the engine, and returns the reports that
+    /// contain violations (engine-backed counterpart of
+    /// [`IfcChecker::check_program`]).
+    pub fn check_ifc(&self, policy: IfcPolicy) -> Vec<IfcReport> {
+        let checker = IfcChecker::new(self.program, policy);
+        (0..self.program.bodies.len())
+            .map(|i| {
+                let func = FuncId(i as u32);
+                checker.check_with_results(func, &self.results(func))
+            })
+            .filter(|r| !r.is_clean())
+            .collect()
+    }
+
+    /// The set of functions whose summary would have to be recomputed if
+    /// `func`'s body changed: `func` plus its transitive callers.
+    pub fn invalidation_set(&self, func: FuncId) -> BTreeSet<FuncId> {
+        self.call_graph.transitive_callers(func)
+    }
+
+    /// Direct access to the underlying summary cache (for inspection).
+    pub fn cache(&self) -> &SummaryCache {
+        &self.cache
+    }
+}
+
+/// Computes every function's [`SummaryKey`].
+///
+/// Keys follow the dependency structure of summaries: processing components
+/// in reverse topological order, a function's key mixes
+///
+/// * a fingerprint of the analysis parameters,
+/// * its own span-free content hash,
+/// * the content hashes of its recursion partners (same SCC), and
+/// * the keys of its callees outside the SCC (their keys, not their hashes,
+///   so transitive edits propagate), tagged with their availability.
+fn compute_keys(
+    program: &CompiledProgram,
+    call_graph: &CallGraph,
+    params: &AnalysisParams,
+) -> Vec<SummaryKey> {
+    let n = program.bodies.len();
+    let fingerprint = params_fingerprint(program, params);
+    let own: Vec<u64> = (0..n)
+        .map(|i| function_content_hash(program, FuncId(i as u32)))
+        .collect();
+
+    let mut keys = vec![SummaryKey(0); n];
+    // `sccs()` is in reverse topological order: callees first, so callee
+    // keys are final by the time a caller mixes them in.
+    for members in call_graph.sccs() {
+        let member_set: BTreeSet<FuncId> = members.iter().copied().collect();
+        for &func in members {
+            let mut h = StableHasher::new();
+            h.write_u64(fingerprint);
+            h.write_u64(own[func.0 as usize]);
+            // Recursion partners contribute their raw content: the analysis
+            // walks their bodies when it recurses around the cycle.
+            h.write_usize(members.len());
+            for &partner in members {
+                if partner != func {
+                    h.write_u64(own[partner.0 as usize]);
+                }
+            }
+            let outside: BTreeSet<FuncId> = members
+                .iter()
+                .flat_map(|&m| call_graph.callees(m).iter().copied())
+                .filter(|c| !member_set.contains(c))
+                .collect();
+            h.write_usize(outside.len());
+            for callee in outside {
+                let available = params.body_available(callee);
+                h.write_bool(available);
+                if available {
+                    h.write_u64(keys[callee.0 as usize].0);
+                } else {
+                    // Only the signature is visible across the boundary, but
+                    // the content hash covers it; being coarser is safe.
+                    h.write_u64(own[callee.0 as usize]);
+                }
+            }
+            keys[func.0 as usize] = SummaryKey(h.finish());
+        }
+    }
+    keys
+}
+
+/// Hashes everything in [`AnalysisParams`] that can change analysis results.
+fn params_fingerprint(program: &CompiledProgram, params: &AnalysisParams) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bool(params.condition.whole_program);
+    h.write_bool(params.condition.mut_blind);
+    h.write_bool(params.condition.ref_blind);
+    h.write_usize(params.max_recursion_depth);
+    match &params.available_bodies {
+        None => h.write_u8(0),
+        Some(set) => {
+            h.write_u8(1);
+            h.write_usize(set.len());
+            // By name, for the same positional-id reason as call hashing.
+            for func in set {
+                if let Some(sig) = program.signatures.get(func.0 as usize) {
+                    h.write_str(&sig.name);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_core::{analyze, Condition};
+
+    const PROGRAM: &str = "
+        fn leaf(p: &mut i32, v: i32) { *p = v; }
+        fn mid(p: &mut i32, v: i32) { leaf(p, v + 1); }
+        fn top(v: i32) -> i32 { let mut x = 0; mid(&mut x, v); return x; }
+    ";
+
+    fn whole_program() -> AnalysisParams {
+        AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)
+    }
+
+    #[test]
+    fn analyze_all_visits_every_function_bottom_up() {
+        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let mut engine = AnalysisEngine::new(
+            &program,
+            EngineConfig::default().with_params(whole_program()),
+        );
+        let stats = engine.analyze_all();
+        assert_eq!(stats.analyzed, 3);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.levels, 3);
+        for name in ["leaf", "mid", "top"] {
+            let func = program.func_id(name).unwrap();
+            assert!(engine.summary(func).is_some(), "no summary for {name}");
+        }
+        // Second run: everything is warm.
+        let stats2 = engine.analyze_all();
+        assert_eq!(stats2.analyzed, 0);
+        assert_eq!(stats2.cache_hits, 3);
+    }
+
+    #[test]
+    fn engine_results_match_direct_analysis() {
+        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let params = whole_program();
+        let mut engine = AnalysisEngine::new(
+            &program,
+            EngineConfig::default().with_params(params.clone()),
+        );
+        engine.analyze_all();
+        for i in 0..program.bodies.len() {
+            let func = FuncId(i as u32);
+            let direct = analyze(&program, func, &params);
+            assert_eq!(*engine.results(func), direct, "{}", program.body(func).name);
+        }
+    }
+
+    #[test]
+    fn unavailable_functions_are_not_summarized() {
+        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let top = program.func_id("top").unwrap();
+        let mid = program.func_id("mid").unwrap();
+        let params = AnalysisParams {
+            condition: Condition::WHOLE_PROGRAM,
+            available_bodies: Some([top, mid].into_iter().collect()),
+            ..AnalysisParams::default()
+        };
+        let mut engine = AnalysisEngine::new(
+            &program,
+            EngineConfig::default().with_params(params.clone()),
+        );
+        let stats = engine.analyze_all();
+        assert_eq!(stats.analyzed, 2);
+        assert!(engine.summary(program.func_id("leaf").unwrap()).is_none());
+        // Boundary flag matches the from-scratch analysis.
+        let direct = analyze(&program, top, &params);
+        assert!(direct.hit_boundary());
+        assert_eq!(*engine.results(top), direct);
+    }
+
+    #[test]
+    fn invalidation_set_is_the_caller_cone() {
+        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let engine = AnalysisEngine::new(&program, EngineConfig::default());
+        let leaf = program.func_id("leaf").unwrap();
+        let set = engine.invalidation_set(leaf);
+        assert_eq!(set.len(), 3);
+        let top = program.func_id("top").unwrap();
+        assert_eq!(engine.invalidation_set(top).len(), 1);
+    }
+
+    #[test]
+    fn keys_depend_on_params() {
+        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let func = program.func_id("top").unwrap();
+        let modular = AnalysisEngine::new(&program, EngineConfig::default());
+        let whole = AnalysisEngine::new(
+            &program,
+            EngineConfig::default().with_params(whole_program()),
+        );
+        assert_ne!(modular.key(func), whole.key(func));
+    }
+}

@@ -1,0 +1,359 @@
+//! Integration tests for the incremental analysis engine:
+//!
+//! * engine-served results are identical to direct `analyze()` calls over
+//!   the synthetic evaluation corpus, under every headline condition;
+//! * editing one function re-analyzes exactly the edited function and its
+//!   transitive callers;
+//! * the disk cache survives engine restarts;
+//! * parallel and sequential schedules produce the same summaries.
+
+use flowistry_core::{analyze, AnalysisParams, Condition};
+use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
+use flowistry_engine::{AnalysisEngine, EngineConfig};
+use flowistry_lang::types::FuncId;
+use flowistry_lang::CompiledProgram;
+use std::fmt::Write as _;
+
+/// A synthetic workload with `modules` independent call chains of `depth`
+/// functions each: `m{i}_l{j}` calls `m{i}_l{j-1}`, and `m{i}_l0` is the
+/// leaf. Used for invalidation tests where the dirty cone must be exact.
+fn layered_source(modules: usize, depth: usize) -> String {
+    let mut src = String::new();
+    for m in 0..modules {
+        for l in 0..depth {
+            if l == 0 {
+                let _ = writeln!(
+                    src,
+                    "fn m{m}_l0(p: &mut i32, v: i32) -> i32 {{
+                         if v > 0 {{ *p = *p + v; }} else {{ *p = v; }}
+                         let a = v * 2;
+                         let b = a + *p;
+                         return b;
+                     }}"
+                );
+            } else {
+                let prev = l - 1;
+                let _ = writeln!(
+                    src,
+                    "fn m{m}_l{l}(p: &mut i32, v: i32) -> i32 {{
+                         let r1 = m{m}_l{prev}(p, v + 1);
+                         let r2 = m{m}_l{prev}(p, r1);
+                         let mut acc = r1 + r2;
+                         if acc > 10 {{ acc = acc - v; }}
+                         return acc;
+                     }}"
+                );
+            }
+        }
+    }
+    src
+}
+
+fn whole_program() -> AnalysisParams {
+    AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)
+}
+
+#[test]
+fn engine_matches_direct_analysis_on_the_corpus() {
+    // One representative corpus crate, both headline conditions that the
+    // applications use. `byte-identical` is checked through full structural
+    // equality of the per-location results.
+    let profile = &paper_profiles()[0];
+    let krate = generate_crate(profile, DEFAULT_SEED);
+    for condition in [Condition::MODULAR, Condition::WHOLE_PROGRAM] {
+        let params = AnalysisParams {
+            condition,
+            available_bodies: Some(krate.available_bodies()),
+            ..AnalysisParams::default()
+        };
+        let mut engine = AnalysisEngine::new(
+            &krate.program,
+            EngineConfig::default().with_params(params.clone()),
+        );
+        engine.analyze_all();
+        for &func in &krate.crate_funcs {
+            let direct = analyze(&krate.program, func, &params);
+            assert_eq!(
+                *engine.results(func),
+                direct,
+                "{}::{} diverged under {condition}",
+                krate.name,
+                krate.program.body(func).name
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_summaries_match_naive_summaries_everywhere() {
+    let src = layered_source(4, 4);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let params = whole_program();
+    let mut engine = AnalysisEngine::new(
+        &program,
+        EngineConfig::default().with_params(params.clone()),
+    );
+    engine.analyze_all();
+    for i in 0..program.bodies.len() {
+        let func = FuncId(i as u32);
+        let direct = analyze(&program, func, &params);
+        let naive = flowistry_core::FunctionSummary::from_exit_state(
+            program.body(func),
+            direct.exit_theta(),
+        );
+        assert_eq!(engine.summary(func), Some(&naive));
+    }
+}
+
+#[test]
+fn editing_one_function_recomputes_only_its_caller_cone() {
+    let v1 = layered_source(3, 4);
+    // Edit the leaf of module 0 only.
+    let v2 = v1.replace(
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 {",
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 { let zedit = 7; *p = *p + zedit;",
+    );
+    assert_ne!(v1, v2);
+    let p1 = flowistry_lang::compile(&v1).unwrap();
+    let p2 = flowistry_lang::compile(&v2).unwrap();
+
+    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(whole_program()));
+    let cold = engine.analyze_all();
+    assert_eq!(cold.analyzed, 12);
+
+    engine.update_program(&p2);
+    let warm = engine.analyze_all();
+    // Module 0's chain (4 functions) is dirty; modules 1 and 2 are warm.
+    assert_eq!(warm.analyzed, 4, "dirty cone must be exactly module 0");
+    assert_eq!(warm.cache_hits, 8);
+
+    // And the re-analysis is still correct.
+    let top = p2.func_id("m0_l3").unwrap();
+    assert_eq!(*engine.results(top), analyze(&p2, top, &whole_program()));
+}
+
+#[test]
+fn editing_a_root_function_recomputes_only_itself() {
+    let v1 = layered_source(2, 3);
+    let v2 = v1.replace(
+        "fn m1_l2(p: &mut i32, v: i32) -> i32 {",
+        "fn m1_l2(p: &mut i32, v: i32) -> i32 { let zedit = 1;",
+    );
+    let p1 = flowistry_lang::compile(&v1).unwrap();
+    let p2 = flowistry_lang::compile(&v2).unwrap();
+    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(whole_program()));
+    engine.analyze_all();
+    engine.update_program(&p2);
+    let warm = engine.analyze_all();
+    assert_eq!(warm.analyzed, 1, "a root has no callers");
+    assert_eq!(warm.cache_hits, 5);
+}
+
+#[test]
+fn disk_cache_survives_engine_restarts() {
+    let dir = std::env::temp_dir().join(format!("flowistry-engine-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("summaries.cache");
+
+    let src = layered_source(2, 3);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let config = EngineConfig::default()
+        .with_params(whole_program())
+        .with_cache_path(&path);
+
+    let mut first = AnalysisEngine::new(&program, config.clone());
+    let cold = first.analyze_all();
+    assert_eq!(cold.analyzed, 6);
+    drop(first);
+
+    let mut second = AnalysisEngine::new(&program, config);
+    let warm = second.analyze_all();
+    assert_eq!(warm.analyzed, 0, "disk cache should start the engine warm");
+    assert_eq!(warm.cache_hits, 6);
+
+    // Warm-start results still match direct analysis.
+    let func = program.func_id("m0_l2").unwrap();
+    assert_eq!(
+        *second.results(func),
+        analyze(&program, func, &whole_program())
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_and_sequential_schedules_agree() {
+    let src = layered_source(6, 3);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let mut sequential = AnalysisEngine::new(
+        &program,
+        EngineConfig::default()
+            .with_params(whole_program())
+            .with_threads(1),
+    );
+    let mut parallel = AnalysisEngine::new(
+        &program,
+        EngineConfig::default()
+            .with_params(whole_program())
+            .with_threads(4),
+    );
+    let seq_stats = sequential.analyze_all();
+    let par_stats = parallel.analyze_all();
+    assert_eq!(seq_stats.analyzed, par_stats.analyzed);
+    assert!(par_stats.threads >= 1);
+    for i in 0..program.bodies.len() {
+        let func = FuncId(i as u32);
+        assert_eq!(sequential.summary(func), parallel.summary(func));
+        assert_eq!(*sequential.results(func), *parallel.results(func));
+    }
+}
+
+#[test]
+fn batch_queries_share_one_engine() {
+    let src = "
+        fn read_password() -> i32 { return 1234; }
+        fn insecure_print(x: i32) { }
+        fn audit(input: i32) -> bool {
+            let password = read_password();
+            if input == password { insecure_print(1); return true; }
+            return false;
+        }
+        fn compute(x: i32, y: i32) -> i32 {
+            let a = x + 1;
+            let b = y + 2;
+            return a;
+        }
+    ";
+    let program: CompiledProgram = flowistry_lang::compile(src).unwrap();
+    let mut engine = AnalysisEngine::new(&program, EngineConfig::default());
+    engine.analyze_all();
+
+    // Slicing query.
+    let compute = program.func_id("compute").unwrap();
+    let slice = engine.backward_slice(compute, "a").unwrap();
+    assert!(!slice.lines.is_empty());
+    let ret = engine.backward_slice_of_return(compute);
+    assert_eq!(ret.criterion, "<return>");
+
+    // IFC query on the same engine instance.
+    let policy = flowistry_ifc::IfcPolicy::from_conventions(&program);
+    let reports = engine.check_ifc(policy);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].function, "audit");
+
+    // Raw location-level slice.
+    let body = program.body(compute);
+    let returns = body.return_locations();
+    let locs = engine.backward_slice_at(
+        compute,
+        &flowistry_lang::mir::Place::return_place(),
+        returns[0],
+    );
+    assert!(!locs.is_empty());
+}
+
+#[test]
+fn availability_is_remapped_by_name_across_updates() {
+    // v2 inserts a new function *above* the others, shifting every FuncId.
+    let v1 = "fn helper(p: &mut i32, v: i32) { *p = v; }
+              fn top(v: i32) -> i32 { let mut x = 0; helper(&mut x, v); return x; }";
+    let v2 = "fn newcomer(q: i32) -> i32 { return q * 3; }
+              fn helper(p: &mut i32, v: i32) { *p = v; }
+              fn top(v: i32) -> i32 { let mut x = 0; helper(&mut x, v); return x; }";
+    let p1 = flowistry_lang::compile(v1).unwrap();
+    let p2 = flowistry_lang::compile(v2).unwrap();
+
+    let params = AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        available_bodies: Some([p1.func_id("helper").unwrap(), p1.func_id("top").unwrap()].into()),
+        ..AnalysisParams::default()
+    };
+    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(params));
+    assert_eq!(engine.analyze_all().analyzed, 2);
+
+    engine.update_program(&p2);
+    // The restriction must now denote {helper, top} under the *new* ids —
+    // i.e. not include `newcomer`, and both old functions stay warm.
+    let remapped = engine.params().available_bodies.clone().unwrap();
+    assert!(remapped.contains(&p2.func_id("helper").unwrap()));
+    assert!(remapped.contains(&p2.func_id("top").unwrap()));
+    assert!(!remapped.contains(&p2.func_id("newcomer").unwrap()));
+    let warm = engine.analyze_all();
+    assert_eq!(warm.analyzed, 0, "unchanged bodies must stay cached");
+    assert_eq!(warm.cache_hits, 2);
+
+    let top = p2.func_id("top").unwrap();
+    assert_eq!(*engine.results(top), analyze(&p2, top, engine.params()));
+}
+
+#[test]
+fn stale_cache_entries_are_evicted_after_retention_runs() {
+    let v1 = layered_source(1, 2);
+    let v2 = v1.replace(
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 {",
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 { let zedit = 5;",
+    );
+    let p1 = flowistry_lang::compile(&v1).unwrap();
+    let p2 = flowistry_lang::compile(&v2).unwrap();
+
+    let mut engine = AnalysisEngine::new(
+        &p1,
+        EngineConfig::default()
+            .with_params(whole_program())
+            .with_cache_retention(2),
+    );
+    engine.analyze_all();
+    assert_eq!(engine.cache().len(), 2);
+
+    // Move to v2 and stay there: v1's entries go stale.
+    engine.update_program(&p2);
+    engine.analyze_all();
+    assert_eq!(engine.cache().len(), 4, "both versions warm at first");
+    for _ in 0..3 {
+        let again = engine.analyze_all();
+        assert_eq!(again.analyzed, 0);
+    }
+    assert_eq!(
+        engine.cache().len(),
+        2,
+        "v1's entries idle for more than 2 runs must be evicted"
+    );
+
+    // Flipping back to v1 is now cold again — but still correct.
+    engine.update_program(&p1);
+    let back = engine.analyze_all();
+    assert_eq!(back.analyzed, 2);
+}
+
+#[test]
+fn deep_chains_are_at_least_as_precise_as_depth_limited_recursion() {
+    // Direct analyze() guards its naive recursion with max_recursion_depth
+    // and falls back to the conservative modular rule past it. The engine
+    // never recurses, so the guard never fires: on chains deeper than the
+    // limit the engine's dependency sets are a (possibly strict) subset of
+    // direct analysis — more precise, still sound. This documents the one
+    // intentional deviation from exact equality.
+    let src = layered_source(1, 6);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let params = AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        max_recursion_depth: 3,
+        ..AnalysisParams::default()
+    };
+    let mut engine = AnalysisEngine::new(
+        &program,
+        EngineConfig::default().with_params(params.clone()),
+    );
+    engine.analyze_all();
+    let top = program.func_id("m0_l5").unwrap();
+    let direct = analyze(&program, top, &params);
+    let engine_results = engine.results(top);
+    let body = program.body(top);
+    for (local, direct_deps) in direct.user_variable_deps(body) {
+        let engine_deps = engine_results.exit_deps_of_local(local);
+        assert!(
+            engine_deps.is_subset(&direct_deps),
+            "engine must never be less precise: {local} {engine_deps:?} vs {direct_deps:?}"
+        );
+    }
+}

@@ -10,11 +10,11 @@
 //! written as JSON under `results/`.
 
 use flowistry_core::Condition;
+use flowistry_eval::report;
 use flowistry_eval::{
     boundary_stats, diff_stats, measure_corpus, measure_slowdown, per_crate_stats,
     CrateMeasurements, VariableRecord,
 };
-use flowistry_eval::report;
 use std::path::Path;
 
 fn main() {
@@ -44,9 +44,13 @@ fn main() {
 
     match command.as_str() {
         "table2" => {
-            println!("{}", report::render_table2(&flowistry_corpus::paper_profiles(), seed));
+            println!(
+                "{}",
+                report::render_table2(&flowistry_corpus::paper_profiles(), seed)
+            );
         }
         "perf" => run_perf(seed, out_dir),
+        "engine" => run_engine(seed, out_dir),
         "noninterference" => run_noninterference(seed),
         cmd => {
             // Everything else needs the corpus measured under the four
@@ -72,6 +76,7 @@ fn main() {
                     print_fig4(&measurements, out_dir);
                     print_boundary(&records, out_dir);
                     print_perf_from(&measurements, out_dir);
+                    run_engine(seed, out_dir);
                     println!(
                         "{}",
                         report::render_table2(&flowistry_corpus::paper_profiles(), seed)
@@ -83,14 +88,10 @@ fn main() {
     }
 }
 
-fn write_json<T: serde::Serialize>(path: std::path::PathBuf, value: &T) {
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {}: {e}", path.display()),
+fn write_json<T: flowistry_eval::ToJson>(path: std::path::PathBuf, value: &T) {
+    let json = value.to_json().pretty();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 
@@ -128,7 +129,10 @@ fn print_fig3(records: &[VariableRecord], out_dir: &Path) {
         &ref_blind,
     ));
     println!("{text}");
-    write_json(out_dir.join("fig3.json"), &vec![whole, mut_blind, ref_blind]);
+    write_json(
+        out_dir.join("fig3.json"),
+        &vec![whole, mut_blind, ref_blind],
+    );
 }
 
 fn print_fig4(measurements: &[CrateMeasurements], out_dir: &Path) {
@@ -162,6 +166,14 @@ fn run_perf(seed: u64, out_dir: &Path) {
     print_perf_from(&measurements, out_dir);
 }
 
+fn run_engine(seed: u64, out_dir: &Path) {
+    eprintln!("measuring the incremental engine (cold / warm / edited, sequential / parallel)...");
+    // Profile 7 is the rg3d stand-in — the largest crate of the corpus.
+    let report = flowistry_eval::measure_incremental(7, seed);
+    println!("{}", flowistry_eval::render_incremental(&report));
+    write_json(out_dir.join("engine.json"), &report);
+}
+
 fn run_noninterference(seed: u64) {
     println!("Empirical noninterference check (Theorem 3.1) on corpus drivers");
     let corpus = flowistry_corpus::generate_corpus(seed);
@@ -187,7 +199,5 @@ fn run_noninterference(seed: u64) {
             }
         }
     }
-    println!(
-        "  checked {checked} functions, {trials} completed trials, {violations} violations\n"
-    );
+    println!("  checked {checked} functions, {trials} completed trials, {violations} violations\n");
 }

@@ -2,7 +2,6 @@
 
 use crate::measure::{percentile, CrateMeasurements, VariableRecord};
 use flowistry_core::Condition;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Histogram bucket boundaries (percent increase), log-ish spaced like the
@@ -20,7 +19,7 @@ pub const BUCKETS: [(&str, f64, f64); 8] = [
 
 /// The distribution of per-variable percentage differences between two
 /// conditions (one panel of Figure 2 / Figure 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiffStats {
     /// The coarser condition (whose sets are expected to be larger).
     pub coarse: String,
@@ -50,7 +49,12 @@ fn index_by_variable<'r>(
     records
         .iter()
         .filter(|r| r.condition == condition.name())
-        .map(|r| ((r.krate.as_str(), r.function.as_str(), r.variable.as_str()), r))
+        .map(|r| {
+            (
+                (r.krate.as_str(), r.function.as_str(), r.variable.as_str()),
+                r,
+            )
+        })
         .collect()
 }
 
@@ -67,11 +71,7 @@ fn pct_increase(coarse: usize, baseline: usize) -> f64 {
 /// Computes the difference distribution between two conditions over a set of
 /// records (Figure 2 when `coarse = Modular, baseline = Whole-program`;
 /// Figure 3 panels when `coarse = Mut-blind / Ref-blind, baseline = Modular`).
-pub fn diff_stats(
-    records: &[VariableRecord],
-    coarse: Condition,
-    baseline: Condition,
-) -> DiffStats {
+pub fn diff_stats(records: &[VariableRecord], coarse: Condition, baseline: Condition) -> DiffStats {
     let coarse_idx = index_by_variable(records, &coarse);
     let baseline_idx = index_by_variable(records, &baseline);
 
@@ -120,7 +120,7 @@ pub fn diff_stats(
 
 /// Per-crate breakdown of one comparison (Figure 4), plus the correlation
 /// between non-zero counts and crate size reported in §5.4.1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerCrateStats {
     /// One [`DiffStats`] per crate.
     pub per_crate: Vec<(String, DiffStats)>,
@@ -174,7 +174,7 @@ pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// The crate-boundary sensitivity analysis of §5.4.2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BoundaryStats {
     /// Share of Whole-program cases whose flow crossed a crate boundary.
     pub pct_hit_boundary: f64,

@@ -19,11 +19,15 @@
 
 #![warn(missing_docs)]
 
+pub mod engine_perf;
 pub mod figures;
+pub mod json;
 pub mod measure;
 pub mod perf;
 pub mod report;
 
+pub use engine_perf::{measure_incremental, render_incremental, IncrementalReport};
 pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, DiffStats};
+pub use json::{Json, ToJson};
 pub use measure::{measure_corpus, measure_crate, CrateMeasurements, VariableRecord};
 pub use perf::{measure_slowdown, stress_source, SlowdownReport};

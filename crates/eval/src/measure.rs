@@ -4,13 +4,12 @@
 
 use flowistry_core::{analyze, AnalysisParams, Condition};
 use flowistry_corpus::GeneratedCrate;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One data point: the dependency-set size of one variable of one function
 /// under one condition (the paper collects 3,487,832 of these; ours is a
 /// scaled-down corpus).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariableRecord {
     /// Crate the function belongs to.
     pub krate: String,
@@ -28,7 +27,7 @@ pub struct VariableRecord {
 }
 
 /// Aggregate metrics for one crate (one row of Table 1) plus its records.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CrateMeasurements {
     /// Crate name.
     pub name: String,

@@ -8,12 +8,11 @@
 //! blow-up from a synthetic deep-call-graph stress program.
 
 use flowistry_core::{analyze, AnalysisParams, Condition};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Results of the modular vs whole-program timing comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlowdownReport {
     /// Depth of the generated call tree.
     pub depth: usize,

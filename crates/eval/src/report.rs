@@ -58,7 +58,13 @@ pub fn render_diff(title: &str, stats: &DiffStats) -> String {
         "  among non-zero cases: median increase {:.1}%, p90 {:.1}%",
         stats.median_nonzero_pct, stats.p90_nonzero_pct
     );
-    let max = stats.histogram.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let max = stats
+        .histogram
+        .iter()
+        .map(|(_, c)| *c)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for (label, count) in &stats.histogram {
         let bar = "#".repeat((count * 40 / max).min(40));
         let _ = writeln!(out, "  {label:>10} | {count:>7} {bar}");
@@ -112,7 +118,11 @@ pub fn render_perf(median_micros: &[(String, f64)], slowdown: &SlowdownReport) -
     let mut out = String::new();
     let _ = writeln!(out, "Analysis performance (5.1)");
     for (name, micros) in median_micros {
-        let _ = writeln!(out, "  {:<12} median per-function time: {:>9.1} us", name, micros);
+        let _ = writeln!(
+            out,
+            "  {:<12} median per-function time: {:>9.1} us",
+            name, micros
+        );
     }
     let _ = writeln!(
         out,
@@ -140,7 +150,14 @@ pub fn render_table2(profiles: &[CrateProfile], seed: u64) -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>8} {:>8} {:>8} {:>7} {:>12} {:>12} {:>12}",
-        "Crate", "Drivers", "Helpers", "Extern", "Steps", "p(unusedmut)", "p(sharedref)", "p(crosscall)"
+        "Crate",
+        "Drivers",
+        "Helpers",
+        "Extern",
+        "Steps",
+        "p(unusedmut)",
+        "p(sharedref)",
+        "p(crosscall)"
     );
     for p in profiles {
         let _ = writeln!(

@@ -72,9 +72,7 @@ impl IfcPolicy {
                         || name.contains("secret")
                         || name.starts_with("secure_")
                     {
-                        policy
-                            .secure_locals
-                            .push((body.name.clone(), name.clone()));
+                        policy.secure_locals.push((body.name.clone(), name.clone()));
                     }
                 }
             }
@@ -89,11 +87,7 @@ impl IfcPolicy {
     }
 
     /// Adds a secure parameter.
-    pub fn with_secure_param(
-        mut self,
-        func: impl Into<String>,
-        param: impl Into<String>,
-    ) -> Self {
+    pub fn with_secure_param(mut self, func: impl Into<String>, param: impl Into<String>) -> Self {
         self.secure_params.push((func.into(), param.into()));
         self
     }
@@ -191,8 +185,19 @@ impl<'a> IfcChecker<'a> {
     }
 
     fn check(&self, func: FuncId) -> IfcReport {
-        let body = self.program.body(func);
         let results = analyze(self.program, func, &self.params);
+        self.check_with_results(func, &results)
+    }
+
+    /// Checks `func` against the policy using precomputed analysis results
+    /// (e.g. served by the incremental analysis engine) instead of running
+    /// the analysis here.
+    pub fn check_with_results(
+        &self,
+        func: FuncId,
+        results: &flowistry_core::InfoFlowResults,
+    ) -> IfcReport {
+        let body = self.program.body(func);
 
         // Identify the secure sources of this function as dependency values.
         let mut secure_deps: Vec<(Dep, String)> = Vec::new();
@@ -334,9 +339,7 @@ mod tests {
     fn checked(func: &str) -> IfcReport {
         let prog = flowistry_lang::compile(PASSWORD_PROGRAM).unwrap();
         let policy = IfcPolicy::from_conventions(&prog);
-        IfcChecker::new(&prog, policy)
-            .check_function(func)
-            .unwrap()
+        IfcChecker::new(&prog, policy).check_function(func).unwrap()
     }
 
     #[test]
@@ -348,7 +351,9 @@ mod tests {
         assert_eq!(v.sink, "insecure_print");
         assert!(v.to_string().contains("insecure_print"));
         assert!(
-            v.sources.iter().any(|s| s.contains("password") || s.contains("read_password")),
+            v.sources
+                .iter()
+                .any(|s| s.contains("password") || s.contains("read_password")),
             "sources: {:?}",
             v.sources
         );
@@ -433,8 +438,12 @@ mod tests {
     fn conventions_detect_names() {
         let prog = flowistry_lang::compile(PASSWORD_PROGRAM).unwrap();
         let policy = IfcPolicy::from_conventions(&prog);
-        assert!(policy.insecure_sinks.contains(&"insecure_print".to_string()));
-        assert!(policy.secure_producers.contains(&"read_password".to_string()));
+        assert!(policy
+            .insecure_sinks
+            .contains(&"insecure_print".to_string()));
+        assert!(policy
+            .secure_producers
+            .contains(&"read_password".to_string()));
         assert!(policy
             .secure_locals
             .iter()

@@ -242,10 +242,7 @@ impl<'a> Machine<'a> {
                 }
                 TerminatorKind::Return => {
                     let frame = self.stack.pop().expect("frame pushed above");
-                    let ret = frame
-                        .local(Local::RETURN)
-                        .cloned()
-                        .unwrap_or(Value::Unit);
+                    let ret = frame.local(Local::RETURN).cloned().unwrap_or(Value::Unit);
                     return Ok((ret, frame));
                 }
                 TerminatorKind::Unreachable => {
@@ -509,9 +506,19 @@ mod tests {
     #[test]
     fn branches_select_values() {
         let src = "fn f(c: bool, x: i32, y: i32) -> i32 { if c { return x; } return y; }";
-        let t = run(src, "f", vec![Value::Bool(true), Value::Int(1), Value::Int(2)]).unwrap();
+        let t = run(
+            src,
+            "f",
+            vec![Value::Bool(true), Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
         assert_eq!(t.return_value, Value::Int(1));
-        let f = run(src, "f", vec![Value::Bool(false), Value::Int(1), Value::Int(2)]).unwrap();
+        let f = run(
+            src,
+            "f",
+            vec![Value::Bool(false), Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
         assert_eq!(f.return_value, Value::Int(2));
     }
 

@@ -50,7 +50,7 @@ impl Rng {
 
     /// A pseudo-random boolean.
     pub fn bool(&mut self) -> bool {
-        self.next_u64() % 2 == 0
+        self.next_u64().is_multiple_of(2)
     }
 }
 
@@ -174,9 +174,7 @@ pub fn check_function(
             .iter()
             .map(|ty| random_value(ty, structs, &mut rng))
             .collect();
-        let Some(base) = base else {
-            return None;
-        };
+        let base = base?;
 
         // (a) Return value: vary every argument outside the return's
         // dependency set.

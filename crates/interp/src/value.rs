@@ -129,7 +129,10 @@ mod tests {
     fn zero_values() {
         let structs = StructTable::new();
         assert_eq!(Value::zero_of(&Ty::Int, &structs), Some(Value::Int(0)));
-        assert_eq!(Value::zero_of(&Ty::Bool, &structs), Some(Value::Bool(false)));
+        assert_eq!(
+            Value::zero_of(&Ty::Bool, &structs),
+            Some(Value::Bool(false))
+        );
         assert_eq!(Value::zero_of(&Ty::Unit, &structs), Some(Value::Unit));
         let t = Ty::Tuple(vec![Ty::Int, Ty::Bool]);
         assert_eq!(
@@ -172,6 +175,9 @@ mod tests {
         assert_eq!(Value::Int(4).as_int(), Some(4));
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::Int(4).as_bool(), None);
-        assert_eq!(Value::Tuple(vec![Value::Int(1), Value::Unit]).to_string(), "(1, ())");
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1), Value::Unit]).to_string(),
+            "(1, ())"
+        );
     }
 }

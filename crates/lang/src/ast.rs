@@ -10,15 +10,14 @@
 //! ids (see [`crate::typeck`]).
 
 use crate::span::Span;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique id of an expression node within a parsed program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(pub u32);
 
 /// Mutability qualifier: the paper's ownership qualifier ω (`shrd`/`uniq`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Mutability {
     /// Shared / immutable (`shrd` in Oxide, `&T` in Rust).
     Shared,
@@ -43,7 +42,7 @@ impl fmt::Display for Mutability {
 }
 
 /// A surface-syntax type annotation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AstTy {
     /// `()`
     Unit,
@@ -102,7 +101,7 @@ impl fmt::Display for AstTy {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -169,7 +168,7 @@ impl fmt::Display for BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// `-`
     Neg,
@@ -187,7 +186,7 @@ impl fmt::Display for UnOp {
 }
 
 /// A field access: positional (tuple) or named (struct).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldName {
     /// Tuple index, e.g. `.0`.
     Index(u32),
@@ -205,7 +204,7 @@ impl fmt::Display for FieldName {
 }
 
 /// An expression node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Expr {
     /// Unique id, used to key the type checker's side tables.
     pub id: ExprId,
@@ -216,7 +215,7 @@ pub struct Expr {
 }
 
 /// The different kinds of expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExprKind {
     /// `()`
     Unit,
@@ -284,7 +283,7 @@ impl Expr {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stmt {
     /// The statement itself.
     pub kind: StmtKind,
@@ -293,7 +292,7 @@ pub struct Stmt {
 }
 
 /// The different kinds of statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
     /// `let [mut] x [: T] = e;`
     Let {
@@ -345,7 +344,7 @@ pub enum StmtKind {
 }
 
 /// A `{ ... }` block of statements.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// The statements, in order.
     pub stmts: Vec<Stmt>,
@@ -354,7 +353,7 @@ pub struct Block {
 }
 
 /// A function parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Param {
     /// Parameter name.
     pub name: String,
@@ -365,7 +364,7 @@ pub struct Param {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnDef {
     /// Function name.
     pub name: String,
@@ -384,7 +383,7 @@ pub struct FnDef {
 }
 
 /// A struct definition. Struct fields must be reference-free (see DESIGN.md).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructDef {
     /// Struct name.
     pub name: String,
@@ -395,7 +394,7 @@ pub struct StructDef {
 }
 
 /// A complete parsed program: struct definitions and function definitions.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     /// Struct definitions, in source order.
     pub structs: Vec<StructDef>,

@@ -59,7 +59,11 @@ pub fn check_body(body: &Body) -> Vec<Diagnostic> {
             if let StatementKind::Assign(place, rvalue) = &stmt.kind {
                 check_write(body, place, &live, loc, stmt.span, &mut errors);
                 match rvalue {
-                    Rvalue::Ref { mutbl, place: borrowed, .. } => {
+                    Rvalue::Ref {
+                        mutbl,
+                        place: borrowed,
+                        ..
+                    } => {
                         check_borrow(body, borrowed, *mutbl, &live, loc, stmt.span, &mut errors);
                     }
                     _ => {
@@ -111,7 +115,15 @@ pub fn collect_loans(body: &Body) -> Vec<Loan> {
     let mut loans = Vec::new();
     for bb in body.block_ids() {
         for (i, stmt) in body.block(bb).statements.iter().enumerate() {
-            if let StatementKind::Assign(_, Rvalue::Ref { region, mutbl, place }) = &stmt.kind {
+            if let StatementKind::Assign(
+                _,
+                Rvalue::Ref {
+                    region,
+                    mutbl,
+                    place,
+                },
+            ) = &stmt.kind
+            {
                 loans.push(Loan {
                     location: Location {
                         block: bb,
@@ -393,7 +405,10 @@ mod tests {
 
     fn errors(src: &str) -> Vec<String> {
         let prog = compile(src).expect("compile failure");
-        prog.borrow_errors.iter().map(|d| d.message.clone()).collect()
+        prog.borrow_errors
+            .iter()
+            .map(|d| d.message.clone())
+            .collect()
     }
 
     #[test]
@@ -404,18 +419,15 @@ mod tests {
 
     #[test]
     fn mutating_while_borrowed_is_an_error() {
-        let errs = errors(
-            "fn f() -> i32 { let mut x = 1; let r = &x; x = 2; return *r; }",
-        );
+        let errs = errors("fn f() -> i32 { let mut x = 1; let r = &x; x = 2; return *r; }");
         assert!(!errs.is_empty());
         assert!(errs[0].contains("borrowed"));
     }
 
     #[test]
     fn reading_while_mutably_borrowed_is_an_error() {
-        let errs = errors(
-            "fn f() -> i32 { let mut x = 1; let r = &mut x; let y = x; *r = 2; return y; }",
-        );
+        let errs =
+            errors("fn f() -> i32 { let mut x = 1; let r = &mut x; let y = x; *r = 2; return y; }");
         assert!(!errs.is_empty());
     }
 
@@ -429,9 +441,7 @@ mod tests {
 
     #[test]
     fn shared_borrows_can_coexist() {
-        let errs = errors(
-            "fn f() -> i32 { let x = 1; let a = &x; let b = &x; return *a + *b; }",
-        );
+        let errs = errors("fn f() -> i32 { let x = 1; let a = &x; let b = &x; return *a + *b; }");
         assert!(errs.is_empty(), "unexpected errors: {errs:?}");
     }
 
@@ -445,17 +455,15 @@ mod tests {
 
     #[test]
     fn reborrow_through_reference_is_allowed() {
-        let errs = errors(
-            "fn f() { let mut x = (0, 0); let y = &mut x; let z = &mut (*y).1; *z = 1; }",
-        );
+        let errs =
+            errors("fn f() { let mut x = (0, 0); let y = &mut x; let z = &mut (*y).1; *z = 1; }");
         assert!(errs.is_empty(), "unexpected errors: {errs:?}");
     }
 
     #[test]
     fn borrow_ending_before_mutation_is_allowed() {
-        let errs = errors(
-            "fn f() -> i32 { let mut x = 1; let r = &x; let v = *r; x = 2; return v + x; }",
-        );
+        let errs =
+            errors("fn f() -> i32 { let mut x = 1; let r = &x; let v = *r; x = 2; return v + x; }");
         assert!(errs.is_empty(), "unexpected errors: {errs:?}");
     }
 

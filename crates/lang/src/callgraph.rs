@@ -1,0 +1,330 @@
+//! Call-graph extraction and bottom-up scheduling.
+//!
+//! The incremental analysis engine exploits the paper's modularity result:
+//! a function's information flow summary depends only on its own body and
+//! the summaries of its callees. Scheduling summary computation therefore
+//! follows the call graph bottom-up — and independent functions in the same
+//! level can be analyzed in parallel.
+//!
+//! [`CallGraph::extract`] reads the `Call` terminators of every MIR body;
+//! [`CallGraph::sccs`] condenses recursion cycles with Tarjan's algorithm;
+//! [`CallGraph::schedule_levels`] groups the condensation into levels such
+//! that every callee of a level-`n` component lives in a level `< n`.
+
+use crate::mir::TerminatorKind;
+use crate::types::FuncId;
+use crate::CompiledProgram;
+use std::collections::BTreeSet;
+
+/// The call graph of one [`CompiledProgram`], with its strongly connected
+/// components precomputed.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<BTreeSet<FuncId>>,
+    callers: Vec<BTreeSet<FuncId>>,
+    /// SCCs in *reverse topological* order: every edge leaves a component
+    /// with a higher index, so index 0 only has calls into itself.
+    sccs: Vec<Vec<FuncId>>,
+    scc_of: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Reads the call graph out of `program`'s MIR bodies.
+    pub fn extract(program: &CompiledProgram) -> CallGraph {
+        let n = program.bodies.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut callers = vec![BTreeSet::new(); n];
+        for (idx, body) in program.bodies.iter().enumerate() {
+            let caller = FuncId(idx as u32);
+            for bb in body.block_ids() {
+                if let TerminatorKind::Call { func, .. } = &body.block(bb).terminator().kind {
+                    callees[idx].insert(*func);
+                    callers[func.0 as usize].insert(caller);
+                }
+            }
+        }
+        let (sccs, scc_of) = tarjan_sccs(&callees);
+        CallGraph {
+            callees,
+            callers,
+            sccs,
+            scc_of,
+        }
+    }
+
+    /// Number of functions in the graph.
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Whether the graph has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+
+    /// Functions directly called by `func`.
+    pub fn callees(&self, func: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[func.0 as usize]
+    }
+
+    /// Functions that directly call `func`.
+    pub fn callers(&self, func: FuncId) -> &BTreeSet<FuncId> {
+        &self.callers[func.0 as usize]
+    }
+
+    /// The strongly connected components in reverse topological order
+    /// (callees before callers). A function outside every cycle forms a
+    /// singleton component.
+    pub fn sccs(&self) -> &[Vec<FuncId>] {
+        &self.sccs
+    }
+
+    /// Index (into [`CallGraph::sccs`]) of the component containing `func`.
+    pub fn scc_index(&self, func: FuncId) -> usize {
+        self.scc_of[func.0 as usize]
+    }
+
+    /// The other members of `func`'s component, i.e. the functions `func` is
+    /// mutually recursive with (including itself only if it calls itself).
+    pub fn scc_members(&self, func: FuncId) -> &[FuncId] {
+        &self.sccs[self.scc_of[func.0 as usize]]
+    }
+
+    /// Whether `func` participates in any recursion (self-loop or cycle).
+    pub fn is_recursive(&self, func: FuncId) -> bool {
+        self.scc_members(func).len() > 1 || self.callees(func).contains(&func)
+    }
+
+    /// Groups SCC indices into parallelizable levels: all callees of a
+    /// component in level `n` live in levels `< n`. Level 0 holds the leaf
+    /// functions.
+    pub fn schedule_levels(&self) -> Vec<Vec<usize>> {
+        let mut depth = vec![0usize; self.sccs.len()];
+        // Components are in reverse topological order, so a single pass that
+        // visits callees first (higher scc index… no: reverse topological
+        // means edges point to *lower* indices is not guaranteed by Tarjan;
+        // Tarjan emits components in reverse topological order of the
+        // condensation, i.e. callees receive *smaller* indices here because
+        // our edges go caller → callee and Tarjan finishes callees first).
+        for (idx, members) in self.sccs.iter().enumerate() {
+            let mut d = 0;
+            for &f in members {
+                for &callee in self.callees(f) {
+                    let callee_scc = self.scc_of[callee.0 as usize];
+                    if callee_scc != idx {
+                        d = d.max(depth[callee_scc] + 1);
+                    }
+                }
+            }
+            depth[idx] = d;
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_depth + 1];
+        for (idx, &d) in depth.iter().enumerate() {
+            levels[d].push(idx);
+        }
+        levels.retain(|l| !l.is_empty());
+        levels
+    }
+
+    /// Every function whose analysis (transitively) depends on `func`:
+    /// `func` itself, its callers, their callers, and so on. This is the
+    /// invalidation set when `func`'s body changes.
+    pub fn transitive_callers(&self, func: FuncId) -> BTreeSet<FuncId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![func];
+        while let Some(f) = stack.pop() {
+            if out.insert(f) {
+                stack.extend(self.callers(f).iter().copied());
+            }
+        }
+        out
+    }
+}
+
+/// Iterative Tarjan SCC over the callee adjacency lists. Returns the
+/// components in reverse topological order plus the component index of every
+/// function.
+fn tarjan_sccs(callees: &[BTreeSet<FuncId>]) -> (Vec<Vec<FuncId>>, Vec<usize>) {
+    let n = callees.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+
+    // Explicit DFS frame: (node, iterator position into its callee list).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, child_pos) => {
+                    let succs: Vec<usize> = callees[v].iter().map(|f| f.0 as usize).collect();
+                    if child_pos > 0 {
+                        // We just returned from the previous child.
+                        let w = succs[child_pos - 1];
+                        lowlink[v] = lowlink[v].min(lowlink[w]);
+                    }
+                    let mut advanced = false;
+                    for (pos, &w) in succs.iter().enumerate().skip(child_pos) {
+                        if index[w] == UNVISITED {
+                            frames.push(Frame::Resume(v, pos + 1));
+                            frames.push(Frame::Enter(w));
+                            advanced = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            scc_of[w] = sccs.len();
+                            component.push(FuncId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort();
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+    }
+
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn graph(src: &str) -> (CompiledProgram, CallGraph) {
+        let prog = compile(src).expect("test program compiles");
+        let cg = CallGraph::extract(&prog);
+        (prog, cg)
+    }
+
+    const CHAIN: &str = "
+        fn leaf(x: i32) -> i32 { return x + 1; }
+        fn mid(x: i32) -> i32 { return leaf(x) + leaf(x + 1); }
+        fn top(x: i32) -> i32 { return mid(x); }
+    ";
+
+    #[test]
+    fn edges_follow_call_terminators() {
+        let (prog, cg) = graph(CHAIN);
+        let leaf = prog.func_id("leaf").unwrap();
+        let mid = prog.func_id("mid").unwrap();
+        let top = prog.func_id("top").unwrap();
+        assert_eq!(cg.len(), 3);
+        assert!(!cg.is_empty());
+        assert!(cg.callees(mid).contains(&leaf));
+        assert!(cg.callees(top).contains(&mid));
+        assert!(cg.callees(leaf).is_empty());
+        assert!(cg.callers(leaf).contains(&mid));
+        assert!(cg.callers(top).is_empty());
+    }
+
+    #[test]
+    fn levels_are_bottom_up() {
+        let (prog, cg) = graph(CHAIN);
+        let levels = cg.schedule_levels();
+        assert_eq!(levels.len(), 3);
+        let scc_at = |level: usize, name: &str| {
+            let f = prog.func_id(name).unwrap();
+            levels[level].contains(&cg.scc_index(f))
+        };
+        assert!(scc_at(0, "leaf"));
+        assert!(scc_at(1, "mid"));
+        assert!(scc_at(2, "top"));
+    }
+
+    #[test]
+    fn recursion_collapses_into_one_component() {
+        let (prog, cg) = graph(
+            "fn even(n: i32) -> bool { if n == 0 { return true; } return odd(n - 1); }
+             fn odd(n: i32) -> bool { if n == 0 { return false; } return even(n - 1); }
+             fn driver(n: i32) -> bool { return even(n); }",
+        );
+        let even = prog.func_id("even").unwrap();
+        let odd = prog.func_id("odd").unwrap();
+        let driver = prog.func_id("driver").unwrap();
+        assert_eq!(cg.scc_index(even), cg.scc_index(odd));
+        assert_ne!(cg.scc_index(even), cg.scc_index(driver));
+        assert_eq!(cg.scc_members(even).len(), 2);
+        assert!(cg.is_recursive(even));
+        assert!(!cg.is_recursive(driver));
+        // The recursive pair is scheduled before the driver.
+        let levels = cg.schedule_levels();
+        let pair_level = levels
+            .iter()
+            .position(|l| l.contains(&cg.scc_index(even)))
+            .unwrap();
+        let driver_level = levels
+            .iter()
+            .position(|l| l.contains(&cg.scc_index(driver)))
+            .unwrap();
+        assert!(pair_level < driver_level);
+    }
+
+    #[test]
+    fn self_recursion_is_detected() {
+        let (prog, cg) =
+            graph("fn fact(n: i32) -> i32 { if n <= 1 { return 1; } return n * fact(n - 1); }");
+        let fact = prog.func_id("fact").unwrap();
+        assert!(cg.is_recursive(fact));
+        assert_eq!(cg.scc_members(fact), &[fact]);
+    }
+
+    #[test]
+    fn transitive_callers_cover_the_invalidation_set() {
+        let (prog, cg) = graph(CHAIN);
+        let leaf = prog.func_id("leaf").unwrap();
+        let mid = prog.func_id("mid").unwrap();
+        let top = prog.func_id("top").unwrap();
+        assert_eq!(
+            cg.transitive_callers(leaf),
+            [leaf, mid, top].into_iter().collect()
+        );
+        assert_eq!(cg.transitive_callers(top), [top].into_iter().collect());
+    }
+
+    #[test]
+    fn every_scc_appears_in_exactly_one_level() {
+        let (_, cg) = graph(CHAIN);
+        let levels = cg.schedule_levels();
+        let mut seen = BTreeSet::new();
+        for level in &levels {
+            for &scc in level {
+                assert!(seen.insert(scc), "scc {scc} scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), cg.sccs().len());
+    }
+}

@@ -540,7 +540,12 @@ mod tests {
     fn u32_and_usize_alias_to_i32() {
         assert_eq!(
             kinds("u32 usize i32"),
-            vec![TokenKind::I32, TokenKind::I32, TokenKind::I32, TokenKind::Eof]
+            vec![
+                TokenKind::I32,
+                TokenKind::I32,
+                TokenKind::I32,
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod borrowck;
+pub mod callgraph;
 pub mod lexer;
 pub mod loans;
 pub mod lower;
@@ -35,8 +36,12 @@ pub mod mir;
 pub mod parser;
 pub mod regions;
 pub mod span;
+pub mod stable_hash;
 pub mod typeck;
 pub mod types;
+
+pub use callgraph::CallGraph;
+pub use stable_hash::{function_content_hash, StableHasher};
 
 use crate::mir::Body;
 use crate::span::Diagnostic;

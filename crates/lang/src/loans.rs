@@ -65,7 +65,7 @@ pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
     // Seed universal regions from the argument types.
     for arg in body.args() {
         let ty = body.local_decl(arg).ty.clone();
-        seed_universal(body, &Place::from_local(arg), &ty, structs, &mut sets);
+        seed_universal(body, &Place::from_local(arg), &ty, &mut sets);
     }
 
     // Propagate along `longer :> shorter` (Γ(shorter) ⊇ Γ(longer)) and
@@ -99,7 +99,13 @@ pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
         }
 
         // Deref expansion: a loan `(*q).rest` where `q: &'r T` additionally
-        // yields `l.rest` for every loan `l ∈ Γ('r)`.
+        // yields `l.rest` for every loan `l ∈ Γ('r)`. Loan sets can mix
+        // loans of different shapes (a universal region holds both the
+        // opaque `(*p)` and borrowed sub-places propagated into it), so an
+        // expansion is kept only if it is well-typed and has the same shape
+        // as the loan it came from — otherwise `(*p).0` expanded through
+        // base `(*p).1` would fabricate places like `(*p).1.0` that name no
+        // real memory.
         for region_idx in 0..sets.len() {
             let mut additions = Vec::new();
             for loan in &sets[region_idx] {
@@ -112,7 +118,11 @@ pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
                     projection: loan.projection[..deref_pos].to_vec(),
                 };
                 let suffix = &loan.projection[deref_pos + 1..];
-                let Ty::Ref(pointer_region, _, _) = body.place_ty(&pointer, structs) else {
+                let Some(Ty::Ref(pointer_region, _, _)) = body.try_place_ty(&pointer, structs)
+                else {
+                    continue;
+                };
+                let Some(loan_ty) = body.try_place_ty(loan, structs) else {
                     continue;
                 };
                 for base in &sets[pointer_region.0 as usize] {
@@ -128,7 +138,10 @@ pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
                         local: base.local,
                         projection,
                     };
-                    if !sets[region_idx].contains(&expanded) {
+                    let well_typed = body
+                        .try_place_ty(&expanded, structs)
+                        .is_some_and(|t| t.compatible(&loan_ty));
+                    if well_typed && !sets[region_idx].contains(&expanded) {
                         additions.push(expanded);
                     }
                 }
@@ -145,13 +158,7 @@ pub fn compute_loans(body: &Body, structs: &StructTable) -> LoanSets {
 
 /// Seeds Γ(r) ⊇ {(*path)} for every reference position with universal region
 /// `r` reachable inside an argument's type.
-fn seed_universal(
-    body: &Body,
-    place: &Place,
-    ty: &Ty,
-    structs: &StructTable,
-    sets: &mut Vec<BTreeSet<Place>>,
-) {
+fn seed_universal(body: &Body, place: &Place, ty: &Ty, sets: &mut Vec<BTreeSet<Place>>) {
     match ty {
         Ty::Ref(r, _, inner) => {
             let deref_place = place.project(PlaceElem::Deref);
@@ -162,11 +169,11 @@ fn seed_universal(
             {
                 sets[r.0 as usize].insert(deref_place.clone());
             }
-            seed_universal(body, &deref_place, inner, structs, sets);
+            seed_universal(body, &deref_place, inner, sets);
         }
         Ty::Tuple(tys) => {
             for (i, t) in tys.iter().enumerate() {
-                seed_universal(body, &place.field(i as u32), t, structs, sets);
+                seed_universal(body, &place.field(i as u32), t, sets);
             }
         }
         _ => {}
@@ -234,7 +241,11 @@ mod tests {
             .loans(z_region)
             .iter()
             .any(|p| p.local == x_place.local);
-        assert!(rooted_at_x, "loans of z's region: {:?}", loans.loans(z_region));
+        assert!(
+            rooted_at_x,
+            "loans of z's region: {:?}",
+            loans.loans(z_region)
+        );
     }
 
     #[test]
@@ -279,7 +290,11 @@ mod tests {
             .loans(r_region)
             .iter()
             .any(|p| p.local == Local(t_local));
-        assert!(has_t, "expected the returned reference to alias t, got {:?}", loans.loans(r_region));
+        assert!(
+            has_t,
+            "expected the returned reference to alias t, got {:?}",
+            loans.loans(r_region)
+        );
     }
 
     #[test]

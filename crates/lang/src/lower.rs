@@ -342,7 +342,12 @@ impl<'a> LowerCx<'a> {
             }
             StmtKind::Continue => {
                 let (continue_bb, _) = *self.loop_stack.last().expect("continue outside loop");
-                self.terminate(TerminatorKind::Goto { target: continue_bb }, stmt.span);
+                self.terminate(
+                    TerminatorKind::Goto {
+                        target: continue_bb,
+                    },
+                    stmt.span,
+                );
             }
             StmtKind::Expr(e) => {
                 // Evaluate for effect: lower into a temporary.
@@ -566,9 +571,12 @@ mod tests {
             "fn f(c: bool) -> i32 { let mut x = 0; if c { x = 1; } else { x = 2; } return x; }",
             "f",
         );
-        let has_switch = b
-            .block_ids()
-            .any(|bb| matches!(b.block(bb).terminator().kind, TerminatorKind::SwitchBool { .. }));
+        let has_switch = b.block_ids().any(|bb| {
+            matches!(
+                b.block(bb).terminator().kind,
+                TerminatorKind::SwitchBool { .. }
+            )
+        });
         assert!(has_switch);
         let returns = b.return_locations();
         assert_eq!(returns.len(), 1);

@@ -14,14 +14,13 @@ pub mod pretty;
 use crate::ast::{BinOp, Mutability, UnOp};
 use crate::span::Span;
 use crate::types::{FuncId, RegionVid, StructId, Ty};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A local variable slot in a [`Body`].
 ///
 /// By convention `_0` is the return place and `_1.._arg_count` are the
 /// function arguments, exactly as in rustc MIR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Local(pub u32);
 
 impl Local {
@@ -41,7 +40,7 @@ impl fmt::Display for Local {
 }
 
 /// A basic block id in a [`Body`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BasicBlock(pub u32);
 
 impl BasicBlock {
@@ -63,7 +62,7 @@ impl fmt::Display for BasicBlock {
 /// A position in the CFG: a block and a statement index within it.
 ///
 /// `statement_index == block.statements.len()` denotes the terminator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Location {
     /// Which basic block.
     pub block: BasicBlock,
@@ -86,7 +85,7 @@ impl fmt::Display for Location {
 }
 
 /// One element of a place's projection path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PlaceElem {
     /// Field access `.n` (tuple index or struct field index).
     Field(u32),
@@ -95,7 +94,7 @@ pub enum PlaceElem {
 }
 
 /// A place: a local plus a projection path — the `p` of the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Place {
     /// The root local variable.
     pub local: Local,
@@ -189,7 +188,7 @@ impl fmt::Display for Place {
 }
 
 /// A compile-time constant value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstValue {
     /// `()`
     Unit,
@@ -210,7 +209,7 @@ impl fmt::Display for ConstValue {
 }
 
 /// An operand: the argument of an rvalue, call or switch.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Copy the value out of a place.
     Copy(Place),
@@ -241,7 +240,7 @@ impl fmt::Display for Operand {
 }
 
 /// Aggregate kinds: tuples and structs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateKind {
     /// `(a, b, c)`
     Tuple,
@@ -250,7 +249,7 @@ pub enum AggregateKind {
 }
 
 /// Right-hand side of an assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Rvalue {
     /// Plain use of an operand.
     Use(Operand),
@@ -316,7 +315,7 @@ impl fmt::Display for Rvalue {
 }
 
 /// A MIR statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Statement {
     /// What the statement does.
     pub kind: StatementKind,
@@ -325,7 +324,7 @@ pub struct Statement {
 }
 
 /// The kinds of MIR statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StatementKind {
     /// `place = rvalue`
     Assign(Place, Rvalue),
@@ -335,7 +334,7 @@ pub enum StatementKind {
 }
 
 /// A MIR terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Terminator {
     /// What the terminator does.
     pub kind: TerminatorKind,
@@ -344,7 +343,7 @@ pub struct Terminator {
 }
 
 /// The kinds of MIR terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TerminatorKind {
     /// Unconditional jump.
     Goto {
@@ -394,7 +393,7 @@ impl TerminatorKind {
 }
 
 /// One basic block: straight-line statements plus a terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasicBlockData {
     /// The statements, executed in order.
     pub statements: Vec<Statement>,
@@ -430,7 +429,7 @@ impl Default for BasicBlockData {
 }
 
 /// Declaration of one local variable slot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalDecl {
     /// The user-visible name, if this local corresponds to a source variable.
     pub name: Option<String>,
@@ -443,7 +442,7 @@ pub struct LocalDecl {
 }
 
 /// Metadata about one region (provenance) variable of a body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionData {
     /// Name of the lifetime parameter if this is a universal region.
     pub name: Option<String>,
@@ -456,7 +455,7 @@ pub struct RegionData {
 ///
 /// Following the paper (§2.2 step 3 and §4.2), such a constraint makes the
 /// loans of `longer` flow into the loan set of `shorter`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OutlivesConstraint {
     /// The region required to live at least as long as `shorter`.
     pub longer: RegionVid,
@@ -465,7 +464,7 @@ pub struct OutlivesConstraint {
 }
 
 /// The MIR body of one function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Body {
     /// Function name.
     pub name: String,
@@ -568,24 +567,30 @@ impl Body {
             .sum()
     }
 
+    /// The type of a place, resolved through projections, or `None` if the
+    /// place is not well-typed for this body (projection of a non-aggregate,
+    /// deref of a non-reference, unknown field, out-of-range local).
+    pub fn try_place_ty(&self, place: &Place, structs: &crate::types::StructTable) -> Option<Ty> {
+        let mut ty = self.local_decls.get(place.local.index())?.ty.clone();
+        for elem in &place.projection {
+            ty = match (elem, &ty) {
+                (PlaceElem::Deref, Ty::Ref(_, _, inner)) => (**inner).clone(),
+                (PlaceElem::Field(i), t) => t.field_ty(*i, structs)?,
+                _ => return None,
+            };
+        }
+        Some(ty)
+    }
+
     /// The type of a place, resolved through projections.
     ///
     /// # Panics
     ///
-    /// Panics if the place is not well-typed for this body (projection of a
-    /// non-aggregate, deref of a non-reference, unknown field).
+    /// Panics if the place is not well-typed for this body; see
+    /// [`Body::try_place_ty`] for the non-panicking variant.
     pub fn place_ty(&self, place: &Place, structs: &crate::types::StructTable) -> Ty {
-        let mut ty = self.local_decl(place.local).ty.clone();
-        for elem in &place.projection {
-            ty = match (elem, &ty) {
-                (PlaceElem::Deref, Ty::Ref(_, _, inner)) => (**inner).clone(),
-                (PlaceElem::Field(i), t) => t
-                    .field_ty(*i, structs)
-                    .unwrap_or_else(|| panic!("invalid field {i} on {t:?}")),
-                (elem, t) => panic!("invalid projection {elem:?} on {t:?}"),
-            };
-        }
-        ty
+        self.try_place_ty(place, structs)
+            .unwrap_or_else(|| panic!("ill-typed place {place} in body of `{}`", self.name))
     }
 
     /// Number of user-visible variables (locals with names). This is the
@@ -686,7 +691,12 @@ mod tests {
     fn rvalue_operands() {
         let a = Operand::Constant(ConstValue::Int(1));
         let b = Operand::Copy(place(1, &[]));
-        assert_eq!(Rvalue::BinaryOp(BinOp::Add, a.clone(), b.clone()).operands().len(), 2);
+        assert_eq!(
+            Rvalue::BinaryOp(BinOp::Add, a.clone(), b.clone())
+                .operands()
+                .len(),
+            2
+        );
         assert_eq!(Rvalue::Use(a.clone()).operands().len(), 1);
         assert!(Rvalue::Ref {
             region: RegionVid(0),
@@ -696,7 +706,9 @@ mod tests {
         .operands()
         .is_empty());
         assert_eq!(
-            Rvalue::Aggregate(AggregateKind::Tuple, vec![a, b]).operands().len(),
+            Rvalue::Aggregate(AggregateKind::Tuple, vec![a, b])
+                .operands()
+                .len(),
             2
         );
     }

@@ -30,7 +30,13 @@ pub fn body_to_string(body: &Body, structs: &StructTable) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     let ret_ty = body.local_decl(super::Local::RETURN).ty.clone();
-    let _ = writeln!(out, "fn {}({}) -> {} {{", body.name, params, ret_ty.display(structs));
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> {} {{",
+        body.name,
+        params,
+        ret_ty.display(structs)
+    );
 
     for (i, decl) in body.local_decls.iter().enumerate() {
         let name = decl

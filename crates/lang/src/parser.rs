@@ -804,7 +804,8 @@ mod tests {
 
     #[test]
     fn parses_struct_literal_and_field_access() {
-        let src = "struct P { a: i32, b: i32 } fn f() -> i32 { let p = P { a: 1, b: 2 }; return p.a; }";
+        let src =
+            "struct P { a: i32, b: i32 } fn f() -> i32 { let p = P { a: 1, b: 2 }; return p.a; }";
         let p = parse_program(src).unwrap();
         let f = &p.funcs[0];
         assert_eq!(f.body.stmts.len(), 2);
@@ -838,7 +839,11 @@ mod tests {
     fn precedence_of_arithmetic() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, rhs, .. } => match rhs.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match rhs.kind {
                 ExprKind::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("unexpected {other:?}"),
             },

@@ -218,11 +218,7 @@ mod tests {
     /// Returns the compiled body named `name`.
     fn body(src: &str, name: &str) -> crate::mir::Body {
         let prog = compile(src).unwrap();
-        prog.bodies
-            .iter()
-            .find(|b| b.name == name)
-            .unwrap()
-            .clone()
+        prog.bodies.iter().find(|b| b.name == name).unwrap().clone()
     }
 
     #[test]

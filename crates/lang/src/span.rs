@@ -5,7 +5,6 @@
 //! highlight or fade lines (Figure 5a of the paper), and what diagnostics use
 //! to report errors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range `[lo, hi)` into a source string.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!(s.contains(3));
 /// assert!(!s.contains(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Span {
     /// Inclusive start byte offset.
     pub lo: u32,
@@ -88,7 +87,7 @@ impl fmt::Display for Span {
 }
 
 /// A value paired with the span it came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Spanned<T> {
     /// The wrapped value.
     pub node: T,

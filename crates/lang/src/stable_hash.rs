@@ -1,0 +1,392 @@
+//! Stable, span-insensitive content hashing of MIR bodies.
+//!
+//! The incremental analysis engine caches function summaries keyed by what
+//! the analysis actually reads: the function's MIR (statements, terminators,
+//! local types, regions, outlives constraints) and its signature. Source
+//! spans are deliberately **excluded** — editing one function shifts the
+//! byte offsets of everything below it, and a hash that included spans would
+//! invalidate the whole file on every keystroke.
+//!
+//! Callees inside `Call` terminators are hashed by *name*, not by [`FuncId`]:
+//! ids are positional, so inserting a function above would renumber every
+//! later id and spuriously change their hashes.
+//!
+//! The hasher is FNV-1a (64-bit): deterministic across runs, platforms and
+//! toolchain versions, which an on-disk cache needs; `DefaultHasher` makes
+//! no such guarantee.
+
+use crate::ast::Mutability;
+use crate::mir::{
+    AggregateKind, Body, ConstValue, Operand, Place, Rvalue, StatementKind, TerminatorKind,
+};
+use crate::types::FuncId;
+use crate::types::Ty;
+use crate::CompiledProgram;
+
+/// A 64-bit FNV-1a hasher with explicitly stable output.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher in the FNV offset-basis state.
+    pub fn new() -> Self {
+        StableHasher {
+            state: 0xcbf29ce484222325,
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.state ^= v as u64;
+        self.state = self.state.wrapping_mul(0x100000001b3);
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a `usize` (as `u64`, for cross-platform stability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feeds a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes everything the information flow analysis reads from `func`: its
+/// signature and its span-free MIR body, with callees identified by name.
+pub fn function_content_hash(program: &CompiledProgram, func: FuncId) -> u64 {
+    let mut h = StableHasher::new();
+    hash_signature(&mut h, program, func);
+    hash_body(&mut h, program, program.body(func));
+    h.finish()
+}
+
+fn hash_signature(h: &mut StableHasher, program: &CompiledProgram, func: FuncId) {
+    let sig = program.signature(func);
+    h.write_str(&sig.name);
+    h.write_usize(sig.inputs.len());
+    for ty in &sig.inputs {
+        hash_ty(h, program, ty);
+    }
+    hash_ty(h, program, &sig.output);
+    h.write_u32(sig.region_count);
+    h.write_usize(sig.outlives.len());
+    for (longer, shorter) in &sig.outlives {
+        h.write_u32(longer.0);
+        h.write_u32(shorter.0);
+    }
+}
+
+fn hash_body(h: &mut StableHasher, program: &CompiledProgram, body: &Body) {
+    h.write_usize(body.arg_count);
+    h.write_usize(body.local_decls.len());
+    for decl in &body.local_decls {
+        match &decl.name {
+            Some(name) => {
+                h.write_u8(1);
+                h.write_str(name);
+            }
+            None => h.write_u8(0),
+        }
+        hash_ty(h, program, &decl.ty);
+        h.write_bool(decl.mutable);
+    }
+    h.write_usize(body.regions.len());
+    for region in &body.regions {
+        h.write_bool(region.is_universal);
+    }
+    h.write_usize(body.outlives.len());
+    for c in &body.outlives {
+        h.write_u32(c.longer.0);
+        h.write_u32(c.shorter.0);
+    }
+    h.write_usize(body.basic_blocks.len());
+    for bb in body.block_ids() {
+        let data = body.block(bb);
+        h.write_usize(data.statements.len());
+        for stmt in &data.statements {
+            hash_statement(h, program, &stmt.kind);
+        }
+        hash_terminator(h, program, &data.terminator().kind);
+    }
+}
+
+fn hash_statement(h: &mut StableHasher, program: &CompiledProgram, kind: &StatementKind) {
+    match kind {
+        StatementKind::Assign(place, rvalue) => {
+            h.write_u8(0);
+            hash_place(h, place);
+            hash_rvalue(h, program, rvalue);
+        }
+        StatementKind::Nop => h.write_u8(1),
+    }
+}
+
+fn hash_terminator(h: &mut StableHasher, program: &CompiledProgram, kind: &TerminatorKind) {
+    match kind {
+        TerminatorKind::Goto { target } => {
+            h.write_u8(0);
+            h.write_u32(target.0);
+        }
+        TerminatorKind::SwitchBool {
+            discr,
+            true_block,
+            false_block,
+        } => {
+            h.write_u8(1);
+            hash_operand(h, discr);
+            h.write_u32(true_block.0);
+            h.write_u32(false_block.0);
+        }
+        TerminatorKind::Call {
+            func,
+            args,
+            destination,
+            target,
+        } => {
+            h.write_u8(2);
+            // By name, not id: ids are positional and shift when functions
+            // are added or removed elsewhere in the program.
+            h.write_str(&program.signature(*func).name);
+            h.write_usize(args.len());
+            for arg in args {
+                hash_operand(h, arg);
+            }
+            hash_place(h, destination);
+            h.write_u32(target.0);
+        }
+        TerminatorKind::Return => h.write_u8(3),
+        TerminatorKind::Unreachable => h.write_u8(4),
+    }
+}
+
+fn hash_rvalue(h: &mut StableHasher, program: &CompiledProgram, rvalue: &Rvalue) {
+    match rvalue {
+        Rvalue::Use(op) => {
+            h.write_u8(0);
+            hash_operand(h, op);
+        }
+        Rvalue::BinaryOp(op, a, b) => {
+            h.write_u8(1);
+            h.write_str(&op.to_string());
+            hash_operand(h, a);
+            hash_operand(h, b);
+        }
+        Rvalue::UnaryOp(op, a) => {
+            h.write_u8(2);
+            h.write_str(&op.to_string());
+            hash_operand(h, a);
+        }
+        Rvalue::Ref {
+            region,
+            mutbl,
+            place,
+        } => {
+            h.write_u8(3);
+            h.write_u32(region.0);
+            h.write_bool(matches!(mutbl, Mutability::Mut));
+            hash_place(h, place);
+        }
+        Rvalue::Aggregate(kind, ops) => {
+            h.write_u8(4);
+            match kind {
+                AggregateKind::Tuple => h.write_u8(0),
+                AggregateKind::Struct(sid) => {
+                    h.write_u8(1);
+                    h.write_str(&program.structs.get(*sid).name);
+                }
+            }
+            h.write_usize(ops.len());
+            for op in ops {
+                hash_operand(h, op);
+            }
+        }
+    }
+}
+
+fn hash_operand(h: &mut StableHasher, op: &Operand) {
+    match op {
+        Operand::Copy(p) => {
+            h.write_u8(0);
+            hash_place(h, p);
+        }
+        Operand::Move(p) => {
+            h.write_u8(1);
+            hash_place(h, p);
+        }
+        Operand::Constant(c) => {
+            h.write_u8(2);
+            match c {
+                ConstValue::Unit => h.write_u8(0),
+                ConstValue::Int(v) => {
+                    h.write_u8(1);
+                    h.write_u64(*v as u64);
+                }
+                ConstValue::Bool(b) => {
+                    h.write_u8(2);
+                    h.write_bool(*b);
+                }
+            }
+        }
+    }
+}
+
+fn hash_place(h: &mut StableHasher, place: &Place) {
+    h.write_u32(place.local.0);
+    h.write_usize(place.projection.len());
+    for elem in &place.projection {
+        match elem {
+            crate::mir::PlaceElem::Field(i) => {
+                h.write_u8(0);
+                h.write_u32(*i);
+            }
+            crate::mir::PlaceElem::Deref => h.write_u8(1),
+        }
+    }
+}
+
+fn hash_ty(h: &mut StableHasher, program: &CompiledProgram, ty: &Ty) {
+    match ty {
+        Ty::Unit => h.write_u8(0),
+        Ty::Int => h.write_u8(1),
+        Ty::Bool => h.write_u8(2),
+        Ty::Tuple(tys) => {
+            h.write_u8(3);
+            h.write_usize(tys.len());
+            for t in tys {
+                hash_ty(h, program, t);
+            }
+        }
+        Ty::Struct(sid) => {
+            h.write_u8(4);
+            let data = program.structs.get(*sid);
+            h.write_str(&data.name);
+            h.write_usize(data.fields.len());
+            for (name, field_ty) in &data.fields {
+                h.write_str(name);
+                hash_ty(h, program, field_ty);
+            }
+        }
+        Ty::Ref(region, mutbl, inner) => {
+            h.write_u8(5);
+            h.write_u32(region.0);
+            h.write_bool(matches!(mutbl, Mutability::Mut));
+            hash_ty(h, program, inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn hash_of(src: &str, name: &str) -> u64 {
+        let prog = compile(src).expect("test program compiles");
+        function_content_hash(&prog, prog.func_id(name).expect("function exists"))
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let src = "fn f(x: i32) -> i32 { let a = x + 1; return a; }";
+        assert_eq!(hash_of(src, "f"), hash_of(src, "f"));
+    }
+
+    #[test]
+    fn body_changes_change_the_hash() {
+        let a = hash_of("fn f(x: i32) -> i32 { return x + 1; }", "f");
+        let b = hash_of("fn f(x: i32) -> i32 { return x + 2; }", "f");
+        let c = hash_of("fn f(x: i32) -> i32 { return x * 1; }", "f");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn signature_changes_change_the_hash() {
+        let a = hash_of("fn f(x: i32) -> i32 { return x; }", "f");
+        let b = hash_of("fn f(x: i32, y: i32) -> i32 { return x; }", "f");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn editing_an_unrelated_function_keeps_the_hash() {
+        // `g` gains a statement, which shifts every span below it; `f`'s
+        // hash must not move.
+        let v1 = "fn g(x: i32) -> i32 { return x; }
+                  fn f(x: i32) -> i32 { return x + 1; }";
+        let v2 = "fn g(x: i32) -> i32 { let y = x * 3; return y; }
+                  fn f(x: i32) -> i32 { return x + 1; }";
+        assert_eq!(hash_of(v1, "f"), hash_of(v2, "f"));
+        assert_ne!(hash_of(v1, "g"), hash_of(v2, "g"));
+    }
+
+    #[test]
+    fn inserting_a_function_above_keeps_callee_hashes() {
+        // FuncIds shift, but calls are hashed by name.
+        let v1 = "fn helper(x: i32) -> i32 { return x; }
+                  fn f(x: i32) -> i32 { return helper(x); }";
+        let v2 = "fn newcomer(x: i32) -> i32 { return x * 9; }
+                  fn helper(x: i32) -> i32 { return x; }
+                  fn f(x: i32) -> i32 { return helper(x); }";
+        assert_eq!(hash_of(v1, "f"), hash_of(v2, "f"));
+    }
+
+    #[test]
+    fn whitespace_and_comment_edits_keep_the_hash() {
+        let v1 = "fn f(x: i32) -> i32 { return x + 1; }";
+        let v2 = "fn f(x: i32)   ->   i32 {\n    return x + 1;\n}";
+        assert_eq!(hash_of(v1, "f"), hash_of(v2, "f"));
+    }
+
+    #[test]
+    fn hasher_primitives_separate_concatenations() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = StableHasher::default();
+        c.write_u32(7);
+        c.write_bool(true);
+        c.write_usize(3);
+        assert_ne!(c.finish(), StableHasher::new().finish());
+    }
+}

@@ -133,7 +133,10 @@ fn build_struct_table(program: &Program) -> Result<StructTable, Diagnostic> {
             })?;
             if ty.contains_ref() {
                 return Err(Diagnostic::error(
-                    format!("struct field `{}.{fname}` contains a reference type", s.name),
+                    format!(
+                        "struct field `{}.{fname}` contains a reference type",
+                        s.name
+                    ),
                     s.span,
                 ));
             }
@@ -174,9 +177,9 @@ fn ast_ty_to_ty(
                 .collect::<Result<_, _>>()?,
         ),
         AstTy::Named(name) => {
-            let id = structs.lookup(name).ok_or_else(|| {
-                Diagnostic::error(format!("unknown type `{name}`"), Span::DUMMY)
-            })?;
+            let id = structs
+                .lookup(name)
+                .ok_or_else(|| Diagnostic::error(format!("unknown type `{name}`"), Span::DUMMY))?;
             Ty::Struct(id)
         }
         AstTy::Ref {
@@ -241,7 +244,10 @@ fn build_signatures(program: &Program, structs: &StructTable) -> Result<Vec<FnSi
         let output = ast_ty_to_ty(&f.ret_ty, structs, &mut |lt| match lt {
             Some(name) => named.get(name).copied().ok_or_else(|| {
                 Diagnostic::error(
-                    format!("undeclared lifetime `'{name}` in return type of `{}`", f.name),
+                    format!(
+                        "undeclared lifetime `'{name}` in return type of `{}`",
+                        f.name
+                    ),
                     f.span,
                 )
             }),
@@ -264,10 +270,16 @@ fn build_signatures(program: &Program, structs: &StructTable) -> Result<Vec<FnSi
         let mut outlives = Vec::new();
         for (long, short) in &f.outlives_bounds {
             let l = *named.get(long).ok_or_else(|| {
-                Diagnostic::error(format!("undeclared lifetime `'{long}` in where clause"), f.span)
+                Diagnostic::error(
+                    format!("undeclared lifetime `'{long}` in where clause"),
+                    f.span,
+                )
             })?;
             let s = *named.get(short).ok_or_else(|| {
-                Diagnostic::error(format!("undeclared lifetime `'{short}` in where clause"), f.span)
+                Diagnostic::error(
+                    format!("undeclared lifetime `'{short}` in where clause"),
+                    f.span,
+                )
             })?;
             outlives.push((l, s));
         }
@@ -346,8 +358,7 @@ impl<'a> FnChecker<'a> {
             return Err(Diagnostic::error(
                 format!(
                     "function `{}` returns `{}` but not all control-flow paths end in `return`",
-                    self.func.name,
-                    self.func.ret_ty
+                    self.func.name, self.func.ret_ty
                 ),
                 self.func.span,
             ));
@@ -908,7 +919,8 @@ mod tests {
         assert!(ok.is_ok());
         let arity = check("fn g(x: i32) -> i32 { return x; } fn f() { let a = g(); }").unwrap_err();
         assert!(arity.message.contains("expects 1 arguments"));
-        let ty = check("fn g(x: i32) -> i32 { return x; } fn f() { let a = g(true); }").unwrap_err();
+        let ty =
+            check("fn g(x: i32) -> i32 { return x; } fn f() { let a = g(true); }").unwrap_err();
         assert!(ty.message.contains("argument type mismatch"));
     }
 

@@ -8,15 +8,14 @@
 //! treats the regions in local types.
 
 use crate::ast::Mutability;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a struct definition in a [`StructTable`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StructId(pub u32);
 
 /// A region (provenance / lifetime) variable, scoped to one function body.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionVid(pub u32);
 
 impl RegionVid {
@@ -41,7 +40,7 @@ impl fmt::Display for RegionVid {
 }
 
 /// A semantic type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// The unit type `()`.
     Unit,
@@ -186,7 +185,7 @@ impl fmt::Display for TyDisplay<'_> {
 }
 
 /// A struct definition resolved to semantic types.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructData {
     /// Struct name.
     pub name: String,
@@ -205,7 +204,7 @@ impl StructData {
 }
 
 /// Table of all struct definitions in a program.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StructTable {
     structs: Vec<StructData>,
 }
@@ -260,12 +259,12 @@ impl StructTable {
 }
 
 /// Index of a function in a compiled [`crate::CompiledProgram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 /// A function signature as seen by callers: the only information the modular
 /// analysis is allowed to use about a callee (paper §2.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnSig {
     /// Function name.
     pub name: String,
@@ -332,7 +331,10 @@ mod tests {
 
     #[test]
     fn contains_ref_walks_tuples() {
-        let t = Ty::Tuple(vec![Ty::Int, Ty::make_ref(RegionVid(0), Mutability::Shared, Ty::Bool)]);
+        let t = Ty::Tuple(vec![
+            Ty::Int,
+            Ty::make_ref(RegionVid(0), Mutability::Shared, Ty::Bool),
+        ]);
         assert!(t.contains_ref());
         assert!(!Ty::Tuple(vec![Ty::Int, Ty::Bool]).contains_ref());
     }

@@ -77,6 +77,25 @@ impl<'a> Slicer<'a> {
     /// Analyzes `func` and prepares it for slicing queries.
     pub fn new(program: &'a CompiledProgram, func: FuncId, params: AnalysisParams) -> Self {
         let results = analyze(program, func, &params);
+        Slicer::from_results(program, func, results)
+    }
+
+    /// Wraps precomputed analysis results (e.g. served by the incremental
+    /// analysis engine) without re-running the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` were computed for a different function.
+    pub fn from_results(
+        program: &'a CompiledProgram,
+        func: FuncId,
+        results: InfoFlowResults,
+    ) -> Self {
+        assert_eq!(
+            results.func(),
+            func,
+            "results belong to a different function"
+        );
         Slicer {
             program,
             func,
@@ -228,7 +247,10 @@ fn main_like(input: i32, verbose: bool) -> i32 {
         let prog: &'static flowistry_lang::CompiledProgram =
             Box::leak(Box::new(flowistry_lang::compile(src).unwrap()));
         let id = prog.func_id(func).unwrap();
-        (prog.clone(), Slicer::new(prog, id, AnalysisParams::default()))
+        (
+            prog.clone(),
+            Slicer::new(prog, id, AnalysisParams::default()),
+        )
     }
 
     #[test]

@@ -74,7 +74,15 @@ fn main() {
     // The headline flows of the figure:
     let h_deref = flowistry_lang::mir::Place::from_local(flowistry_lang::mir::Local(1)).deref();
     let deps = results.exit_theta().read_conflicts(&h_deref);
-    println!("At exit, Θ(*h) = {{{}}}", deps.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", "));
+    println!(
+        "At exit, Θ(*h) = {{{}}}",
+        deps.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("— it contains the key argument and the switch location, i.e. the map depends on `k`");
-    println!("  both through insert's mutation and through the control dependence on contains_key.");
+    println!(
+        "  both through insert's mutation and through the control dependence on contains_key."
+    );
 }

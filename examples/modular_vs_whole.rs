@@ -88,6 +88,8 @@ fn main() {
     println!("\nobservations (mirroring §5.3 of the paper):");
     println!("* whole-program shrinks `image`/`vec` because it sees crop never writes and solve's");
     println!("  return ignores the buffer;");
-    println!("* mut-blind inflates everything touched through the shared references in read_until;");
+    println!(
+        "* mut-blind inflates everything touched through the shared references in read_until;"
+    );
     println!("* ref-blind inflates `parent`/`child`, which lifetimes would keep apart.");
 }

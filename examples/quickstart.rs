@@ -29,7 +29,11 @@ fn copy_to(v: &(i32, i32), max: i32) -> (i32, i32) {
 
 fn main() {
     let program = compile(COPY_TO).expect("the example program compiles");
-    println!("compiled {} functions, {} MIR instructions total\n", program.bodies.len(), program.total_instructions());
+    println!(
+        "compiled {} functions, {} MIR instructions total\n",
+        program.bodies.len(),
+        program.total_instructions()
+    );
 
     let func = program.func_id("copy_to").expect("copy_to exists");
     println!("=== MIR of copy_to ===");

@@ -8,6 +8,8 @@
 //!   control dependence);
 //! * [`core`] — the modular information flow analysis itself;
 //! * [`interp`] — the interpreter and empirical noninterference checker;
+//! * [`engine`] — the incremental analysis engine (call-graph scheduling,
+//!   content-hashed summary caching, batch query API);
 //! * [`slicer`] — the program slicer application (Figure 5a);
 //! * [`ifc`] — the information flow control checker (Figure 5b);
 //! * [`corpus`] — the synthetic evaluation dataset generator;
@@ -32,6 +34,7 @@
 pub use flowistry_core as core;
 pub use flowistry_corpus as corpus;
 pub use flowistry_dataflow as dataflow;
+pub use flowistry_engine as engine;
 pub use flowistry_eval as eval;
 pub use flowistry_ifc as ifc;
 pub use flowistry_interp as interp;
@@ -41,6 +44,7 @@ pub use flowistry_slicer as slicer;
 /// The most commonly used items, for `use flowistry::prelude::*`.
 pub mod prelude {
     pub use flowistry_core::{analyze, AnalysisParams, Condition, Dep, DepSet, Theta, ThetaExt};
+    pub use flowistry_engine::{AnalysisEngine, EngineConfig};
     pub use flowistry_ifc::{IfcChecker, IfcPolicy};
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
@@ -66,5 +70,32 @@ mod tests {
             .run_with_env(func, vec![Value::Int(2), Value::Int(3)])
             .unwrap();
         assert_eq!(out.return_value, Value::Int(5));
+    }
+
+    #[test]
+    fn facade_engine_serves_slices_and_summaries() {
+        let program = compile(
+            "fn helper(p: &mut i32, v: i32) { *p = v; }
+             fn main_fn(a: i32, b: i32) -> i32 {
+                 let mut x = 0;
+                 helper(&mut x, a);
+                 let unused = b + 1;
+                 return x;
+             }",
+        )
+        .unwrap();
+        let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+        let mut engine = AnalysisEngine::new(&program, EngineConfig::default().with_params(params));
+        let stats = engine.analyze_all();
+        assert_eq!(stats.analyzed, 2);
+
+        let main_fn = program.func_id("main_fn").unwrap();
+        let slice = engine.backward_slice(main_fn, "x").unwrap();
+        assert!(slice.contains_line(4), "lines: {:?}", slice.lines);
+        assert!(!slice.contains_line(5), "lines: {:?}", slice.lines);
+
+        let helper = program.func_id("helper").unwrap();
+        let summary = engine.summary(helper).unwrap();
+        assert_eq!(summary.mutations.len(), 1);
     }
 }

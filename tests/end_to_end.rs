@@ -60,7 +60,10 @@ fn modular_analysis_finds_cross_function_flows() {
     let args: Vec<_> = deps.iter().filter_map(|d| d.arg()).collect();
     assert!(args.contains(&Local(3)), "amount flows into *to: {args:?}");
     // ... and on the pin, via control flow (the early return).
-    assert!(args.contains(&Local(4)), "pin controls whether *to changes: {args:?}");
+    assert!(
+        args.contains(&Local(4)),
+        "pin controls whether *to changes: {args:?}"
+    );
 }
 
 #[test]
@@ -153,13 +156,9 @@ fn noninterference_holds_on_the_bank_program() {
     let program = compile(BANK).unwrap();
     for name in ["deposit", "can_withdraw", "withdraw", "transfer"] {
         let func = program.func_id(name).unwrap();
-        if let Some(report) = flowistry_interp::check_function(
-            &program,
-            func,
-            &AnalysisParams::default(),
-            24,
-            0xBEEF,
-        ) {
+        if let Some(report) =
+            flowistry_interp::check_function(&program, func, &AnalysisParams::default(), 24, 0xBEEF)
+        {
             assert!(
                 report.holds(),
                 "noninterference violated in {name}: {:?}",

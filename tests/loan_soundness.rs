@@ -20,13 +20,18 @@ fn runtime_pointee(program: &CompiledProgram, name: &str, args: Vec<Value>) -> P
     let out = interp.run_with_env(func, args).expect("execution succeeds");
     match out.return_value {
         Value::Ref(ptr) => {
-            assert_eq!(ptr.frame, 0, "returned reference must point into the environment frame");
+            assert_eq!(
+                ptr.frame, 0,
+                "returned reference must point into the environment frame"
+            );
             // Environment slot i backs parameter _{i+1}; the pointee is
             // therefore the place (*_{i+1}) extended with the pointer's
             // projection.
             let param = Local(ptr.place.local.0 + 1);
             let mut place = Place::from_local(param).deref();
-            place.projection.extend(ptr.place.projection.iter().copied());
+            place
+                .projection
+                .extend(ptr.place.projection.iter().copied());
             place
         }
         other => panic!("expected the function to return a reference, got {other}"),
@@ -83,7 +88,11 @@ fn identity<'a>(r: &'a mut i32) -> &'a mut i32 {
 
 fn compiled() -> CompiledProgram {
     let program = compile(PROGRAMS).expect("programs compile");
-    assert!(program.borrow_errors.is_empty(), "{:?}", program.borrow_errors);
+    assert!(
+        program.borrow_errors.is_empty(),
+        "{:?}",
+        program.borrow_errors
+    );
     program
 }
 
@@ -138,7 +147,13 @@ fn ref_blind_aliases_are_a_superset_of_lifetime_aliases() {
     // The Ref-blind ablation must never be *more* precise than the
     // lifetime-based analysis on the returned reference's referent.
     let program = compiled();
-    for name in ["first_field", "pick_field", "pass_through", "tuple_slot", "identity"] {
+    for name in [
+        "first_field",
+        "pick_field",
+        "pass_through",
+        "tuple_slot",
+        "identity",
+    ] {
         let func = program.func_id(name).unwrap();
         let body = program.body(func);
         let precise = AliasAnalysis::new(body, &program.structs, AliasMode::Lifetimes);

@@ -16,10 +16,7 @@ fn arb_place() -> impl Strategy<Value = Place> {
     (
         0u32..4,
         prop::collection::vec(
-            prop_oneof![
-                (0u32..3).prop_map(PlaceElem::Field),
-                Just(PlaceElem::Deref)
-            ],
+            prop_oneof![(0u32..3).prop_map(PlaceElem::Field), Just(PlaceElem::Deref)],
             0..4,
         ),
     )

@@ -1,0 +1,244 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkId::from_parameter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up briefly, then timed for a fixed number of
+//! samples; the median, mean and min are printed in a criterion-like format.
+//! There is no statistical regression analysis — the goal is honest wall
+//! clock numbers with a stable report shape, not confidence intervals.
+//!
+//! Passing `--quick` (or setting `CRITERION_QUICK=1`) cuts sample counts to
+//! smoke-test levels so `cargo bench` can double as a correctness run.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the timing measurement used by benches.
+pub use std::time::Duration as BenchDuration;
+
+/// Opaque identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The per-iteration timer handle passed to `bench_with_input` closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one timing sample per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: aim for samples of at least ~1ms so the
+        // timer resolution does not dominate, but cap the calibration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let per_sample = Duration::from_millis(1);
+        self.iters_per_sample = if once >= per_sample {
+            1
+        } else {
+            let times = per_sample.as_nanos() / once.as_nanos().max(1);
+            (times as u64).clamp(1, 1_000_000)
+        };
+
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `routine` against `input` and prints a summary line.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.criterion.quick {
+            2
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: samples,
+        };
+        routine(&mut bencher, input);
+        let mut xs = bencher.samples;
+        if xs.is_empty() {
+            println!(
+                "{}/{}: no samples (routine never called iter)",
+                self.name, id.label
+            );
+            return self;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = xs[xs.len() / 2];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        println!(
+            "{}/{}: median {} mean {} min {} ({} samples x {} iters)",
+            self.name,
+            id.label,
+            format_time(median),
+            format_time(mean),
+            format_time(xs[0]),
+            xs.len(),
+            bencher.iters_per_sample,
+        );
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("self_test");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("case"), &5u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_time_picks_sensible_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

@@ -1,0 +1,244 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of the `rand` 0.8 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! half-open and inclusive integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! strong for simulation purposes and fully deterministic from the seed,
+//! which is all the corpus generator needs. It makes no attempt to be
+//! cryptographically secure or to reproduce upstream `StdRng`'s exact
+//! stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can seed themselves from a `u64` (subset of `rand`'s trait).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A sampling range, implemented for integer `a..b` and `a..=b`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// The user-facing random-value interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Helper trait so the blanket [`Rng`] methods can reach the concrete
+/// generator state (this vendored crate only has one generator type).
+pub trait AsStdRng {
+    /// The concrete generator behind this handle.
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// The standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the seeding recommended by the xoshiro
+            // authors (never yields the all-zero state).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+/// Uniform sampling of a `u64` in `[0, bound)` by Lemire's method with a
+/// rejection step to remove modulo bias.
+fn uniform_below(rng: &mut rngs::StdRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    if bound.is_power_of_two() {
+        return rng.next() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Integer types uniformly samplable by this crate. Implemented via `i128`
+/// widening so the same code covers signed and unsigned types.
+pub trait SampleUniform: Copy {
+    /// Converts to the widening type.
+    fn to_i128(self) -> i128;
+    /// Converts back from the widening type (must be in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// A single blanket impl per range shape (mirroring upstream rand) so type
+// inference can unify the range's element type with the sampled type — ten
+// per-type impls would leave `v[rng.gen_range(0..n)]` ambiguous.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (start, end) = (self.start.to_i128(), self.end.to_i128());
+        assert!(start < end, "cannot sample empty range");
+        let off = uniform_below(rng, (end - start) as u64);
+        T::from_i128(start + off as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (start, end) = self.into_inner();
+        let (start, end) = (start.to_i128(), end.to_i128());
+        assert!(start <= end, "cannot sample empty range");
+        let span = (end - start) as u64;
+        if span == u64::MAX {
+            return T::from_i128(start + rng.next() as i128);
+        }
+        let off = uniform_below(rng, span + 1);
+        T::from_i128(start + off as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..7);
+            assert!(v < 7);
+            let w: i64 = rng.gen_range(-2i64..=4i64);
+            assert!((-2..=4).contains(&w));
+            let x: u32 = rng.gen_range(3..4);
+            assert_eq!(x, 3);
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_small_range_occur() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&hits), "biased coin: {hits}");
+    }
+}
