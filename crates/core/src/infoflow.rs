@@ -90,15 +90,35 @@ pub struct CachedSummary {
     pub hit_boundary: bool,
 }
 
+/// A source of precomputed callee summaries consulted before the analysis
+/// falls back to recursing into a callee's body.
+///
+/// The plain in-process seed table is a `HashMap`, but the incremental
+/// engine's work-stealing scheduler publishes summaries into a concurrent
+/// store while other workers are mid-analysis — so seeding is expressed as
+/// a trait and [`analyze_with_summaries`] / [`compute_summary`] accept any
+/// implementation. A lookup returns an owned [`CachedSummary`] because
+/// concurrent stores cannot hand out references across their lock guards.
+pub trait SummaryStore {
+    /// The precomputed summary of `func`, if the store has one.
+    fn lookup(&self, func: FuncId) -> Option<CachedSummary>;
+}
+
+impl SummaryStore for HashMap<FuncId, CachedSummary> {
+    fn lookup(&self, func: FuncId) -> Option<CachedSummary> {
+        self.get(&func).cloned()
+    }
+}
+
 /// Shared state threaded through recursive Whole-program analyses.
 ///
-/// `seeds` are the caller-provided precomputed summaries (borrowed, so
-/// seeding is O(1) no matter how many functions the engine has cached);
-/// `memo` is the per-run memo table filled when `memoize_summaries` is on.
+/// `seeds` is the caller-provided summary store (borrowed, so seeding is
+/// O(1) no matter how many functions the engine has cached); `memo` is the
+/// per-run memo table filled when `memoize_summaries` is on.
 #[derive(Default)]
 struct SharedCtx<'s> {
     stack: Vec<FuncId>,
-    seeds: Option<&'s HashMap<FuncId, CachedSummary>>,
+    seeds: Option<&'s dyn SummaryStore>,
     memo: HashMap<FuncId, CachedSummary>,
 }
 
@@ -233,7 +253,7 @@ pub fn analyze_with_summaries(
     program: &CompiledProgram,
     func: FuncId,
     params: &AnalysisParams,
-    summaries: &HashMap<FuncId, CachedSummary>,
+    summaries: &dyn SummaryStore,
 ) -> InfoFlowResults {
     let ctx = RefCell::new(SharedCtx {
         stack: Vec::new(),
@@ -249,7 +269,7 @@ pub fn compute_summary(
     program: &CompiledProgram,
     func: FuncId,
     params: &AnalysisParams,
-    summaries: &HashMap<FuncId, CachedSummary>,
+    summaries: &dyn SummaryStore,
 ) -> CachedSummary {
     let results = analyze_with_summaries(program, func, params, summaries);
     CachedSummary {
@@ -625,13 +645,13 @@ impl FlowAnalysis<'_, '_> {
             let ctx = self.ctx.borrow();
             let cached = ctx
                 .seeds
-                .and_then(|seeds| seeds.get(&func))
-                .or_else(|| ctx.memo.get(&func));
+                .and_then(|seeds| seeds.lookup(func))
+                .or_else(|| ctx.memo.get(&func).cloned());
             if let Some(cached) = cached {
                 if cached.hit_boundary {
                     self.hit_boundary.set(true);
                 }
-                return Some(cached.summary.clone());
+                return Some(cached.summary);
             }
             if ctx.stack.contains(&func) || ctx.stack.len() >= self.params.max_recursion_depth {
                 return None;

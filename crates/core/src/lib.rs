@@ -55,5 +55,6 @@ pub use condition::{AnalysisParams, Condition};
 pub use deps::{Dep, DepSet, Theta, ThetaExt};
 pub use infoflow::{
     analyze, analyze_with_summaries, compute_summary, BodyGraph, CachedSummary, InfoFlowResults,
+    SummaryStore,
 };
 pub use summary::{FunctionSummary, SummaryMutation};

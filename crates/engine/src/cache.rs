@@ -1,4 +1,4 @@
-//! The content-addressed summary cache.
+//! The content-addressed, sharded summary cache.
 //!
 //! Entries are keyed by a [`SummaryKey`]: a stable hash covering everything
 //! a function's summary can depend on — its own MIR content hash, the keys
@@ -9,16 +9,46 @@
 //! its own key and (through the key recurrence) the keys of every
 //! transitive caller, invalidating exactly the dirty subgraph.
 //!
-//! The cache optionally persists to disk as a line-oriented text file
-//! (`flowistry-engine-cache v1` header, then `<key> <boundary> <summary>`
-//! per line) so repeated runs over the same corpus start warm. Malformed
-//! lines are skipped — a corrupt cache degrades to cold misses, never to
-//! wrong results.
+//! # Sharding
+//!
+//! The cache is split into [`SHARD_COUNT`] shards by **key prefix** (the top
+//! four bits of the key — the first hex digit of its rendered form). Each
+//! shard has its own lock, so the engine's work-stealing workers insert
+//! fresh summaries concurrently without funneling through one mutex, and
+//! its own persistence file, so concurrent engine processes sharing one
+//! cache path replace sixteenths of the store atomically and independently.
+//! Persistence is *last-writer-wins per shard* — a save writes this
+//! process's entries, it does not merge with what is on disk (on-disk
+//! merging would resurrect evicted entries forever). Content-addressed keys
+//! make any interleaving of whole-shard files safe: a loader sees some
+//! writer's complete, valid entry set per shard, never a torn mix.
+//!
+//! # Disk format
+//!
+//! Persistence is line-oriented text. For a configured cache path
+//! `dir/summaries.cache`, version 2 writes one file per shard named
+//! `dir/summaries.<shard>.cache`, each starting with the header
+//! `flowistry-engine-cache v2` followed by `<key> <boundary> <summary>`
+//! lines (key as 16 hex digits, boundary as `0`/`1`, summary in the
+//! [`FunctionSummary::encode`] codec), in sorted key order so output is
+//! reproducible. Legacy single-file v1 caches (header
+//! `flowistry-engine-cache v1` at the configured path itself) still load
+//! transparently and are migrated to the sharded layout on the next save.
+//! Malformed lines are skipped — a corrupt cache degrades to cold misses,
+//! never to wrong results.
+//!
+//! Every write goes through a uniquely named temp file in the destination
+//! directory (process id + per-process sequence number) followed by an
+//! atomic rename, so two engines persisting to the same path concurrently
+//! cannot observe or produce a torn file: each shard file is always,
+//! atomically, one writer's complete output.
 
 use flowistry_core::{CachedSummary, FunctionSummary};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The cache key of one function's summary under one parameterization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,7 +60,16 @@ impl std::fmt::Display for SummaryKey {
     }
 }
 
-const HEADER: &str = "flowistry-engine-cache v1";
+/// Number of cache shards. A power of two; the shard of a key is its top
+/// four bits, i.e. the first hex digit of `SummaryKey`'s display form.
+pub const SHARD_COUNT: usize = 16;
+
+const HEADER_V2: &str = "flowistry-engine-cache v2";
+const HEADER_V1: &str = "flowistry-engine-cache v1";
+
+/// Sequence number making concurrent temp files unique within one process;
+/// the process id distinguishes processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One cached summary plus the last generation that used it.
 #[derive(Debug, Clone)]
@@ -39,8 +78,12 @@ struct Entry {
     last_seen: u64,
 }
 
-/// An in-memory map from [`SummaryKey`] to cached summaries, with optional
+/// A sharded map from [`SummaryKey`] to cached summaries, with optional
 /// disk persistence and generation-based eviction.
+///
+/// All read/write methods take `&self`: each shard is behind its own lock,
+/// so scheduler workers on different threads look up and insert entries
+/// concurrently (see the module docs for the sharding scheme).
 ///
 /// Content-addressed keys never repeat across program versions, so without
 /// eviction an edit-reanalyze loop would grow the cache with every stale
@@ -49,10 +92,26 @@ struct Entry {
 /// [`SummaryCache::end_generation`], which drops entries that have not been
 /// used for `max_age` runs — recently flipped-between program versions stay
 /// warm, ancient ones are reclaimed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct SummaryCache {
-    entries: HashMap<SummaryKey, Entry>,
-    generation: u64,
+    shards: Vec<Mutex<HashMap<SummaryKey, Entry>>>,
+    generation: AtomicU64,
+}
+
+impl Default for SummaryCache {
+    fn default() -> Self {
+        SummaryCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the shard holding `key`.
+fn shard_of(key: SummaryKey) -> usize {
+    (key.0 >> 60) as usize & (SHARD_COUNT - 1)
 }
 
 impl SummaryCache {
@@ -61,123 +120,213 @@ impl SummaryCache {
         SummaryCache::default()
     }
 
-    /// Number of cached summaries.
+    fn shard(&self, key: SummaryKey) -> std::sync::MutexGuard<'_, HashMap<SummaryKey, Entry>> {
+        self.shards[shard_of(key)].lock().expect("cache shard lock")
+    }
+
+    /// Number of cached summaries across all shards.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Looks up a summary by key.
-    pub fn get(&self, key: SummaryKey) -> Option<&CachedSummary> {
-        self.entries.get(&key).map(|e| &e.value)
+    /// Looks up a summary by key. Returns an owned copy: references cannot
+    /// escape the shard lock.
+    pub fn get(&self, key: SummaryKey) -> Option<CachedSummary> {
+        self.shard(key).get(&key).map(|e| e.value.clone())
     }
 
     /// Stores a summary under `key`, marking it used in this generation.
-    pub fn insert(&mut self, key: SummaryKey, entry: CachedSummary) {
-        self.entries.insert(
+    pub fn insert(&self, key: SummaryKey, entry: CachedSummary) {
+        let last_seen = self.generation.load(Ordering::Relaxed);
+        self.shard(key).insert(
             key,
             Entry {
                 value: entry,
-                last_seen: self.generation,
+                last_seen,
             },
         );
     }
 
     /// Marks `keys` as used in the current generation.
-    pub fn touch(&mut self, keys: impl IntoIterator<Item = SummaryKey>) {
+    pub fn touch(&self, keys: impl IntoIterator<Item = SummaryKey>) {
+        let generation = self.generation.load(Ordering::Relaxed);
         for key in keys {
-            if let Some(entry) = self.entries.get_mut(&key) {
-                entry.last_seen = self.generation;
+            if let Some(entry) = self.shard(key).get_mut(&key) {
+                entry.last_seen = generation;
             }
         }
     }
 
     /// Closes one engine run: advances the generation and evicts every
     /// entry that has not been touched for more than `max_age` runs.
-    pub fn end_generation(&mut self, max_age: u64) {
-        self.generation += 1;
-        let cutoff = self.generation.saturating_sub(max_age);
-        self.entries.retain(|_, e| e.last_seen >= cutoff);
+    pub fn end_generation(&self, max_age: u64) {
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let cutoff = generation.saturating_sub(max_age);
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("cache shard lock")
+                .retain(|_, e| e.last_seen >= cutoff);
+        }
     }
 
     /// Drops every entry.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard lock").clear();
+        }
     }
 
-    /// Loads a cache previously written by [`SummaryCache::save`]. Missing
-    /// files yield an empty cache; malformed lines are skipped.
-    pub fn load(path: &Path) -> io::Result<SummaryCache> {
-        let mut cache = SummaryCache::new();
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
-            Err(e) => return Err(e),
-        };
-        let mut lines = io::BufReader::new(file).lines();
-        match lines.next() {
-            Some(Ok(header)) if header == HEADER => {}
-            // Unknown version or unreadable header: treat as cold.
-            _ => return Ok(cache),
+    /// The persistence file of shard `shard` for the configured cache path
+    /// `base`: `summaries.cache` → `summaries.<shard>.cache` (a base path
+    /// without an extension gets `.<shard>` appended).
+    pub fn shard_file(base: &Path, shard: usize) -> PathBuf {
+        match (base.file_stem(), base.extension()) {
+            (Some(stem), Some(ext)) => base.with_file_name(format!(
+                "{}.{shard}.{}",
+                stem.to_string_lossy(),
+                ext.to_string_lossy()
+            )),
+            _ => {
+                let name = base
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                base.with_file_name(format!("{name}.{shard}"))
+            }
         }
-        for line in lines {
-            let line = line?;
-            let mut parts = line.splitn(3, ' ');
-            let (Some(key), Some(boundary), Some(body)) =
-                (parts.next(), parts.next(), parts.next())
-            else {
-                continue;
-            };
-            let Ok(key) = u64::from_str_radix(key, 16) else {
-                continue;
-            };
-            let hit_boundary = match boundary {
-                "0" => false,
-                "1" => true,
-                _ => continue,
-            };
-            let Some(summary) = FunctionSummary::decode(body) else {
-                continue;
-            };
-            cache.entries.insert(
-                SummaryKey(key),
-                Entry {
-                    value: CachedSummary {
-                        summary,
-                        hit_boundary,
-                    },
-                    last_seen: 0,
-                },
-            );
+    }
+
+    /// Loads a cache previously written by [`SummaryCache::save`] under the
+    /// configured path `base`: every `v2` shard file, plus a legacy `v1`
+    /// single-file cache at `base` itself if one exists. Missing files
+    /// yield an empty cache; files with unknown headers and malformed lines
+    /// are skipped.
+    pub fn load(base: &Path) -> io::Result<SummaryCache> {
+        let cache = SummaryCache::new();
+        cache.load_file(base, HEADER_V1)?;
+        for shard in 0..SHARD_COUNT {
+            cache.load_file(&SummaryCache::shard_file(base, shard), HEADER_V2)?;
         }
         Ok(cache)
     }
 
-    /// Writes the cache to `path` (atomically, via a sibling temp file), in
-    /// sorted key order so the output is reproducible.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        {
-            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
-            writeln!(out, "{HEADER}")?;
-            let mut keys: Vec<&SummaryKey> = self.entries.keys().collect();
-            keys.sort();
-            for key in keys {
-                let entry = &self.entries[key].value;
-                writeln!(
-                    out,
-                    "{key} {} {}",
-                    if entry.hit_boundary { 1 } else { 0 },
-                    entry.summary.encode()
-                )?;
-            }
-            out.flush()?;
+    /// Merges one persistence file into the cache. Entries land in the
+    /// shard their key hashes to regardless of which file carried them, so
+    /// a layout change can never misplace an entry.
+    fn load_file(&self, path: &Path, expect_header: &str) -> io::Result<()> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = io::BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(header)) if header == expect_header => {}
+            // Unknown version or unreadable header: treat as cold.
+            _ => return Ok(()),
         }
-        std::fs::rename(&tmp, path)
+        for line in lines {
+            let Some((key, value)) = parse_line(&line?) else {
+                continue;
+            };
+            self.shard(key).insert(
+                key,
+                Entry {
+                    value,
+                    last_seen: 0,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Writes the cache under the configured path `base`: one file per
+    /// shard (see the module docs for naming and format), each produced
+    /// atomically via a uniquely named sibling temp file, in sorted key
+    /// order so the output is reproducible. A legacy single-file `v1`
+    /// cache at `base` is removed once its contents are safely re-persisted
+    /// in the sharded layout.
+    pub fn save(&self, base: &Path) -> io::Result<()> {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let path = SummaryCache::shard_file(base, index);
+            let tmp = unique_temp_path(&path);
+            {
+                let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+                writeln!(out, "{HEADER_V2}")?;
+                let guard = shard.lock().expect("cache shard lock");
+                let mut keys: Vec<&SummaryKey> = guard.keys().collect();
+                keys.sort();
+                for key in keys {
+                    let entry = &guard[key].value;
+                    writeln!(
+                        out,
+                        "{key} {} {}",
+                        if entry.hit_boundary { 1 } else { 0 },
+                        entry.summary.encode()
+                    )?;
+                }
+                out.flush()?;
+            }
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+        remove_legacy_file(base);
+        Ok(())
+    }
+}
+
+/// Parses one `<key> <boundary> <summary>` cache line (shared between the
+/// v1 and v2 formats). Returns `None` for malformed lines.
+fn parse_line(line: &str) -> Option<(SummaryKey, CachedSummary)> {
+    let mut parts = line.splitn(3, ' ');
+    let (key, boundary, body) = (parts.next()?, parts.next()?, parts.next()?);
+    let key = u64::from_str_radix(key, 16).ok()?;
+    let hit_boundary = match boundary {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let summary = FunctionSummary::decode(body)?;
+    Some((
+        SummaryKey(key),
+        CachedSummary {
+            summary,
+            hit_boundary,
+        },
+    ))
+}
+
+/// A temp-file path in `path`'s directory that no concurrent writer (in
+/// this or any other process) will pick: final name + process id + a
+/// per-process sequence number. A fixed temp name would let two engines
+/// sharing one cache path clobber each other's in-flight writes.
+fn unique_temp_path(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{}.{seq}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Deletes a legacy v1 cache file at `base` (only if it really is one —
+/// the header is checked first so an unrelated file is never removed).
+fn remove_legacy_file(base: &Path) {
+    let Ok(file) = std::fs::File::open(base) else {
+        return;
+    };
+    let mut header = String::new();
+    if io::BufReader::new(file).read_line(&mut header).is_ok() && header.trim_end() == HEADER_V1 {
+        let _ = std::fs::remove_file(base);
     }
 }
 
@@ -200,6 +349,16 @@ mod tests {
             },
             hit_boundary: true,
         }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flowistry-cache-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -233,13 +392,14 @@ mod tests {
     }
 
     #[test]
-    fn save_and_load_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("flowistry-cache-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn save_and_load_roundtrip_across_shards() {
+        let dir = temp_dir("roundtrip");
         let path = dir.join("summaries.cache");
 
-        let mut cache = SummaryCache::new();
+        let cache = SummaryCache::new();
+        // Keys with different top nibbles land in different shards.
         cache.insert(SummaryKey(0xDEAD), sample_entry());
+        cache.insert(SummaryKey(0xF000_0000_0000_0000), sample_entry());
         cache.insert(
             SummaryKey(0xBEEF),
             CachedSummary {
@@ -249,17 +409,142 @@ mod tests {
         );
         cache.save(&path).unwrap();
 
+        // The sharded layout, not a single file.
+        assert!(!path.exists(), "v2 must not write the legacy single file");
+        assert!(SummaryCache::shard_file(&path, 0).exists());
+        assert_eq!(
+            SummaryCache::shard_file(&path, 3).file_name().unwrap(),
+            "summaries.3.cache"
+        );
+        assert!(SummaryCache::shard_file(&path, 15).exists());
+
         let loaded = SummaryCache::load(&path).unwrap();
-        assert_eq!(loaded.len(), 2);
-        assert_eq!(loaded.get(SummaryKey(0xDEAD)), Some(&sample_entry()));
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.get(SummaryKey(0xDEAD)), Some(sample_entry()));
+        assert_eq!(
+            loaded.get(SummaryKey(0xF000_0000_0000_0000)),
+            Some(sample_entry())
+        );
         assert!(!loaded.get(SummaryKey(0xBEEF)).unwrap().hit_boundary);
+
+        // No temp files may linger after a successful save.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_single_file_loads_and_migrates() {
+        let dir = temp_dir("legacy");
+        let path = dir.join("summaries.cache");
+        let entry = sample_entry();
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_V1}\n{} 1 {}\n{} 0 ret:\n",
+                SummaryKey(0xDEAD),
+                entry.summary.encode(),
+                SummaryKey(0xF000_0000_0000_0001),
+            ),
+        )
+        .unwrap();
+
+        let cache = SummaryCache::load(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(SummaryKey(0xDEAD)), Some(entry));
+        assert!(cache.get(SummaryKey(0xF000_0000_0000_0001)).is_some());
+
+        // Saving migrates: shard files appear, the v1 file is removed, and
+        // a reload sees the same entries.
+        cache.save(&path).unwrap();
+        assert!(!path.exists(), "legacy file must be removed after save");
+        let reloaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.get(SummaryKey(0xDEAD)).is_some());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_never_deletes_an_unrelated_file_at_the_base_path() {
+        let dir = temp_dir("unrelated");
+        let path = dir.join("summaries.cache");
+        std::fs::write(&path, "precious user data, not a cache\n").unwrap();
+        let cache = SummaryCache::new();
+        cache.insert(SummaryKey(1), sample_entry());
+        cache.save(&path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "precious user data, not a cache\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_corrupt_the_store() {
+        let dir = temp_dir("concurrent");
+        let path = dir.join("summaries.cache");
+
+        // Two "engines" with disjoint entries racing saves of every shard.
+        let mk = |tag: u64| {
+            let cache = SummaryCache::new();
+            for i in 0..64u64 {
+                // Spread across all shards via the top nibble.
+                cache.insert(SummaryKey((i << 60) | (i * 7 + tag)), sample_entry());
+            }
+            cache
+        };
+        let a = mk(1_000);
+        let b = mk(2_000);
+        std::thread::scope(|s| {
+            let ta = s.spawn(|| {
+                for _ in 0..20 {
+                    a.save(&path).unwrap();
+                }
+            });
+            let tb = s.spawn(|| {
+                for _ in 0..20 {
+                    b.save(&path).unwrap();
+                }
+            });
+            ta.join().unwrap();
+            tb.join().unwrap();
+        });
+
+        // Every shard file is one writer's complete, parseable output: the
+        // load sees exactly one writer's entry set per shard, with values
+        // intact — no torn lines, no mixed writes, no leftover temp files.
+        let loaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 64, "each shard holds one full writer set");
+        for i in 0..64u64 {
+            let ka = SummaryKey((i << 60) | (i * 7 + 1_000));
+            let kb = SummaryKey((i << 60) | (i * 7 + 2_000));
+            let got_a = loaded.get(ka).is_some();
+            let got_b = loaded.get(kb).is_some();
+            assert!(
+                got_a ^ got_b,
+                "shard {} must hold exactly one writer's entries",
+                shard_of(ka)
+            );
+        }
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn generations_evict_untouched_entries() {
-        let mut cache = SummaryCache::new();
+        let cache = SummaryCache::new();
         cache.insert(SummaryKey(1), sample_entry());
         cache.insert(SummaryKey(2), sample_entry());
         // Keep key 1 alive every run; let key 2 go idle.
@@ -277,7 +562,7 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_loads_as_empty() {
+    fn missing_files_load_as_empty() {
         let cache = SummaryCache::load(Path::new("/nonexistent/path/xyz.cache")).unwrap();
         assert!(cache.is_empty());
         assert_eq!(cache.len(), 0);
@@ -285,26 +570,56 @@ mod tests {
 
     #[test]
     fn wrong_header_loads_as_empty() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("flowistry-header-test-{}", std::process::id()));
+        let dir = temp_dir("header");
+        let path = dir.join("summaries.cache");
         std::fs::write(&path, "some-other-format v9\ngarbage\n").unwrap();
+        // A v1-style header in a *shard* file is also rejected: shard files
+        // must carry the v2 header.
+        std::fs::write(
+            SummaryCache::shard_file(&path, 0),
+            format!("{HEADER_V1}\n0000000000000001 0 ret:\n"),
+        )
+        .unwrap();
         let cache = SummaryCache::load(&path).unwrap();
         assert!(cache.is_empty());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn corrupt_lines_are_skipped() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("flowistry-corrupt-test-{}", std::process::id()));
+        let dir = temp_dir("corrupt");
+        let path = dir.join("summaries.cache");
         std::fs::write(
-            &path,
-            format!("{HEADER}\nnot-hex 0 ret:\n00000000000000aa 0 ret:1\nzz\n"),
+            SummaryCache::shard_file(&path, 0),
+            format!("{HEADER_V2}\nnot-hex 0 ret:\n00000000000000aa 0 ret:1\nzz\n"),
         )
         .unwrap();
         let cache = SummaryCache::load(&path).unwrap();
         assert_eq!(cache.len(), 1);
         assert!(cache.get(SummaryKey(0xaa)).is_some());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_file_naming_handles_extensionless_paths() {
+        assert_eq!(
+            SummaryCache::shard_file(Path::new("/x/summaries.cache"), 7),
+            Path::new("/x/summaries.7.cache")
+        );
+        assert_eq!(
+            SummaryCache::shard_file(Path::new("/x/summaries"), 7),
+            Path::new("/x/summaries.7")
+        );
+    }
+
+    #[test]
+    fn keys_spread_over_every_shard_by_prefix() {
+        let mut seen = BTreeSet::new();
+        for i in 0..16u64 {
+            seen.insert(shard_of(SummaryKey(i << 60)));
+        }
+        assert_eq!(seen.len(), SHARD_COUNT);
+        assert_eq!(shard_of(SummaryKey(0xDEAD)), 0);
+        assert_eq!(shard_of(SummaryKey(0xF000_0000_0000_0000)), 15);
     }
 }

@@ -7,12 +7,20 @@
 //!
 //! * a [`CallGraph`](flowistry_lang::CallGraph) is extracted from the
 //!   program and condensed into strongly connected components;
-//! * summary computation is scheduled **bottom-up** over the condensation,
-//!   fanning the independent functions of each level out across threads;
-//! * each summary is stored in a [`SummaryCache`] keyed by a stable content
-//!   hash of the function's MIR plus its callees' keys, so re-running after
-//!   an edit re-analyzes only the edited function and its transitive
-//!   callers — everything else is a cache hit (optionally warm from disk);
+//! * summary computation is scheduled **bottom-up** over the condensation
+//!   by a dependency-counting work-stealing scheduler: each component
+//!   carries an atomic count of unfinished callee components, workers pull
+//!   ready components from per-worker deques (stealing when empty), and a
+//!   finished summary publishes into a concurrent store and immediately
+//!   releases its callers — no level barriers, so wall-clock is bounded by
+//!   the condensation's critical path (the legacy level-barrier schedule is
+//!   kept behind [`SchedulerKind::LevelBarrier`] for comparison);
+//! * each summary is stored in a [`SummaryCache`] — sharded by key prefix,
+//!   one lock and one persistence file per shard — keyed by a stable
+//!   content hash of the function's MIR plus its callees' keys, so
+//!   re-running after an edit re-analyzes only the edited function and its
+//!   transitive callers — everything else is a cache hit (optionally warm
+//!   from disk, including legacy single-file caches);
 //! * one engine instance then serves many queries ([`AnalysisEngine::results`],
 //!   [`AnalysisEngine::backward_slice`], [`AnalysisEngine::check_ifc`]) with
 //!   all callee summaries pre-seeded, producing results identical to a
@@ -48,8 +56,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod scheduler;
 
-pub use cache::{SummaryCache, SummaryKey};
+pub use cache::{SummaryCache, SummaryKey, SHARD_COUNT};
+pub use scheduler::{ConcurrentSummaryStore, SchedulerKind};
 
 use flowistry_core::{
     analyze_with_summaries, compute_summary, AnalysisParams, CachedSummary, FunctionSummary,
@@ -69,9 +79,14 @@ use std::sync::{Arc, Mutex};
 pub struct EngineConfig {
     /// Analysis parameters applied to every function.
     pub params: AnalysisParams,
-    /// Worker threads for the per-level fan-out. `0` (the default) uses the
-    /// machine's available parallelism; `1` runs strictly sequentially.
+    /// Worker threads for summary computation. `0` (the default) uses the
+    /// `FLOWISTRY_ENGINE_THREADS` environment variable if set (useful for
+    /// forcing a worker count in CI) and otherwise the machine's available
+    /// parallelism; `1` runs strictly sequentially on the calling thread.
     pub threads: usize,
+    /// How `analyze_all` orders summary computation (work stealing by
+    /// default; the legacy level-barrier schedule is kept for comparison).
+    pub scheduler: SchedulerKind,
     /// When set, the summary cache is loaded from this file on construction
     /// and written back after every [`AnalysisEngine::analyze_all`].
     pub cache_path: Option<PathBuf>,
@@ -88,6 +103,7 @@ impl Default for EngineConfig {
         EngineConfig {
             params: AnalysisParams::default(),
             threads: 0,
+            scheduler: SchedulerKind::default(),
             cache_path: None,
             cache_retention: 8,
         }
@@ -104,6 +120,12 @@ impl EngineConfig {
     /// Sets the worker thread count (`0` = auto, `1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the scheduling strategy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -127,10 +149,15 @@ pub struct RunStats {
     pub analyzed: usize,
     /// Functions whose summary came out of the cache.
     pub cache_hits: usize,
-    /// Scheduling levels executed.
+    /// Sequential depth of the schedule: levels executed under the barrier
+    /// scheduler, the condensation's critical-path length under work
+    /// stealing (the two coincide).
     pub levels: usize,
-    /// Worker threads used for the widest level.
+    /// Worker threads used.
     pub threads: usize,
+    /// Successful deque steals (always `0` under the barrier scheduler or
+    /// with a single worker).
+    pub steals: usize,
 }
 
 /// The incremental analysis engine serving batch queries over one program.
@@ -223,14 +250,69 @@ impl<'p> AnalysisEngine<'p> {
     }
 
     /// Computes (or fetches) the summary of every available function,
-    /// bottom-up over the call graph with per-level parallel fan-out, and
-    /// persists the cache if a path is configured.
+    /// bottom-up over the call graph — with the work-stealing scheduler by
+    /// default, or per-level parallel fan-out under
+    /// [`SchedulerKind::LevelBarrier`] — and persists the cache if a path
+    /// is configured.
     pub fn analyze_all(&mut self) -> RunStats {
-        let levels = self.call_graph.schedule_levels();
-        let max_threads = match self.config.threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
+        let threads = self.worker_threads();
+        let stats = match self.config.scheduler {
+            SchedulerKind::WorkStealing => self.analyze_all_work_stealing(threads),
+            SchedulerKind::LevelBarrier => self.analyze_all_barrier(threads),
         };
+
+        // Close the run: mark every key this program version uses (hits and
+        // fresh inserts alike) and evict entries idle for too many runs.
+        let used: Vec<SummaryKey> = self.summaries.keys().map(|&f| self.key(f)).collect();
+        self.cache.touch(used);
+        self.cache.end_generation(self.config.cache_retention);
+
+        if let Some(path) = &self.config.cache_path {
+            if let Err(e) = self.cache.save(path) {
+                eprintln!("warning: could not persist summary cache: {e}");
+            }
+        }
+        stats
+    }
+
+    /// Resolves the configured thread count (`0` = the
+    /// `FLOWISTRY_ENGINE_THREADS` environment variable, else the machine's
+    /// available parallelism).
+    fn worker_threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::env::var("FLOWISTRY_ENGINE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+            n => n,
+        }
+    }
+
+    /// The work-stealing schedule: see [`scheduler`].
+    fn analyze_all_work_stealing(&mut self, threads: usize) -> RunStats {
+        let outcome = scheduler::run_work_stealing(
+            self.program,
+            &self.call_graph,
+            &self.config.params,
+            &self.keys,
+            &self.cache,
+            threads,
+        );
+        self.summaries = outcome.summaries;
+        RunStats {
+            analyzed: outcome.analyzed,
+            cache_hits: outcome.cache_hits,
+            levels: self.call_graph.critical_path_len(),
+            threads: outcome.threads,
+            steals: outcome.steals,
+        }
+    }
+
+    /// The legacy level-barrier schedule: every callee level completes
+    /// before the next level starts.
+    fn analyze_all_barrier(&mut self, max_threads: usize) -> RunStats {
+        let levels = self.call_graph.schedule_levels();
         let mut stats = RunStats {
             levels: levels.len(),
             ..RunStats::default()
@@ -276,18 +358,6 @@ impl<'p> AnalysisEngine<'p> {
                 self.summaries.insert(func, entry);
             }
         }
-
-        // Close the run: mark every key this program version uses (hits and
-        // fresh inserts alike) and evict entries idle for too many runs.
-        let used: Vec<SummaryKey> = self.summaries.keys().map(|&f| self.key(f)).collect();
-        self.cache.touch(used);
-        self.cache.end_generation(self.config.cache_retention);
-
-        if let Some(path) = &self.config.cache_path {
-            if let Err(e) = self.cache.save(path) {
-                eprintln!("warning: could not persist summary cache: {e}");
-            }
-        }
         stats
     }
 
@@ -298,7 +368,7 @@ impl<'p> AnalysisEngine<'p> {
         chunk
             .iter()
             .map(|&func| match self.cache.get(self.key(func)) {
-                Some(entry) => (func, entry.clone(), true),
+                Some(entry) => (func, entry, true),
                 None => {
                     let entry =
                         compute_summary(self.program, func, &self.config.params, &self.summaries);
@@ -359,9 +429,11 @@ impl<'p> AnalysisEngine<'p> {
         self.results(func).backward_slice(place, loc)
     }
 
-    /// An engine-backed [`Slicer`] for `func`, reusing the memoized results.
+    /// An engine-backed [`Slicer`] for `func`, sharing the memoized results
+    /// (no per-query deep clone: the slicer holds the same `Arc` the
+    /// engine's memo table does).
     pub fn slicer(&self, func: FuncId) -> Slicer<'p> {
-        Slicer::from_results(self.program, func, (*self.results(func)).clone())
+        Slicer::from_results(self.program, func, self.results(func))
     }
 
     /// Checks every function of the program against `policy`, serving each
@@ -463,12 +535,19 @@ fn params_fingerprint(program: &CompiledProgram, params: &AnalysisParams) -> u64
         None => h.write_u8(0),
         Some(set) => {
             h.write_u8(1);
-            h.write_usize(set.len());
-            // By name, for the same positional-id reason as call hashing.
-            for func in set {
-                if let Some(sig) = program.signatures.get(func.0 as usize) {
-                    h.write_str(&sig.name);
-                }
+            // By name, for the same positional-id reason as call hashing —
+            // and in *sorted* order: iterating the set in FuncId order would
+            // tie the fingerprint to positional ids, so an edit that merely
+            // shifts ids would reorder the names and cold-invalidate the
+            // whole cache despite denoting the same available set.
+            let names: BTreeSet<&str> = set
+                .iter()
+                .filter_map(|func| program.signatures.get(func.0 as usize))
+                .map(|sig| sig.name.as_str())
+                .collect();
+            h.write_usize(names.len());
+            for name in names {
+                h.write_str(name);
             }
         }
     }

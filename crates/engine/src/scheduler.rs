@@ -1,0 +1,330 @@
+//! The dependency-counting work-stealing scheduler.
+//!
+//! The level-barrier schedule ([`SchedulerKind::LevelBarrier`]) computes
+//! [`CallGraph::schedule_levels`] and joins every worker at each level
+//! boundary, so one slow component stalls the whole level: wall-clock is
+//! the *sum of per-level maxima*. The paper's modularity result implies a
+//! strictly weaker requirement — a component is ready as soon as its callee
+//! components are summarized, regardless of what else is in flight. This
+//! module schedules exactly that:
+//!
+//! * every SCC of the condensation carries an atomic count of unfinished
+//!   callee components (seeded from
+//!   [`CallGraph::scc_dependency_counts`]);
+//! * each worker owns a deque of ready components — it pops from the back
+//!   of its own deque and steals from the front of a victim's when empty;
+//! * a finished component publishes its members' summaries into a
+//!   [`ConcurrentSummaryStore`] (readable mid-run by every worker through
+//!   the [`SummaryStore`] seeding trait) and decrements each caller
+//!   component's count, pushing components that reach zero onto the
+//!   finishing worker's own deque.
+//!
+//! There are no barriers, so wall-clock is bounded by the critical path of
+//! the condensation instead of the sum of per-level maxima. Results are
+//! bit-identical to the barrier schedule (and to direct
+//! [`analyze`](flowistry_core::analyze)): the members of a component are
+//! analyzed against exactly the summaries of its callee components — the
+//! same seed set a barrier run sees — and publication happens only after
+//! the *whole* component is done, so mutually recursive partners never
+//! observe each other's freshly computed summaries.
+
+use crate::cache::SummaryCache;
+use crate::SummaryKey;
+use flowistry_core::{compute_summary, AnalysisParams, CachedSummary, SummaryStore};
+use flowistry_lang::types::FuncId;
+use flowistry_lang::{CallGraph, CompiledProgram};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Which strategy [`AnalysisEngine::analyze_all`](crate::AnalysisEngine::analyze_all)
+/// uses to order summary computation over the call-graph condensation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Dependency-counting work stealing (the default): a component runs as
+    /// soon as its callee components are summarized; wall-clock is bounded
+    /// by the condensation's critical path.
+    #[default]
+    WorkStealing,
+    /// The legacy schedule: group components into levels and join all
+    /// workers at every level boundary. Kept for comparison benchmarks and
+    /// as a conservative fallback.
+    LevelBarrier,
+}
+
+/// Number of shards in the [`ConcurrentSummaryStore`] (keyed by `FuncId`,
+/// which is dense, so a cheap modulo spreads load evenly).
+const STORE_SHARDS: usize = 16;
+
+/// A concurrent [`FuncId`] → [`CachedSummary`] map that workers publish
+/// finished summaries into while other workers are mid-analysis.
+///
+/// Implements [`SummaryStore`], so it seeds
+/// [`compute_summary`] directly: a worker analyzing a caller reads its
+/// callees' summaries out of the store without any hand-off or barrier.
+/// Sharded `RwLock`s keep lookups (the hot path — every call terminator of
+/// every analyzed body) wait-free with respect to each other.
+#[derive(Debug, Default)]
+pub struct ConcurrentSummaryStore {
+    shards: [RwLock<HashMap<FuncId, CachedSummary>>; STORE_SHARDS],
+}
+
+impl ConcurrentSummaryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ConcurrentSummaryStore::default()
+    }
+
+    fn shard(&self, func: FuncId) -> &RwLock<HashMap<FuncId, CachedSummary>> {
+        &self.shards[func.0 as usize % STORE_SHARDS]
+    }
+
+    /// Makes `func`'s summary visible to every worker.
+    pub fn publish(&self, func: FuncId, entry: CachedSummary) {
+        self.shard(func)
+            .write()
+            .expect("summary store lock")
+            .insert(func, entry);
+    }
+
+    /// Consumes the store into a plain map (used by the engine to serve
+    /// queries after the run completes).
+    pub fn into_map(self) -> HashMap<FuncId, CachedSummary> {
+        let mut out = HashMap::new();
+        for shard in self.shards {
+            out.extend(shard.into_inner().expect("summary store lock"));
+        }
+        out
+    }
+}
+
+impl SummaryStore for ConcurrentSummaryStore {
+    fn lookup(&self, func: FuncId) -> Option<CachedSummary> {
+        self.shard(func)
+            .read()
+            .expect("summary store lock")
+            .get(&func)
+            .cloned()
+    }
+}
+
+/// What one work-stealing run produced, for the engine to fold into its
+/// `RunStats` and query state.
+pub(crate) struct WorkStealingOutcome {
+    /// Functions whose summary was computed by running the analysis.
+    pub analyzed: usize,
+    /// Functions whose summary came out of the cache.
+    pub cache_hits: usize,
+    /// Successful deque steals.
+    pub steals: usize,
+    /// Workers used.
+    pub threads: usize,
+    /// Every available function's summary.
+    pub summaries: HashMap<FuncId, CachedSummary>,
+}
+
+/// Runs summary computation over the condensation with `workers` work-
+/// stealing workers, resolving each function against `cache` and seeding
+/// analyses from the concurrent store.
+pub(crate) fn run_work_stealing(
+    program: &CompiledProgram,
+    call_graph: &CallGraph,
+    params: &AnalysisParams,
+    keys: &[SummaryKey],
+    cache: &SummaryCache,
+    workers: usize,
+) -> WorkStealingOutcome {
+    let num_sccs = call_graph.sccs().len();
+    let workers = workers.clamp(1, num_sccs.max(1));
+
+    let deps: Vec<AtomicUsize> = call_graph
+        .scc_dependency_counts()
+        .into_iter()
+        .map(AtomicUsize::new)
+        .collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    // Leaf components are ready immediately; spread them round-robin so
+    // every worker starts with local work before stealing kicks in.
+    let mut seeded = 0usize;
+    for (scc, count) in deps.iter().enumerate() {
+        if count.load(Ordering::Relaxed) == 0 {
+            deques[seeded % workers]
+                .lock()
+                .expect("scheduler deque lock")
+                .push_back(scc);
+            seeded += 1;
+        }
+    }
+
+    let remaining = AtomicUsize::new(num_sccs);
+    let steals = AtomicUsize::new(0);
+    let store = ConcurrentSummaryStore::new();
+    // A panicking worker cannot decrement `remaining` for components it
+    // never finished, so without this flag its siblings would spin on the
+    // idle path forever. The first panic is stashed here; everyone else
+    // drains out at the next loop check and the payload is re-thrown on
+    // the caller's thread (matching the barrier path's fail-fast join).
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let worker_loop = |me: usize| -> (usize, usize) {
+        let (mut analyzed, mut cache_hits) = (0usize, 0usize);
+        let mut idle_rounds = 0u32;
+        loop {
+            if panic_payload.lock().expect("panic slot lock").is_some() {
+                break;
+            }
+            let next = pop_own(&deques, me).or_else(|| steal(&deques, me, &steals));
+            let Some(scc) = next else {
+                if remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                // Back off while out of work: yield first (cheap wake-up if
+                // a victim publishes immediately), then sleep briefly — a
+                // hot spin would steal cycles from the workers actually
+                // computing, which on few-core machines can cost more than
+                // stealing ever wins.
+                idle_rounds += 1;
+                if idle_rounds <= 8 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                continue;
+            };
+            idle_rounds = 0;
+
+            // Resolve the whole component against the cache/store before
+            // publishing anything: partners of a recursion cycle must not
+            // see each other's summaries (that would diverge from both the
+            // barrier schedule and direct analysis, which recurse into
+            // partner bodies naively). `AssertUnwindSafe` is fine: on a
+            // panic the whole run is abandoned, never resumed.
+            let component = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut produced: Vec<(FuncId, CachedSummary, bool)> = Vec::new();
+                for &func in &call_graph.sccs()[scc] {
+                    if !params.body_available(func) {
+                        continue;
+                    }
+                    let key = keys[func.0 as usize];
+                    match cache.get(key) {
+                        Some(entry) => produced.push((func, entry, true)),
+                        None => {
+                            let entry = compute_summary(program, func, params, &store);
+                            cache.insert(key, entry.clone());
+                            produced.push((func, entry, false));
+                        }
+                    }
+                }
+                produced
+            }));
+            let produced = match component {
+                Ok(produced) => produced,
+                Err(payload) => {
+                    let mut slot = panic_payload.lock().expect("panic slot lock");
+                    slot.get_or_insert(payload);
+                    break;
+                }
+            };
+            for (func, entry, was_hit) in produced {
+                if was_hit {
+                    cache_hits += 1;
+                } else {
+                    analyzed += 1;
+                }
+                store.publish(func, entry);
+            }
+
+            // The component is done: release callers that were only waiting
+            // on it. `AcqRel` orders our publications before any worker
+            // that observes the count reach zero.
+            for &caller in call_graph.scc_callers(scc) {
+                if deps[caller].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    deques[me]
+                        .lock()
+                        .expect("scheduler deque lock")
+                        .push_back(caller);
+                }
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        (analyzed, cache_hits)
+    };
+
+    let counts: Vec<(usize, usize)> = if workers == 1 {
+        // Single worker: run inline — strictly sequential and deterministic.
+        vec![worker_loop(0)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| s.spawn(move || worker_loop(me)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        })
+    };
+    if let Some(payload) = panic_payload.into_inner().expect("panic slot lock") {
+        std::panic::resume_unwind(payload);
+    }
+
+    debug_assert_eq!(remaining.load(Ordering::Relaxed), 0);
+    WorkStealingOutcome {
+        analyzed: counts.iter().map(|&(a, _)| a).sum(),
+        cache_hits: counts.iter().map(|&(_, h)| h).sum(),
+        steals: steals.load(Ordering::Relaxed),
+        threads: workers,
+        summaries: store.into_map(),
+    }
+}
+
+/// Pops from the back of the worker's own deque (LIFO keeps the working
+/// set hot: a component made ready by the last finish is processed next).
+fn pop_own(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    deques[me].lock().expect("scheduler deque lock").pop_back()
+}
+
+/// Steals from the front of the first non-empty victim deque (FIFO: take
+/// the oldest ready component, which the owner is least likely to want
+/// soon). Scans victims starting after `me` so contention spreads.
+fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize, steals: &AtomicUsize) -> Option<usize> {
+    let n = deques.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(scc) = deques[victim]
+            .lock()
+            .expect("scheduler deque lock")
+            .pop_front()
+        {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(scc);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_core::Condition;
+
+    /// A panicking worker must re-throw on the calling thread, not leave
+    /// its siblings spinning forever on a `remaining` count that can never
+    /// reach zero (a hang here fails the test run via its timeout).
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn worker_panics_propagate_instead_of_hanging() {
+        let program = flowistry_lang::compile(
+            "fn a(x: i32) -> i32 { return x; }
+             fn b(x: i32) -> i32 { return a(x); }",
+        )
+        .unwrap();
+        let call_graph = CallGraph::extract(&program);
+        let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+        let cache = SummaryCache::new();
+        // An empty key table makes the first component's key lookup panic
+        // inside a worker.
+        run_work_stealing(&program, &call_graph, &params, &[], &cache, 2);
+    }
+}

@@ -9,7 +9,8 @@
 
 use flowistry_core::{analyze, AnalysisParams, Condition};
 use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
-use flowistry_engine::{AnalysisEngine, EngineConfig};
+use flowistry_engine::{AnalysisEngine, EngineConfig, SchedulerKind};
+use flowistry_ifc::{IfcChecker, IfcPolicy};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
 use std::fmt::Write as _;
@@ -182,6 +183,67 @@ fn disk_cache_survives_engine_restarts() {
 }
 
 #[test]
+fn work_stealing_and_barrier_schedules_agree_on_the_corpus() {
+    // The acceptance bar: the work-stealing scheduler must produce results
+    // bit-identical to both the level-barrier engine and direct analyze()
+    // over the evaluation corpus.
+    let profile = &paper_profiles()[0];
+    let krate = generate_crate(profile, DEFAULT_SEED);
+    let params = AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        available_bodies: Some(krate.available_bodies()),
+        ..AnalysisParams::default()
+    };
+    let mut stealing = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default()
+            .with_params(params.clone())
+            .with_scheduler(SchedulerKind::WorkStealing)
+            .with_threads(8),
+    );
+    let mut barrier = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default()
+            .with_params(params.clone())
+            .with_scheduler(SchedulerKind::LevelBarrier)
+            .with_threads(8),
+    );
+    let ws_stats = stealing.analyze_all();
+    let lb_stats = barrier.analyze_all();
+    assert_eq!(ws_stats.analyzed, lb_stats.analyzed);
+    assert_eq!(ws_stats.cache_hits, lb_stats.cache_hits);
+    assert_eq!(ws_stats.levels, lb_stats.levels, "critical path == levels");
+    assert_eq!(lb_stats.steals, 0, "the barrier schedule never steals");
+    for &func in &krate.crate_funcs {
+        assert_eq!(stealing.summary(func), barrier.summary(func));
+        let direct = analyze(&krate.program, func, &params);
+        assert_eq!(
+            *stealing.results(func),
+            direct,
+            "work stealing diverged from direct analyze on {}",
+            krate.program.body(func).name
+        );
+        assert_eq!(*barrier.results(func), direct);
+    }
+}
+
+#[test]
+fn single_worker_work_stealing_is_strictly_sequential() {
+    let src = layered_source(4, 3);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let mut engine = AnalysisEngine::new(
+        &program,
+        EngineConfig::default()
+            .with_params(whole_program())
+            .with_threads(1),
+    );
+    let stats = engine.analyze_all();
+    assert_eq!(stats.analyzed, 12);
+    assert_eq!(stats.threads, 1);
+    assert_eq!(stats.steals, 0, "one worker has nobody to steal from");
+}
+
+#[test]
 fn parallel_and_sequential_schedules_agree() {
     let src = layered_source(6, 3);
     let program = flowistry_lang::compile(&src).unwrap();
@@ -323,6 +385,161 @@ fn stale_cache_entries_are_evicted_after_retention_runs() {
     engine.update_program(&p1);
     let back = engine.analyze_all();
     assert_eq!(back.analyzed, 2);
+}
+
+#[test]
+fn availability_fingerprint_is_stable_under_id_shifts() {
+    // Regression test for the params fingerprint: it hashes the *names* of
+    // the available bodies, and must do so in sorted order — iterating the
+    // FuncId set ties the hash to positional ids, so an edit that merely
+    // shifts or reorders ids would cold-invalidate every cache key even
+    // though the available set denotes the same functions.
+    let v1 = "fn alpha(p: &mut i32, v: i32) { *p = v; }
+              fn zeta(v: i32) -> i32 { let mut x = 0; alpha(&mut x, v); return x; }";
+    // v2 inserts an unrelated function above (shifting every id); v3 also
+    // moves `zeta` above `alpha` (reordering the ids of the available set).
+    let v2 = "fn unrelated(q: i32) -> i32 { return q * 3; }
+              fn alpha(p: &mut i32, v: i32) { *p = v; }
+              fn zeta(v: i32) -> i32 { let mut x = 0; alpha(&mut x, v); return x; }";
+    let v3 = "fn zeta(v: i32) -> i32 { let mut x = 0; alpha(&mut x, v); return x; }
+              fn unrelated(q: i32) -> i32 { return q * 3; }
+              fn alpha(p: &mut i32, v: i32) { *p = v; }";
+
+    let engines: Vec<(CompiledProgram, AnalysisEngine<'_>)> = [v1, v2, v3]
+        .into_iter()
+        .map(|src| {
+            let program = flowistry_lang::compile(src).unwrap();
+            let params = AnalysisParams {
+                condition: Condition::WHOLE_PROGRAM,
+                available_bodies: Some(
+                    [
+                        program.func_id("alpha").unwrap(),
+                        program.func_id("zeta").unwrap(),
+                    ]
+                    .into(),
+                ),
+                ..AnalysisParams::default()
+            };
+            (program, params)
+        })
+        .map(|(program, params)| {
+            // The engine borrows the program; leak for test convenience.
+            let program: &'static CompiledProgram = Box::leak(Box::new(program));
+            (
+                program.clone(),
+                AnalysisEngine::new(program, EngineConfig::default().with_params(params)),
+            )
+        })
+        .collect();
+
+    let (base_prog, base_engine) = &engines[0];
+    for (variant_prog, variant_engine) in &engines[1..] {
+        for name in ["alpha", "zeta"] {
+            assert_eq!(
+                base_engine.key(base_prog.func_id(name).unwrap()),
+                variant_engine.key(variant_prog.func_id(name).unwrap()),
+                "key of untouched `{name}` changed across an id shift"
+            );
+        }
+    }
+}
+
+#[test]
+fn check_ifc_matches_the_checker_under_restricted_availability() {
+    // `check_ifc` iterates *all* bodies — including functions excluded by
+    // `available_bodies` (their analyses see callees as opaque signatures,
+    // exactly like `IfcChecker::check_program` under the same params).
+    // This pins the two against each other.
+    let src = "
+        fn read_password() -> i32 { return 1234; }
+        fn insecure_print(x: i32) { }
+        fn audit(input: i32) -> bool {
+            let password = read_password();
+            if input == password { insecure_print(1); return true; }
+            return false;
+        }
+        fn relay(input: i32) -> bool {
+            let ok = audit(input);
+            return ok;
+        }
+    ";
+    let program = flowistry_lang::compile(src).unwrap();
+    let policy = IfcPolicy::from_conventions(&program);
+    // Restrict availability to `audit` and `relay`: the callee bodies are
+    // opaque, but both functions are still checked.
+    let params = AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        available_bodies: Some(
+            [
+                program.func_id("audit").unwrap(),
+                program.func_id("relay").unwrap(),
+            ]
+            .into(),
+        ),
+        ..AnalysisParams::default()
+    };
+    let mut engine = AnalysisEngine::new(
+        &program,
+        EngineConfig::default().with_params(params.clone()),
+    );
+    engine.analyze_all();
+    let engine_reports = engine.check_ifc(policy.clone());
+    let direct_reports = IfcChecker::new(&program, policy)
+        .with_params(params)
+        .check_program();
+    assert_eq!(engine_reports, direct_reports);
+    // The conventions still catch the password flow into the sink.
+    assert!(engine_reports.iter().any(|r| r.function == "audit"));
+}
+
+#[test]
+fn check_ifc_under_full_availability_matches_too() {
+    let profile = &paper_profiles()[0];
+    let krate = generate_crate(profile, DEFAULT_SEED);
+    let policy = IfcPolicy::from_conventions(&krate.program)
+        .with_secure_param("helper_0", "x")
+        .with_sink("helper_1");
+    let params = AnalysisParams {
+        condition: Condition::WHOLE_PROGRAM,
+        available_bodies: Some(krate.available_bodies()),
+        ..AnalysisParams::default()
+    };
+    let mut engine = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default().with_params(params.clone()),
+    );
+    engine.analyze_all();
+    assert_eq!(
+        engine.check_ifc(policy.clone()),
+        IfcChecker::new(&krate.program, policy)
+            .with_params(params)
+            .check_program()
+    );
+}
+
+#[test]
+fn engine_slicers_share_the_memoized_results() {
+    // `slicer()` must hand the memo table's `Arc` to the slicer instead of
+    // deep-cloning the per-location results on every query.
+    let src = layered_source(1, 2);
+    let program = flowistry_lang::compile(&src).unwrap();
+    let mut engine = AnalysisEngine::new(&program, EngineConfig::default());
+    engine.analyze_all();
+    let func = program.func_id("m0_l1").unwrap();
+
+    let handle = engine.results(func); // memo + this handle = 2
+    assert_eq!(std::sync::Arc::strong_count(&handle), 2);
+    let slicer_a = engine.slicer(func);
+    let slicer_b = engine.slicer(func);
+    assert_eq!(
+        std::sync::Arc::strong_count(&handle),
+        4,
+        "each slicer must share the memoized Arc, not clone the results"
+    );
+    assert_eq!(
+        slicer_a.backward_slice_of_return(),
+        slicer_b.backward_slice_of_return()
+    );
 }
 
 #[test]

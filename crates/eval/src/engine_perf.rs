@@ -12,11 +12,16 @@
 //! * **edited** — one helper function's body is edited, the crate is
 //!   re-compiled and re-analyzed: only the dirty cone is recomputed;
 //! * **sequential vs parallel** — the same cold run with one worker thread
-//!   versus the machine's available parallelism.
+//!   versus the machine's available parallelism;
+//! * **barrier vs work-stealing** — the same parallel cold run under the
+//!   legacy level-barrier schedule versus the dependency-counting
+//!   work-stealing scheduler (the difference grows with how skewed the
+//!   per-level component costs are; see the `scheduler_skew` bench for a
+//!   corpus built to maximize it).
 
 use flowistry_core::{AnalysisParams, Condition};
 use flowistry_corpus::generate_crate;
-use flowistry_engine::{AnalysisEngine, EngineConfig};
+use flowistry_engine::{AnalysisEngine, EngineConfig, SchedulerKind};
 use std::time::Instant;
 
 /// Results of the incremental-engine experiment on one corpus crate.
@@ -45,6 +50,16 @@ pub struct IncrementalReport {
     pub parallel_speedup: f64,
     /// Worker threads the parallel run used.
     pub threads: usize,
+    /// Seconds for a parallel cold run under the level-barrier schedule.
+    pub barrier_seconds: f64,
+    /// Seconds for the same cold run under the work-stealing scheduler
+    /// (this equals `parallel_seconds` in spirit but is re-measured
+    /// back-to-back with the barrier run for a fair comparison).
+    pub work_stealing_seconds: f64,
+    /// `barrier_seconds / work_stealing_seconds`.
+    pub scheduler_speedup: f64,
+    /// Successful deque steals in the work-stealing cold run.
+    pub steals: usize,
 }
 
 /// Edits the body of `helper_0` in a generated crate's source: inserts one
@@ -112,11 +127,35 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
     sequential.analyze_all();
     let sequential_seconds = start.elapsed().as_secs_f64();
 
-    let mut parallel =
-        AnalysisEngine::new(&krate.program, EngineConfig::default().with_params(params));
+    let mut parallel = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default().with_params(params.clone()),
+    );
     let start = Instant::now();
     let parallel_stats = parallel.analyze_all();
     let parallel_seconds = start.elapsed().as_secs_f64();
+
+    // Barrier vs work-stealing, measured back-to-back on fresh engines with
+    // the same (auto) thread count.
+    let mut barrier = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default()
+            .with_params(params.clone())
+            .with_scheduler(SchedulerKind::LevelBarrier),
+    );
+    let start = Instant::now();
+    barrier.analyze_all();
+    let barrier_seconds = start.elapsed().as_secs_f64();
+
+    let mut stealing = AnalysisEngine::new(
+        &krate.program,
+        EngineConfig::default()
+            .with_params(params)
+            .with_scheduler(SchedulerKind::WorkStealing),
+    );
+    let start = Instant::now();
+    let stealing_stats = stealing.analyze_all();
+    let work_stealing_seconds = start.elapsed().as_secs_f64();
 
     IncrementalReport {
         krate: krate.name.clone(),
@@ -130,6 +169,10 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
         parallel_seconds,
         parallel_speedup: sequential_seconds / parallel_seconds.max(1e-9),
         threads: parallel_stats.threads,
+        barrier_seconds,
+        work_stealing_seconds,
+        scheduler_speedup: barrier_seconds / work_stealing_seconds.max(1e-9),
+        steals: stealing_stats.steals,
     }
 }
 
@@ -142,7 +185,9 @@ pub fn render_incremental(report: &IncrementalReport) -> String {
            after 1-function edit   {:>10.3} ms  ({} functions dirty)\n\
            edit speedup            {:>10.1}x\n\
            sequential cold         {:>10.3} ms\n\
-           parallel cold           {:>10.3} ms  ({:.2}x)\n",
+           parallel cold           {:>10.3} ms  ({:.2}x)\n\
+           level-barrier cold      {:>10.3} ms\n\
+           work-stealing cold      {:>10.3} ms  ({:.2}x, {} steals)\n",
         report.krate,
         report.num_functions,
         report.threads,
@@ -154,6 +199,10 @@ pub fn render_incremental(report: &IncrementalReport) -> String {
         report.sequential_seconds * 1e3,
         report.parallel_seconds * 1e3,
         report.parallel_speedup,
+        report.barrier_seconds * 1e3,
+        report.work_stealing_seconds * 1e3,
+        report.scheduler_speedup,
+        report.steals,
     )
 }
 
@@ -187,8 +236,12 @@ mod tests {
             report.num_functions
         );
         assert!(report.cold_seconds > 0.0);
+        assert!(report.barrier_seconds > 0.0);
+        assert!(report.work_stealing_seconds > 0.0);
+        assert!(report.scheduler_speedup > 0.0);
         let text = render_incremental(&report);
         assert!(text.contains("edit speedup"));
+        assert!(text.contains("work-stealing cold"));
         assert!(text.contains(&report.krate));
     }
 }

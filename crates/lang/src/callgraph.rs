@@ -26,6 +26,11 @@ pub struct CallGraph {
     /// with a higher index, so index 0 only has calls into itself.
     sccs: Vec<Vec<FuncId>>,
     scc_of: Vec<usize>,
+    /// Condensation edges: for each SCC, the set of *other* SCCs its members
+    /// call into (self-edges within a component are dropped).
+    scc_callees: Vec<BTreeSet<usize>>,
+    /// Reverse condensation edges: for each SCC, the SCCs that call into it.
+    scc_callers: Vec<BTreeSet<usize>>,
 }
 
 impl CallGraph {
@@ -44,11 +49,26 @@ impl CallGraph {
             }
         }
         let (sccs, scc_of) = tarjan_sccs(&callees);
+        let mut scc_callees = vec![BTreeSet::new(); sccs.len()];
+        let mut scc_callers = vec![BTreeSet::new(); sccs.len()];
+        for (idx, members) in sccs.iter().enumerate() {
+            for &f in members {
+                for &callee in &callees[f.0 as usize] {
+                    let callee_scc = scc_of[callee.0 as usize];
+                    if callee_scc != idx {
+                        scc_callees[idx].insert(callee_scc);
+                        scc_callers[callee_scc].insert(idx);
+                    }
+                }
+            }
+        }
         CallGraph {
             callees,
             callers,
             sccs,
             scc_of,
+            scc_callees,
+            scc_callers,
         }
     }
 
@@ -93,6 +113,46 @@ impl CallGraph {
     /// Whether `func` participates in any recursion (self-loop or cycle).
     pub fn is_recursive(&self, func: FuncId) -> bool {
         self.scc_members(func).len() > 1 || self.callees(func).contains(&func)
+    }
+
+    /// Condensation edges out of component `scc`: the indices of the other
+    /// components its members call into. Acyclic by construction.
+    pub fn scc_callees(&self, scc: usize) -> &BTreeSet<usize> {
+        &self.scc_callees[scc]
+    }
+
+    /// Reverse condensation edges: the components that call into `scc`.
+    /// These are the components whose dependency counts a scheduler must
+    /// decrement when `scc` finishes.
+    pub fn scc_callers(&self, scc: usize) -> &BTreeSet<usize> {
+        &self.scc_callers[scc]
+    }
+
+    /// For every component, the number of distinct callee components it
+    /// depends on — the initial values of a dependency-counting scheduler:
+    /// a component is ready exactly when its count reaches zero.
+    pub fn scc_dependency_counts(&self) -> Vec<usize> {
+        self.scc_callees.iter().map(BTreeSet::len).collect()
+    }
+
+    /// The length of the condensation's critical path: the number of
+    /// sequential scheduling steps no parallel schedule can avoid. Equals
+    /// the number of levels [`CallGraph::schedule_levels`] produces.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.sccs.len()];
+        for idx in 0..self.sccs.len() {
+            let d = self.scc_callees[idx]
+                .iter()
+                .map(|&c| depth[c] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[idx] = d;
+        }
+        if self.sccs.is_empty() {
+            0
+        } else {
+            depth.iter().copied().max().unwrap_or(0) + 1
+        }
     }
 
     /// Groups SCC indices into parallelizable levels: all callees of a
@@ -313,6 +373,64 @@ mod tests {
             [leaf, mid, top].into_iter().collect()
         );
         assert_eq!(cg.transitive_callers(top), [top].into_iter().collect());
+    }
+
+    #[test]
+    fn condensation_edges_follow_call_edges() {
+        let (prog, cg) = graph(CHAIN);
+        let leaf = cg.scc_index(prog.func_id("leaf").unwrap());
+        let mid = cg.scc_index(prog.func_id("mid").unwrap());
+        let top = cg.scc_index(prog.func_id("top").unwrap());
+        assert_eq!(cg.scc_callees(top), &[mid].into_iter().collect());
+        assert_eq!(cg.scc_callees(mid), &[leaf].into_iter().collect());
+        assert!(cg.scc_callees(leaf).is_empty());
+        assert_eq!(cg.scc_callers(leaf), &[mid].into_iter().collect());
+        assert_eq!(cg.scc_callers(mid), &[top].into_iter().collect());
+        assert!(cg.scc_callers(top).is_empty());
+    }
+
+    #[test]
+    fn condensation_drops_intra_component_edges() {
+        let (prog, cg) = graph(
+            "fn even(n: i32) -> bool { if n == 0 { return true; } return odd(n - 1); }
+             fn odd(n: i32) -> bool { if n == 0 { return false; } return even(n - 1); }
+             fn driver(n: i32) -> bool { return even(n); }",
+        );
+        let pair = cg.scc_index(prog.func_id("even").unwrap());
+        let driver = cg.scc_index(prog.func_id("driver").unwrap());
+        // The even↔odd cycle collapses: no condensation self-edge.
+        assert!(cg.scc_callees(pair).is_empty());
+        assert_eq!(cg.scc_callers(pair), &[driver].into_iter().collect());
+        let counts = cg.scc_dependency_counts();
+        assert_eq!(counts[pair], 0);
+        assert_eq!(counts[driver], 1);
+    }
+
+    #[test]
+    fn dependency_counts_match_condensation_out_degree() {
+        let (_, cg) = graph(CHAIN);
+        let counts = cg.scc_dependency_counts();
+        assert_eq!(counts.len(), cg.sccs().len());
+        for (idx, &count) in counts.iter().enumerate() {
+            assert_eq!(count, cg.scc_callees(idx).len());
+        }
+        // Exactly one component (the leaf) starts ready.
+        assert_eq!(counts.iter().filter(|&&c| c == 0).count(), 1);
+    }
+
+    #[test]
+    fn critical_path_equals_level_count() {
+        for src in [
+            CHAIN,
+            "fn a(x: i32) -> i32 { return x; }",
+            "fn a(x: i32) -> i32 { return b(x) + c(x); }
+             fn b(x: i32) -> i32 { return d(x); }
+             fn c(x: i32) -> i32 { return d(x); }
+             fn d(x: i32) -> i32 { return x; }",
+        ] {
+            let (_, cg) = graph(src);
+            assert_eq!(cg.critical_path_len(), cg.schedule_levels().len());
+        }
     }
 
     #[test]

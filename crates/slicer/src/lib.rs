@@ -29,6 +29,7 @@ use flowistry_lang::mir::{Local, Location, Place, StatementKind, TerminatorKind}
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A computed slice: the set of locations and source lines it covers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,18 +71,20 @@ impl Slice {
 pub struct Slicer<'a> {
     program: &'a CompiledProgram,
     func: FuncId,
-    results: InfoFlowResults,
+    results: Arc<InfoFlowResults>,
 }
 
 impl<'a> Slicer<'a> {
     /// Analyzes `func` and prepares it for slicing queries.
     pub fn new(program: &'a CompiledProgram, func: FuncId, params: AnalysisParams) -> Self {
         let results = analyze(program, func, &params);
-        Slicer::from_results(program, func, results)
+        Slicer::from_results(program, func, Arc::new(results))
     }
 
     /// Wraps precomputed analysis results (e.g. served by the incremental
-    /// analysis engine) without re-running the analysis.
+    /// analysis engine) without re-running the analysis. Taking an `Arc`
+    /// lets callers that memoize results (the engine does) share them with
+    /// any number of slicers instead of deep-cloning per query.
     ///
     /// # Panics
     ///
@@ -89,7 +92,7 @@ impl<'a> Slicer<'a> {
     pub fn from_results(
         program: &'a CompiledProgram,
         func: FuncId,
-        results: InfoFlowResults,
+        results: Arc<InfoFlowResults>,
     ) -> Self {
         assert_eq!(
             results.func(),
