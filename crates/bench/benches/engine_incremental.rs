@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowistry_core::{AnalysisParams, Condition};
 use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
 use flowistry_engine::{AnalysisEngine, EngineConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn params_for(krate: &flowistry_corpus::GeneratedCrate) -> AnalysisParams {
@@ -25,21 +26,23 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     // The rg3d stand-in: the largest corpus crate.
     let profile = paper_profiles().into_iter().nth(7).expect("ten profiles");
     let krate = generate_crate(&profile, DEFAULT_SEED);
+    let program = Arc::new(krate.program.clone());
     let params = params_for(&krate);
     let edited_source =
         flowistry_eval::engine_perf::edit_one_helper(&krate.source).expect("helper_0 exists");
-    let edited_program = flowistry_lang::compile(&edited_source).expect("edited crate compiles");
+    let edited_program =
+        Arc::new(flowistry_lang::compile(&edited_source).expect("edited crate compiles"));
 
     let mut group = c.benchmark_group("engine_incremental");
     group.sample_size(10);
 
     group.bench_with_input(
         BenchmarkId::from_parameter("cold_analyze_all"),
-        &krate,
-        |b, krate| {
+        &program,
+        |b, program| {
             b.iter(|| {
                 let mut engine = AnalysisEngine::new(
-                    &krate.program,
+                    program.clone(),
                     EngineConfig::default().with_params(params.clone()),
                 );
                 engine.analyze_all().analyzed
@@ -49,12 +52,12 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
 
     group.bench_with_input(
         BenchmarkId::from_parameter("warm_after_one_edit"),
-        &krate,
-        |b, krate| {
+        &program,
+        |b, program| {
             // Prime the cache once; each iteration then swaps between the
             // original and edited program, paying only the dirty cone.
             let mut engine = AnalysisEngine::new(
-                &krate.program,
+                program.clone(),
                 EngineConfig::default().with_params(params.clone()),
             );
             engine.analyze_all();
@@ -62,9 +65,9 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
             b.iter(|| {
                 flip = !flip;
                 if flip {
-                    engine.update_program(&edited_program);
+                    engine.update_program(edited_program.clone());
                 } else {
-                    engine.update_program(&krate.program);
+                    engine.update_program(program.clone());
                 }
                 engine.analyze_all().analyzed
             })
@@ -78,7 +81,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     // thread scheduling into it makes the assertion flaky on noisy,
     // oversubscribed CI runners.
     let mut engine = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_threads(1),
@@ -87,7 +90,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     let cold_stats = engine.analyze_all();
     let cold = start.elapsed().as_secs_f64();
 
-    engine.update_program(&edited_program);
+    engine.update_program(edited_program);
     let start = Instant::now();
     let warm_stats = engine.analyze_all();
     let warm = start.elapsed().as_secs_f64();
@@ -117,15 +120,16 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
 fn bench_sequential_vs_parallel(c: &mut Criterion) {
     let profile = paper_profiles().into_iter().nth(7).expect("ten profiles");
     let krate = generate_crate(&profile, DEFAULT_SEED);
+    let program = Arc::new(krate.program.clone());
     let params = params_for(&krate);
 
     let mut group = c.benchmark_group("engine_scheduling");
     group.sample_size(10);
     for (name, threads) in [("sequential", 1usize), ("parallel", 0usize)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &krate, |b, krate| {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, program| {
             b.iter(|| {
                 let mut engine = AnalysisEngine::new(
-                    &krate.program,
+                    program.clone(),
                     EngineConfig::default()
                         .with_params(params.clone())
                         .with_threads(threads),

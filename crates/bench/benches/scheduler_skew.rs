@@ -172,13 +172,13 @@ fn work_stealing_makespan(call_graph: &CallGraph, costs: &[f64], workers: usize)
 }
 
 fn cold_seconds(
-    program: &flowistry_lang::CompiledProgram,
+    program: &std::sync::Arc<flowistry_lang::CompiledProgram>,
     params: &AnalysisParams,
     scheduler: SchedulerKind,
     threads: usize,
 ) -> f64 {
     let mut engine = AnalysisEngine::new(
-        program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_scheduler(scheduler)
@@ -194,7 +194,8 @@ fn bench_skewed_scc(c: &mut Criterion) {
     // cost: the barrier schedule pays `giant + chain`, work stealing
     // `max(giant, chain)`, putting the structural win near its 2x maximum.
     let src = skewed_source(7, 16, 600);
-    let program = flowistry_lang::compile(&src).expect("skewed corpus compiles");
+    let program =
+        std::sync::Arc::new(flowistry_lang::compile(&src).expect("skewed corpus compiles"));
     let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
     // Two workers are enough to expose the skew (one gets stuck on the
     // giant SCC, the other runs the chain).
@@ -209,7 +210,7 @@ fn bench_skewed_scc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, program| {
             b.iter(|| {
                 let mut engine = AnalysisEngine::new(
-                    program,
+                    program.clone(),
                     EngineConfig::default()
                         .with_params(params.clone())
                         .with_scheduler(scheduler)

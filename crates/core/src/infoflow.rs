@@ -271,11 +271,26 @@ pub fn compute_summary(
     params: &AnalysisParams,
     summaries: &dyn SummaryStore,
 ) -> CachedSummary {
+    compute_summary_with_results(program, func, params, summaries).0
+}
+
+/// Like [`compute_summary`], but also hands back the full per-location
+/// results the summary was extracted from. The summary is a projection of
+/// the analysis exit state, so the full results come for free — callers
+/// that serve result queries afterwards (the engine's snapshots) keep them
+/// instead of re-running the whole analysis per query.
+pub fn compute_summary_with_results(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+    summaries: &dyn SummaryStore,
+) -> (CachedSummary, InfoFlowResults) {
     let results = analyze_with_summaries(program, func, params, summaries);
-    CachedSummary {
+    let entry = CachedSummary {
         summary: FunctionSummary::from_exit_state(program.body(func), results.exit_theta()),
         hit_boundary: results.hit_boundary(),
-    }
+    };
+    (entry, results)
 }
 
 fn analyze_inner(

@@ -54,7 +54,7 @@ pub use aliases::{AliasAnalysis, AliasMode};
 pub use condition::{AnalysisParams, Condition};
 pub use deps::{Dep, DepSet, Theta, ThetaExt};
 pub use infoflow::{
-    analyze, analyze_with_summaries, compute_summary, BodyGraph, CachedSummary, InfoFlowResults,
-    SummaryStore,
+    analyze, analyze_with_summaries, compute_summary, compute_summary_with_results, BodyGraph,
+    CachedSummary, InfoFlowResults, SummaryStore,
 };
 pub use summary::{FunctionSummary, SummaryMutation};

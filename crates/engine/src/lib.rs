@@ -20,11 +20,27 @@
 //!   content hash of the function's MIR plus its callees' keys, so
 //!   re-running after an edit re-analyzes only the edited function and its
 //!   transitive callers — everything else is a cache hit (optionally warm
-//!   from disk, including legacy single-file caches);
-//! * one engine instance then serves many queries ([`AnalysisEngine::results`],
-//!   [`AnalysisEngine::backward_slice`], [`AnalysisEngine::check_ifc`]) with
-//!   all callee summaries pre-seeded, producing results identical to a
-//!   from-scratch [`analyze`](flowistry_core::analyze).
+//!   from disk, including legacy single-file caches).
+//!
+//! The API is split into three layers, none of which borrows the program:
+//!
+//! * [`AnalysisEngine`] is the **builder**. It owns the program through an
+//!   `Arc<CompiledProgram>` and its [`AnalysisEngine::analyze_all`] run
+//!   produces…
+//! * [`AnalysisSnapshot`], the **immutable query surface**: call graph,
+//!   published summaries, and a bounded memo of per-function results, all
+//!   behind `&self` methods with no lifetime parameter. Snapshots are
+//!   cheaply cloneable (two `Arc` bumps) and answer
+//!   [`results`](AnalysisSnapshot::results),
+//!   [`backward_slice`](AnalysisSnapshot::backward_slice), and
+//!   [`check_ifc`](AnalysisSnapshot::check_ifc) queries from any thread,
+//!   producing results identical to a from-scratch
+//!   [`analyze`](flowistry_core::analyze).
+//! * [`FlowService`] is the **service front**: it owns the current
+//!   snapshot, drains a bounded [`QueryRequest`] queue with a worker pool,
+//!   and swaps in freshly analyzed snapshots behind running queries when
+//!   [`FlowService::update`] delivers an edited program — in-flight
+//!   queries finish on the epoch they started on.
 //!
 //! One caveat to "identical": direct `analyze` bounds its naive recursion
 //! with `AnalysisParams::max_recursion_depth` and falls back to the
@@ -38,41 +54,49 @@
 //! ```
 //! use flowistry_engine::{AnalysisEngine, EngineConfig};
 //! use flowistry_core::{analyze, AnalysisParams, Condition};
+//! use std::sync::Arc;
 //!
-//! let program = flowistry_lang::compile("
+//! let program = Arc::new(flowistry_lang::compile("
 //!     fn store(p: &mut i32, v: i32) { *p = v; }
 //!     fn caller(v: i32) -> i32 { let mut x = 0; store(&mut x, v); return x; }
-//! ").unwrap();
+//! ").unwrap());
 //! let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
-//! let mut engine = AnalysisEngine::new(&program, EngineConfig::default().with_params(params.clone()));
+//! let mut engine = AnalysisEngine::new(
+//!     program.clone(),
+//!     EngineConfig::default().with_params(params.clone()),
+//! );
 //! let stats = engine.analyze_all();
 //! assert_eq!(stats.analyzed, 2);
 //!
-//! // Engine-served results equal a direct analyze() call exactly.
+//! // The snapshot owns everything it needs: it can outlive the engine,
+//! // move across threads, and serve queries identical to direct analyze().
+//! let snapshot = engine.snapshot();
 //! let caller = program.func_id("caller").unwrap();
-//! assert_eq!(*engine.results(caller), analyze(&program, caller, &params));
+//! assert_eq!(*snapshot.results(caller), analyze(&program, caller, &params));
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod scheduler;
+pub mod service;
+pub mod snapshot;
 
 pub use cache::{SummaryCache, SummaryKey, SHARD_COUNT};
 pub use scheduler::{ConcurrentSummaryStore, SchedulerKind};
+pub use service::{
+    FlowService, QueryEnvelope, QueryRequest, QueryResponse, ServiceConfig, ServiceStats, Ticket,
+};
+pub use snapshot::AnalysisSnapshot;
 
 use flowistry_core::{
-    analyze_with_summaries, compute_summary, AnalysisParams, CachedSummary, FunctionSummary,
-    InfoFlowResults,
+    compute_summary_with_results, AnalysisParams, CachedSummary, FunctionSummary, InfoFlowResults,
 };
-use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
-use flowistry_lang::mir::Location;
 use flowistry_lang::types::FuncId;
 use flowistry_lang::{function_content_hash, CallGraph, CompiledProgram, StableHasher};
-use flowistry_slicer::{Slice, Slicer};
 use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Configuration of an [`AnalysisEngine`].
 #[derive(Debug, Clone)]
@@ -96,6 +120,12 @@ pub struct EngineConfig {
     /// growth over long edit sessions while keeping recently-visited
     /// versions warm.
     pub cache_retention: u64,
+    /// How many per-function results each snapshot's memo retains (default
+    /// 4096, least-recently-used eviction). Under heavy query traffic the
+    /// memo would otherwise grow to one entry per program function per
+    /// snapshot; eviction is invisible to callers — recomputed answers are
+    /// bit-identical.
+    pub results_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +136,7 @@ impl Default for EngineConfig {
             scheduler: SchedulerKind::default(),
             cache_path: None,
             cache_retention: 8,
+            results_capacity: 4096,
         }
     }
 }
@@ -140,7 +171,22 @@ impl EngineConfig {
         self.cache_retention = runs;
         self
     }
+
+    /// Caps how many per-function results a snapshot memoizes (minimum 1).
+    pub fn with_results_capacity(mut self, capacity: usize) -> Self {
+        self.results_capacity = capacity.max(1);
+        self
+    }
 }
+
+/// What a schedule hands back to `analyze_all`: every summary, the full
+/// results of freshly analyzed functions (to seed the snapshot memo), and
+/// the run counters.
+type ScheduleOutput = (
+    HashMap<FuncId, CachedSummary>,
+    Vec<(FuncId, Arc<InfoFlowResults>)>,
+    RunStats,
+);
 
 /// What one [`AnalysisEngine::analyze_all`] run did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,46 +206,59 @@ pub struct RunStats {
     pub steals: usize,
 }
 
-/// The incremental analysis engine serving batch queries over one program.
+/// The snapshot builder: owns the program, the summary cache, and the
+/// scheduling configuration; each [`AnalysisEngine::analyze_all`] run
+/// publishes an immutable [`AnalysisSnapshot`].
 ///
-/// The engine borrows the [`CompiledProgram`]; after an edit, `compile` the
-/// new source and call [`AnalysisEngine::update_program`] — the summary
-/// cache carries over, so the next [`AnalysisEngine::analyze_all`] only
-/// re-analyzes functions whose content (or whose callees' content) changed.
-pub struct AnalysisEngine<'p> {
-    program: &'p CompiledProgram,
+/// The engine shares the [`CompiledProgram`] through an `Arc` — no borrow,
+/// no lifetime. After an edit, `compile` the new source and hand it to
+/// [`AnalysisEngine::update_program`] — the summary cache carries over, so
+/// the next [`AnalysisEngine::analyze_all`] only re-analyzes functions
+/// whose content (or whose callees' content) changed.
+///
+/// For convenience the builder forwards the snapshot query API
+/// ([`AnalysisEngine::results`], [`AnalysisEngine::backward_slice`],
+/// [`AnalysisEngine::check_ifc`], …) to its most recent snapshot; callers
+/// that serve concurrent traffic should take an
+/// [`AnalysisEngine::snapshot`] (or put a [`FlowService`] in front) instead
+/// of sharing the builder.
+pub struct AnalysisEngine {
+    program: Arc<CompiledProgram>,
     config: EngineConfig,
-    call_graph: CallGraph,
-    keys: Vec<SummaryKey>,
+    // Arc-shared with the snapshots: immutable per epoch, so publishing a
+    // snapshot costs reference bumps, not O(functions + edges) copies.
+    call_graph: Arc<CallGraph>,
+    keys: Arc<Vec<SummaryKey>>,
     cache: SummaryCache,
-    summaries: HashMap<FuncId, CachedSummary>,
-    results: Mutex<HashMap<FuncId, Arc<InfoFlowResults>>>,
+    epoch: u64,
+    current: Option<AnalysisSnapshot>,
 }
 
-impl<'p> AnalysisEngine<'p> {
+impl AnalysisEngine {
     /// Creates an engine for `program`, loading the disk cache if one is
     /// configured (a missing or corrupt cache file just starts cold).
-    pub fn new(program: &'p CompiledProgram, config: EngineConfig) -> Self {
+    pub fn new(program: impl Into<Arc<CompiledProgram>>, config: EngineConfig) -> Self {
+        let program = program.into();
         let cache = match &config.cache_path {
             Some(path) => SummaryCache::load(path).unwrap_or_default(),
             None => SummaryCache::new(),
         };
-        let call_graph = CallGraph::extract(program);
-        let keys = compute_keys(program, &call_graph, &config.params);
+        let call_graph = Arc::new(CallGraph::extract(&program));
+        let keys = Arc::new(compute_keys(&program, &call_graph, &config.params));
         AnalysisEngine {
             program,
             config,
             call_graph,
             keys,
             cache,
-            summaries: HashMap::new(),
-            results: Mutex::new(HashMap::new()),
+            epoch: 0,
+            current: None,
         }
     }
 
-    /// The program currently served.
-    pub fn program(&self) -> &'p CompiledProgram {
-        self.program
+    /// The program currently served (shared, not borrowed).
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
     }
 
     /// The engine's call graph.
@@ -212,21 +271,38 @@ impl<'p> AnalysisEngine<'p> {
         &self.config.params
     }
 
+    /// The current program epoch: how many times
+    /// [`AnalysisEngine::update_program`] has run. Snapshots carry the
+    /// epoch they were built on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The cache key of `func` under the current program and parameters.
     pub fn key(&self, func: FuncId) -> SummaryKey {
         self.keys[func.0 as usize]
     }
 
-    /// Swaps in a re-compiled program (after a source edit). Summaries and
-    /// memoized results are dropped; the content-addressed cache is kept, so
-    /// the next [`AnalysisEngine::analyze_all`] is incremental: only
-    /// functions whose key changed are re-analyzed.
+    /// Swaps in a re-compiled program (after a source edit) and returns the
+    /// new epoch. The current snapshot is retired (existing clones keep
+    /// serving their own epoch untouched, and the next run inherits its
+    /// memoized results for every function whose key is unchanged); the
+    /// content-addressed cache is kept, so the next
+    /// [`AnalysisEngine::analyze_all`] is incremental: only functions whose
+    /// key changed are re-analyzed.
     ///
     /// An `available_bodies` restriction is carried across the update **by
     /// function name**: [`FuncId`]s are positional and shift when the edit
     /// adds or removes functions, so the ids are re-resolved against the
     /// new program (names that no longer exist are dropped).
-    pub fn update_program(&mut self, program: &'p CompiledProgram) {
+    pub fn update_program(&mut self, program: impl Into<Arc<CompiledProgram>>) -> u64 {
+        let program = program.into();
+        // Advance the epoch before anything that can panic (call-graph
+        // extraction, key computation): callers that number updates by
+        // epoch — the FlowService promises `base + n` for the n-th update —
+        // rely on every update attempt consuming exactly one epoch, failed
+        // or not.
+        self.epoch += 1;
         if let Some(old_set) = &self.config.params.available_bodies {
             let names: std::collections::BTreeSet<&str> = old_set
                 .iter()
@@ -243,27 +319,34 @@ impl<'p> AnalysisEngine<'p> {
             self.config.params.available_bodies = Some(remapped);
         }
         self.program = program;
-        self.call_graph = CallGraph::extract(program);
-        self.keys = compute_keys(program, &self.call_graph, &self.config.params);
-        self.summaries.clear();
-        self.results.lock().expect("results lock").clear();
+        self.call_graph = Arc::new(CallGraph::extract(&self.program));
+        self.keys = Arc::new(compute_keys(
+            &self.program,
+            &self.call_graph,
+            &self.config.params,
+        ));
+        // `current` is kept (now stale — its epoch lags `self.epoch`) so
+        // the next `analyze_all` can carry its memoized results forward;
+        // the query accessors refuse to serve it in the meantime.
+        self.epoch
     }
 
     /// Computes (or fetches) the summary of every available function,
     /// bottom-up over the call graph — with the work-stealing scheduler by
     /// default, or per-level parallel fan-out under
-    /// [`SchedulerKind::LevelBarrier`] — and persists the cache if a path
-    /// is configured.
+    /// [`SchedulerKind::LevelBarrier`] — publishes a fresh
+    /// [`AnalysisSnapshot`], and persists the cache if a path is
+    /// configured.
     pub fn analyze_all(&mut self) -> RunStats {
-        let threads = self.worker_threads();
-        let stats = match self.config.scheduler {
+        let threads = scheduler::resolve_worker_threads(self.config.threads);
+        let (summaries, results_seed, stats) = match self.config.scheduler {
             SchedulerKind::WorkStealing => self.analyze_all_work_stealing(threads),
             SchedulerKind::LevelBarrier => self.analyze_all_barrier(threads),
         };
 
         // Close the run: mark every key this program version uses (hits and
         // fresh inserts alike) and evict entries idle for too many runs.
-        let used: Vec<SummaryKey> = self.summaries.keys().map(|&f| self.key(f)).collect();
+        let used: Vec<SummaryKey> = summaries.keys().map(|&f| self.key(f)).collect();
         self.cache.touch(used);
         self.cache.end_generation(self.config.cache_retention);
 
@@ -272,47 +355,99 @@ impl<'p> AnalysisEngine<'p> {
                 eprintln!("warning: could not persist summary cache: {e}");
             }
         }
+
+        // Seed the snapshot's memo with the full results computed during
+        // summary extraction (a summary is a projection of them, so they
+        // were free): first queries for freshly analyzed functions are memo
+        // hits instead of re-analyses. Cache-hit functions inherit the
+        // retiring snapshot's memoized results where the summary key is
+        // unchanged — shared `Arc`s, so retiring the old snapshot never
+        // deep-drops what the new one still serves. Carried entries go in
+        // *first*: seeding assigns LRU recency in insertion order, so when
+        // the combined seed exceeds the memo capacity it is old carry-over
+        // that gets evicted, never this run's freshly analyzed dirty cone.
+        let mut seed = match &self.current {
+            Some(prev) => prev.carryover_results(&self.keys),
+            None => Vec::new(),
+        };
+        seed.extend(results_seed);
+        let snapshot = AnalysisSnapshot::new(
+            self.program.clone(),
+            self.config.params.clone(),
+            self.call_graph.clone(),
+            self.keys.clone(),
+            summaries,
+            self.config.results_capacity,
+            self.epoch,
+            stats,
+        );
+        snapshot.seed_results(seed);
+        self.current = Some(snapshot);
         stats
     }
 
-    /// Resolves the configured thread count (`0` = the
-    /// `FLOWISTRY_ENGINE_THREADS` environment variable, else the machine's
-    /// available parallelism).
-    fn worker_threads(&self) -> usize {
-        match self.config.threads {
-            0 => std::env::var("FLOWISTRY_ENGINE_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
-            n => n,
-        }
+    /// The most recent [`AnalysisSnapshot`] (cheap clone — two `Arc`
+    /// bumps). The snapshot is immutable and self-contained: it keeps
+    /// serving its epoch even after the engine moves on via
+    /// [`AnalysisEngine::update_program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AnalysisEngine::analyze_all`] has not produced a
+    /// snapshot for the current program yet.
+    pub fn snapshot(&self) -> AnalysisSnapshot {
+        self.current_snapshot().clone()
+    }
+
+    /// Whether [`AnalysisEngine::analyze_all`] has produced a snapshot for
+    /// the current program (a snapshot retired by
+    /// [`AnalysisEngine::update_program`] does not count).
+    pub fn has_snapshot(&self) -> bool {
+        self.current
+            .as_ref()
+            .is_some_and(|s| s.epoch() == self.epoch)
+    }
+
+    fn current_snapshot(&self) -> &AnalysisSnapshot {
+        let snapshot = self
+            .current
+            .as_ref()
+            .expect("no snapshot yet: run analyze_all() after new()");
+        assert_eq!(
+            snapshot.epoch(),
+            self.epoch,
+            "snapshot is stale: run analyze_all() after update_program()"
+        );
+        snapshot
     }
 
     /// The work-stealing schedule: see [`scheduler`].
-    fn analyze_all_work_stealing(&mut self, threads: usize) -> RunStats {
+    fn analyze_all_work_stealing(&mut self, threads: usize) -> ScheduleOutput {
         let outcome = scheduler::run_work_stealing(
-            self.program,
+            &self.program,
             &self.call_graph,
             &self.config.params,
             &self.keys,
             &self.cache,
             threads,
+            self.config.results_capacity,
         );
-        self.summaries = outcome.summaries;
-        RunStats {
+        let stats = RunStats {
             analyzed: outcome.analyzed,
             cache_hits: outcome.cache_hits,
             levels: self.call_graph.critical_path_len(),
             threads: outcome.threads,
             steals: outcome.steals,
-        }
+        };
+        (outcome.summaries, outcome.results, stats)
     }
 
     /// The legacy level-barrier schedule: every callee level completes
     /// before the next level starts.
-    fn analyze_all_barrier(&mut self, max_threads: usize) -> RunStats {
+    fn analyze_all_barrier(&mut self, max_threads: usize) -> ScheduleOutput {
         let levels = self.call_graph.schedule_levels();
+        let mut summaries: HashMap<FuncId, CachedSummary> = HashMap::new();
+        let mut results_seed: Vec<(FuncId, Arc<InfoFlowResults>)> = Vec::new();
         let mut stats = RunStats {
             levels: levels.len(),
             ..RunStats::default()
@@ -333,14 +468,15 @@ impl<'p> AnalysisEngine<'p> {
             let threads = max_threads.min(work.len()).max(1);
             stats.threads = stats.threads.max(threads);
             let computed = if threads == 1 {
-                self.run_chunk(&work)
+                self.run_chunk(&work, &summaries)
             } else {
                 let chunk_size = work.len().div_ceil(threads);
                 let mut out = Vec::with_capacity(work.len());
+                let summaries_ref = &summaries;
                 std::thread::scope(|s| {
                     let handles: Vec<_> = work
                         .chunks(chunk_size)
-                        .map(|chunk| s.spawn(|| self.run_chunk(chunk)))
+                        .map(|chunk| s.spawn(|| self.run_chunk(chunk, summaries_ref)))
                         .collect();
                     for handle in handles {
                         out.extend(handle.join().expect("engine worker panicked"));
@@ -348,107 +484,104 @@ impl<'p> AnalysisEngine<'p> {
                 });
                 out
             };
-            for (func, entry, was_hit) in computed {
-                if was_hit {
-                    stats.cache_hits += 1;
-                } else {
-                    stats.analyzed += 1;
-                    self.cache.insert(self.key(func), entry.clone());
+            for (func, entry, full) in computed {
+                match full {
+                    None => stats.cache_hits += 1,
+                    Some(full) => {
+                        stats.analyzed += 1;
+                        self.cache.insert(self.key(func), entry.clone());
+                        // Same bound as the work-stealing path: the memo
+                        // caps at results_capacity, so don't retain more.
+                        if results_seed.len() < self.config.results_capacity {
+                            results_seed.push((func, full));
+                        }
+                    }
                 }
-                self.summaries.insert(func, entry);
+                summaries.insert(func, entry);
             }
         }
-        stats
+        (summaries, results_seed, stats)
     }
 
     /// One worker's share of a level: resolve each function against the
-    /// cache, analyzing on a miss. Runs with `summaries` frozen at the
-    /// previous level boundary.
-    fn run_chunk(&self, chunk: &[FuncId]) -> Vec<(FuncId, CachedSummary, bool)> {
+    /// cache, analyzing on a miss (keeping the full results alongside the
+    /// extracted summary). Runs with `summaries` frozen at the previous
+    /// level boundary.
+    fn run_chunk(
+        &self,
+        chunk: &[FuncId],
+        summaries: &HashMap<FuncId, CachedSummary>,
+    ) -> Vec<(FuncId, CachedSummary, Option<Arc<InfoFlowResults>>)> {
         chunk
             .iter()
             .map(|&func| match self.cache.get(self.key(func)) {
-                Some(entry) => (func, entry, true),
+                Some(entry) => (func, entry, None),
                 None => {
-                    let entry =
-                        compute_summary(self.program, func, &self.config.params, &self.summaries);
-                    (func, entry, false)
+                    let (entry, full) = compute_summary_with_results(
+                        &self.program,
+                        func,
+                        &self.config.params,
+                        summaries,
+                    );
+                    (func, entry, Some(Arc::new(full)))
                 }
             })
             .collect()
     }
 
-    /// The cached summary of `func`, if [`AnalysisEngine::analyze_all`] has
-    /// produced one (external functions have none).
+    /// The cached summary of `func` in the current snapshot, if
+    /// [`AnalysisEngine::analyze_all`] has produced one (external functions
+    /// have none; before the first `analyze_all` — or after an
+    /// `update_program` not yet re-analyzed — every function answers
+    /// `None`).
     pub fn summary(&self, func: FuncId) -> Option<&FunctionSummary> {
-        self.summaries.get(&func).map(|e| &e.summary)
+        self.current
+            .as_ref()
+            .filter(|s| s.epoch() == self.epoch)
+            .and_then(|s| s.summary(func))
     }
 
-    /// The full per-location analysis results for `func`, served from the
-    /// engine's memo table. All callee summaries are pre-seeded, so this
-    /// never recurses — and it returns exactly what a from-scratch
-    /// [`analyze`](flowistry_core::analyze) call would, provided no call
-    /// chain exceeds `AnalysisParams::max_recursion_depth` (past that,
-    /// direct analysis falls back to the conservative modular rule while
-    /// the engine keeps using summaries, making the engine strictly more
-    /// precise; see the crate docs).
-    pub fn results(&self, func: FuncId) -> Arc<InfoFlowResults> {
-        let mut results = self.results.lock().expect("results lock");
-        results
-            .entry(func)
-            .or_insert_with(|| {
-                Arc::new(analyze_with_summaries(
-                    self.program,
-                    func,
-                    &self.config.params,
-                    &self.summaries,
-                ))
-            })
-            .clone()
+    /// Forwards to [`AnalysisSnapshot::results`] on the current snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot has been built yet (see
+    /// [`AnalysisEngine::snapshot`]).
+    pub fn results(&self, func: FuncId) -> Arc<flowistry_core::InfoFlowResults> {
+        self.current_snapshot().results(func)
     }
 
-    /// Backward slice of the user variable `var` of `func` (engine-backed
-    /// counterpart of [`Slicer::backward_slice_of_var`]).
-    pub fn backward_slice(&self, func: FuncId, var: &str) -> Option<Slice> {
-        self.slicer(func).backward_slice_of_var(var)
+    /// Forwards to [`AnalysisSnapshot::backward_slice`] on the current
+    /// snapshot.
+    pub fn backward_slice(&self, func: FuncId, var: &str) -> Option<flowistry_slicer::Slice> {
+        self.current_snapshot().backward_slice(func, var)
     }
 
-    /// Backward slice of `func`'s return value.
-    pub fn backward_slice_of_return(&self, func: FuncId) -> Slice {
-        self.slicer(func).backward_slice_of_return()
+    /// Forwards to [`AnalysisSnapshot::backward_slice_of_return`] on the
+    /// current snapshot.
+    pub fn backward_slice_of_return(&self, func: FuncId) -> flowistry_slicer::Slice {
+        self.current_snapshot().backward_slice_of_return(func)
     }
 
-    /// Locations in the dependency set of `place` just before `loc` — the
-    /// raw location-level slice of §5.1.
+    /// Forwards to [`AnalysisSnapshot::backward_slice_at`] on the current
+    /// snapshot.
     pub fn backward_slice_at(
         &self,
         func: FuncId,
         place: &flowistry_lang::mir::Place,
-        loc: Location,
-    ) -> BTreeSet<Location> {
-        self.results(func).backward_slice(place, loc)
+        loc: flowistry_lang::mir::Location,
+    ) -> BTreeSet<flowistry_lang::mir::Location> {
+        self.current_snapshot().backward_slice_at(func, place, loc)
     }
 
-    /// An engine-backed [`Slicer`] for `func`, sharing the memoized results
-    /// (no per-query deep clone: the slicer holds the same `Arc` the
-    /// engine's memo table does).
-    pub fn slicer(&self, func: FuncId) -> Slicer<'p> {
-        Slicer::from_results(self.program, func, self.results(func))
+    /// Forwards to [`AnalysisSnapshot::slicer`] on the current snapshot.
+    pub fn slicer(&self, func: FuncId) -> flowistry_slicer::Slicer<'_> {
+        self.current_snapshot().slicer(func)
     }
 
-    /// Checks every function of the program against `policy`, serving each
-    /// function's analysis from the engine, and returns the reports that
-    /// contain violations (engine-backed counterpart of
-    /// [`IfcChecker::check_program`]).
-    pub fn check_ifc(&self, policy: IfcPolicy) -> Vec<IfcReport> {
-        let checker = IfcChecker::new(self.program, policy);
-        (0..self.program.bodies.len())
-            .map(|i| {
-                let func = FuncId(i as u32);
-                checker.check_with_results(func, &self.results(func))
-            })
-            .filter(|r| !r.is_clean())
-            .collect()
+    /// Forwards to [`AnalysisSnapshot::check_ifc`] on the current snapshot.
+    pub fn check_ifc(&self, policy: flowistry_ifc::IfcPolicy) -> Vec<flowistry_ifc::IfcReport> {
+        self.current_snapshot().check_ifc(policy)
     }
 
     /// The set of functions whose summary would have to be recomputed if
@@ -569,11 +702,15 @@ mod tests {
         AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)
     }
 
+    fn compile(src: &str) -> Arc<CompiledProgram> {
+        Arc::new(flowistry_lang::compile(src).unwrap())
+    }
+
     #[test]
     fn analyze_all_visits_every_function_bottom_up() {
-        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let program = compile(PROGRAM);
         let mut engine = AnalysisEngine::new(
-            &program,
+            program.clone(),
             EngineConfig::default().with_params(whole_program()),
         );
         let stats = engine.analyze_all();
@@ -592,10 +729,10 @@ mod tests {
 
     #[test]
     fn engine_results_match_direct_analysis() {
-        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let program = compile(PROGRAM);
         let params = whole_program();
         let mut engine = AnalysisEngine::new(
-            &program,
+            program.clone(),
             EngineConfig::default().with_params(params.clone()),
         );
         engine.analyze_all();
@@ -607,8 +744,34 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_outlive_the_engine_and_serve_their_own_epoch() {
+        let program = compile(PROGRAM);
+        let params = whole_program();
+        let mut engine = AnalysisEngine::new(
+            program.clone(),
+            EngineConfig::default().with_params(params.clone()),
+        );
+        engine.analyze_all();
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.epoch(), 0);
+
+        // The engine moves on to an edited program; the old snapshot keeps
+        // answering from the program it was built on.
+        let edited = compile(&PROGRAM.replace("v + 1", "v + 2"));
+        let epoch = engine.update_program(edited.clone());
+        assert_eq!(epoch, 1);
+        engine.analyze_all();
+        assert_eq!(engine.snapshot().epoch(), 1);
+
+        drop(engine);
+        let top = program.func_id("top").unwrap();
+        assert_eq!(*snapshot.results(top), analyze(&program, top, &params));
+        assert!(Arc::ptr_eq(snapshot.program(), &program));
+    }
+
+    #[test]
     fn unavailable_functions_are_not_summarized() {
-        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let program = compile(PROGRAM);
         let top = program.func_id("top").unwrap();
         let mid = program.func_id("mid").unwrap();
         let params = AnalysisParams {
@@ -617,7 +780,7 @@ mod tests {
             ..AnalysisParams::default()
         };
         let mut engine = AnalysisEngine::new(
-            &program,
+            program.clone(),
             EngineConfig::default().with_params(params.clone()),
         );
         let stats = engine.analyze_all();
@@ -631,8 +794,8 @@ mod tests {
 
     #[test]
     fn invalidation_set_is_the_caller_cone() {
-        let program = flowistry_lang::compile(PROGRAM).unwrap();
-        let engine = AnalysisEngine::new(&program, EngineConfig::default());
+        let program = compile(PROGRAM);
+        let engine = AnalysisEngine::new(program.clone(), EngineConfig::default());
         let leaf = program.func_id("leaf").unwrap();
         let set = engine.invalidation_set(leaf);
         assert_eq!(set.len(), 3);
@@ -642,11 +805,11 @@ mod tests {
 
     #[test]
     fn keys_depend_on_params() {
-        let program = flowistry_lang::compile(PROGRAM).unwrap();
+        let program = compile(PROGRAM);
         let func = program.func_id("top").unwrap();
-        let modular = AnalysisEngine::new(&program, EngineConfig::default());
+        let modular = AnalysisEngine::new(program.clone(), EngineConfig::default());
         let whole = AnalysisEngine::new(
-            &program,
+            program.clone(),
             EngineConfig::default().with_params(whole_program()),
         );
         assert_ne!(modular.key(func), whole.key(func));

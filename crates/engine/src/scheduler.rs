@@ -30,12 +30,14 @@
 
 use crate::cache::SummaryCache;
 use crate::SummaryKey;
-use flowistry_core::{compute_summary, AnalysisParams, CachedSummary, SummaryStore};
+use flowistry_core::{
+    compute_summary_with_results, AnalysisParams, CachedSummary, InfoFlowResults, SummaryStore,
+};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::{CallGraph, CompiledProgram};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Which strategy [`AnalysisEngine::analyze_all`](crate::AnalysisEngine::analyze_all)
 /// uses to order summary computation over the call-graph condensation.
@@ -50,6 +52,24 @@ pub enum SchedulerKind {
     /// workers at every level boundary. Kept for comparison benchmarks and
     /// as a conservative fallback.
     LevelBarrier,
+}
+
+/// Resolves a configured worker-thread count the way every pool in this
+/// crate does: `0` means the `FLOWISTRY_ENGINE_THREADS` environment
+/// variable if set (useful for forcing a worker count in CI), else the
+/// machine's available parallelism; any other value is taken as-is. Shared
+/// by [`analyze_all`](crate::AnalysisEngine::analyze_all)'s summary workers
+/// and the [`FlowService`](crate::FlowService) query pool so one knob sizes
+/// both.
+pub fn resolve_worker_threads(configured: usize) -> usize {
+    match configured {
+        0 => std::env::var("FLOWISTRY_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    }
 }
 
 /// Number of shards in the [`ConcurrentSummaryStore`] (keyed by `FuncId`,
@@ -121,6 +141,11 @@ pub(crate) struct WorkStealingOutcome {
     pub threads: usize,
     /// Every available function's summary.
     pub summaries: HashMap<FuncId, CachedSummary>,
+    /// The full per-location results of every function that was *analyzed*
+    /// this run (cache hits carry no results). The summary is a projection
+    /// of these, so they come for free — the engine seeds its snapshot's
+    /// results memo with them instead of re-analyzing on first query.
+    pub results: Vec<(FuncId, Arc<InfoFlowResults>)>,
 }
 
 /// Runs summary computation over the condensation with `workers` work-
@@ -133,6 +158,7 @@ pub(crate) fn run_work_stealing(
     keys: &[SummaryKey],
     cache: &SummaryCache,
     workers: usize,
+    results_capacity: usize,
 ) -> WorkStealingOutcome {
     let num_sccs = call_graph.sccs().len();
     let workers = workers.clamp(1, num_sccs.max(1));
@@ -159,6 +185,10 @@ pub(crate) fn run_work_stealing(
 
     let remaining = AtomicUsize::new(num_sccs);
     let steals = AtomicUsize::new(0);
+    // Bounds how many full results the run retains for memo seeding: the
+    // snapshot memo caps out at `results_capacity` anyway, so collecting
+    // past it would only inflate the run's peak memory.
+    let results_kept = AtomicUsize::new(0);
     let store = ConcurrentSummaryStore::new();
     // A panicking worker cannot decrement `remaining` for components it
     // never finished, so without this flag its siblings would spin on the
@@ -167,8 +197,10 @@ pub(crate) fn run_work_stealing(
     // the caller's thread (matching the barrier path's fail-fast join).
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-    let worker_loop = |me: usize| -> (usize, usize) {
+    type WorkerTally = (usize, usize, Vec<(FuncId, Arc<InfoFlowResults>)>);
+    let worker_loop = |me: usize| -> WorkerTally {
         let (mut analyzed, mut cache_hits) = (0usize, 0usize);
+        let mut results: Vec<(FuncId, Arc<InfoFlowResults>)> = Vec::new();
         let mut idle_rounds = 0u32;
         loop {
             if panic_payload.lock().expect("panic slot lock").is_some() {
@@ -200,19 +232,21 @@ pub(crate) fn run_work_stealing(
             // barrier schedule and direct analysis, which recurse into
             // partner bodies naively). `AssertUnwindSafe` is fine: on a
             // panic the whole run is abandoned, never resumed.
+            type Produced = (FuncId, CachedSummary, Option<Arc<InfoFlowResults>>);
             let component = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut produced: Vec<(FuncId, CachedSummary, bool)> = Vec::new();
+                let mut produced: Vec<Produced> = Vec::new();
                 for &func in &call_graph.sccs()[scc] {
                     if !params.body_available(func) {
                         continue;
                     }
                     let key = keys[func.0 as usize];
                     match cache.get(key) {
-                        Some(entry) => produced.push((func, entry, true)),
+                        Some(entry) => produced.push((func, entry, None)),
                         None => {
-                            let entry = compute_summary(program, func, params, &store);
+                            let (entry, full) =
+                                compute_summary_with_results(program, func, params, &store);
                             cache.insert(key, entry.clone());
-                            produced.push((func, entry, false));
+                            produced.push((func, entry, Some(Arc::new(full))));
                         }
                     }
                 }
@@ -226,11 +260,15 @@ pub(crate) fn run_work_stealing(
                     break;
                 }
             };
-            for (func, entry, was_hit) in produced {
-                if was_hit {
-                    cache_hits += 1;
-                } else {
-                    analyzed += 1;
+            for (func, entry, full) in produced {
+                match full {
+                    None => cache_hits += 1,
+                    Some(full) => {
+                        analyzed += 1;
+                        if results_kept.fetch_add(1, Ordering::Relaxed) < results_capacity {
+                            results.push((func, full));
+                        }
+                    }
                 }
                 store.publish(func, entry);
             }
@@ -248,10 +286,10 @@ pub(crate) fn run_work_stealing(
             }
             remaining.fetch_sub(1, Ordering::AcqRel);
         }
-        (analyzed, cache_hits)
+        (analyzed, cache_hits, results)
     };
 
-    let counts: Vec<(usize, usize)> = if workers == 1 {
+    let counts: Vec<WorkerTally> = if workers == 1 {
         // Single worker: run inline — strictly sequential and deterministic.
         vec![worker_loop(0)]
     } else {
@@ -270,12 +308,20 @@ pub(crate) fn run_work_stealing(
     }
 
     debug_assert_eq!(remaining.load(Ordering::Relaxed), 0);
+    let (mut analyzed, mut cache_hits) = (0usize, 0usize);
+    let mut results = Vec::new();
+    for (a, h, r) in counts {
+        analyzed += a;
+        cache_hits += h;
+        results.extend(r);
+    }
     WorkStealingOutcome {
-        analyzed: counts.iter().map(|&(a, _)| a).sum(),
-        cache_hits: counts.iter().map(|&(_, h)| h).sum(),
+        analyzed,
+        cache_hits,
         steals: steals.load(Ordering::Relaxed),
         threads: workers,
         summaries: store.into_map(),
+        results,
     }
 }
 
@@ -325,6 +371,6 @@ mod tests {
         let cache = SummaryCache::new();
         // An empty key table makes the first component's key lookup panic
         // inside a worker.
-        run_work_stealing(&program, &call_graph, &params, &[], &cache, 2);
+        run_work_stealing(&program, &call_graph, &params, &[], &cache, 2, 4096);
     }
 }

@@ -1,0 +1,565 @@
+//! The async query front: a long-lived service serving slice/IFC queries
+//! from immutable snapshots while re-analysis happens in the background.
+//!
+//! [`FlowService`] is the codebase's first step from "library" to
+//! "server". It owns the current [`AnalysisSnapshot`] plus the producing
+//! [`AnalysisEngine`], and splits work across two kinds of threads:
+//!
+//! * a **query worker pool** drains a bounded [`QueryRequest`] queue.
+//!   Every worker starts a request by cloning the current snapshot (two
+//!   `Arc` bumps), so a request is answered entirely from one immutable
+//!   epoch — no query ever observes a half-swapped snapshot. The pool is
+//!   sized by the same knob as the summary scheduler
+//!   ([`resolve_worker_threads`](crate::scheduler::resolve_worker_threads):
+//!   `0` = `FLOWISTRY_ENGINE_THREADS` or available parallelism).
+//! * an **updater thread** applies [`FlowService::update`] requests: it
+//!   feeds the edited program to the engine, re-runs
+//!   [`analyze_all`](AnalysisEngine::analyze_all) — warm from the shared
+//!   [`SummaryCache`](crate::SummaryCache), scheduled by the work-stealing
+//!   scheduler, so only the edit's dirty cone is recomputed — and
+//!   atomically swaps the fresh snapshot in. In-flight queries finish on
+//!   the epoch they started on; the next request picks up the new one.
+//!
+//! Callers choose between the blocking [`FlowService::query`] and the
+//! [`FlowService::submit`]/[`Ticket::poll`] handle API. Every answer comes
+//! wrapped in a [`QueryEnvelope`] carrying the epoch of the snapshot that
+//! served it, so callers (and the stress tests) can check answers against
+//! the exact program version they were computed from.
+//!
+//! ```
+//! use flowistry_engine::{AnalysisEngine, EngineConfig, FlowService, ServiceConfig};
+//! use flowistry_engine::{QueryRequest, QueryResponse};
+//! use flowistry_core::{AnalysisParams, Condition};
+//! use std::sync::Arc;
+//!
+//! let program = Arc::new(flowistry_lang::compile("
+//!     fn store(p: &mut i32, v: i32) { *p = v; }
+//!     fn caller(v: i32) -> i32 { let mut x = 0; store(&mut x, v); return x; }
+//! ").unwrap());
+//! let engine = AnalysisEngine::new(
+//!     program.clone(),
+//!     EngineConfig::default()
+//!         .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+//! );
+//! let service = FlowService::new(engine, ServiceConfig::default());
+//! let caller = program.func_id("caller").unwrap();
+//! let reply = service.query(QueryRequest::Results(caller));
+//! assert_eq!(reply.epoch, 0);
+//! assert!(matches!(reply.response, QueryResponse::Results(_)));
+//! ```
+
+use crate::scheduler::resolve_worker_threads;
+use crate::{AnalysisEngine, AnalysisSnapshot, RunStats};
+use flowistry_core::{FunctionSummary, InfoFlowResults};
+use flowistry_ifc::{IfcPolicy, IfcReport};
+use flowistry_lang::mir::{Location, Place};
+use flowistry_lang::types::FuncId;
+use flowistry_lang::CompiledProgram;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`FlowService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Query worker threads. `0` (the default) resolves like the engine's
+    /// summary workers: `FLOWISTRY_ENGINE_THREADS` if set, else the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Capacity of the request queue. A full queue applies backpressure:
+    /// [`FlowService::submit`] blocks until a worker drains a slot.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the query worker count (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the request queue capacity (minimum 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// One query against the service, mirroring the snapshot query API.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// The published [`FunctionSummary`] of a function
+    /// ([`AnalysisSnapshot::summary`]).
+    Summary(FuncId),
+    /// The full per-location results of a function
+    /// ([`AnalysisSnapshot::results`]).
+    Results(FuncId),
+    /// Backward slice of a user variable
+    /// ([`AnalysisSnapshot::backward_slice`]).
+    BackwardSlice {
+        /// Function to slice in.
+        func: FuncId,
+        /// The user variable serving as the slicing criterion.
+        var: String,
+    },
+    /// Raw location-level backward slice
+    /// ([`AnalysisSnapshot::backward_slice_at`]).
+    BackwardSliceAt {
+        /// Function to slice in.
+        func: FuncId,
+        /// The place whose dependencies are requested.
+        place: Place,
+        /// The location just before which dependencies are taken.
+        loc: Location,
+    },
+    /// Whole-program IFC check ([`AnalysisSnapshot::check_ifc`]).
+    CheckIfc(IfcPolicy),
+    /// Service health: current epoch, queue depth, counters.
+    Stats,
+}
+
+/// The answer to one [`QueryRequest`], variant-matched to the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Summary`] (`None` for external functions).
+    Summary(Option<FunctionSummary>),
+    /// Answer to [`QueryRequest::Results`].
+    Results(Arc<InfoFlowResults>),
+    /// Answer to [`QueryRequest::BackwardSlice`] (`None` if the variable
+    /// does not exist).
+    BackwardSlice(Option<flowistry_slicer::Slice>),
+    /// Answer to [`QueryRequest::BackwardSliceAt`].
+    BackwardSliceAt(BTreeSet<Location>),
+    /// Answer to [`QueryRequest::CheckIfc`]: every report with violations.
+    CheckIfc(Vec<IfcReport>),
+    /// Answer to [`QueryRequest::Stats`].
+    Stats(ServiceStats),
+    /// The request could not be served (unknown function id, or the query
+    /// panicked). The service itself stays up.
+    Error(String),
+}
+
+/// A [`QueryResponse`] tagged with the epoch of the snapshot that served
+/// it. Every answer is computed entirely against that one snapshot, so all
+/// of its contents are mutually consistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEnvelope {
+    /// The snapshot epoch the answer was served from (see
+    /// [`AnalysisSnapshot::epoch`]).
+    pub epoch: u64,
+    /// The answer itself.
+    pub response: QueryResponse,
+}
+
+/// Service health counters, served by [`QueryRequest::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Epoch of the snapshot that served this answer.
+    pub epoch: u64,
+    /// Requests waiting in the queue at the time of the answer.
+    pub queue_depth: usize,
+    /// Query worker threads.
+    pub workers: usize,
+    /// Requests served so far (including this one).
+    pub served: u64,
+    /// Background updates applied so far.
+    pub updates_applied: u64,
+    /// Background updates that panicked during re-analysis (the previous
+    /// snapshot keeps serving; `wait_for_epoch` callers still unblock).
+    pub updates_failed: u64,
+    /// What the `analyze_all` run that built the serving snapshot did.
+    pub run: RunStats,
+}
+
+/// A handle to one submitted request (see [`FlowService::submit`]).
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// The answer, if the request has been served yet. Idempotent: once
+    /// the answer is ready, every `poll` (and a subsequent
+    /// [`Ticket::wait`]) returns it.
+    pub fn poll(&self) -> Option<QueryEnvelope> {
+        self.slot.filled.lock().expect("response slot lock").clone()
+    }
+
+    /// Blocks until the answer is ready and returns it.
+    pub fn wait(self) -> QueryEnvelope {
+        let mut filled = self.slot.filled.lock().expect("response slot lock");
+        loop {
+            if let Some(envelope) = filled.as_ref() {
+                return envelope.clone();
+            }
+            filled = self.slot.ready.wait(filled).expect("response slot lock");
+        }
+    }
+}
+
+struct ResponseSlot {
+    filled: Mutex<Option<QueryEnvelope>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn fill(&self, envelope: QueryEnvelope) {
+        *self.filled.lock().expect("response slot lock") = Some(envelope);
+        self.ready.notify_all();
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    slot: Arc<ResponseSlot>,
+}
+
+struct ServiceShared {
+    queue: Mutex<VecDeque<Job>>,
+    queue_capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+    updates: Mutex<VecDeque<Arc<CompiledProgram>>>,
+    update_pending: Condvar,
+    snapshot: RwLock<AnalysisSnapshot>,
+    engine: Mutex<AnalysisEngine>,
+    current_epoch: Mutex<u64>,
+    epoch_advanced: Condvar,
+    shutdown: AtomicBool,
+    workers: usize,
+    served: AtomicU64,
+    updates_applied: AtomicU64,
+    updates_failed: AtomicU64,
+}
+
+/// A long-lived query service over one evolving program: see the [module
+/// docs](self).
+pub struct FlowService {
+    shared: Arc<ServiceShared>,
+    base_epoch: u64,
+    updates_submitted: AtomicU64,
+    worker_handles: Vec<JoinHandle<()>>,
+    updater_handle: Option<JoinHandle<()>>,
+}
+
+impl FlowService {
+    /// Starts a service over `engine`, spawning the worker pool and the
+    /// updater thread. If the engine has not produced a snapshot yet, one
+    /// `analyze_all` run happens here (on the calling thread) so the
+    /// service never serves without a snapshot.
+    pub fn new(mut engine: AnalysisEngine, config: ServiceConfig) -> FlowService {
+        if !engine.has_snapshot() {
+            engine.analyze_all();
+        }
+        let snapshot = engine.snapshot();
+        let base_epoch = snapshot.epoch();
+        let workers = resolve_worker_threads(config.workers);
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_capacity: config.queue_capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            updates: Mutex::new(VecDeque::new()),
+            update_pending: Condvar::new(),
+            snapshot: RwLock::new(snapshot),
+            engine: Mutex::new(engine),
+            current_epoch: Mutex::new(base_epoch),
+            epoch_advanced: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers,
+            served: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            updates_failed: AtomicU64::new(0),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("flow-query-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        let updater_handle = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("flow-updater".to_string())
+                .spawn(move || updater_loop(&shared))
+                .expect("spawn updater")
+        };
+
+        FlowService {
+            shared,
+            base_epoch,
+            updates_submitted: AtomicU64::new(0),
+            worker_handles,
+            updater_handle: Some(updater_handle),
+        }
+    }
+
+    /// Enqueues a request and returns a [`Ticket`] to poll or wait on.
+    /// Blocks while the queue is at capacity (backpressure).
+    pub fn submit(&self, request: QueryRequest) -> Ticket {
+        let slot = Arc::new(ResponseSlot {
+            filled: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = Job {
+            request,
+            slot: slot.clone(),
+        };
+        let mut queue = self.shared.queue.lock().expect("service queue lock");
+        while queue.len() >= self.shared.queue_capacity {
+            queue = self
+                .shared
+                .not_full
+                .wait(queue)
+                .expect("service queue lock");
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ticket { slot }
+    }
+
+    /// Submits `request` and blocks until its answer arrives.
+    pub fn query(&self, request: QueryRequest) -> QueryEnvelope {
+        self.submit(request).wait()
+    }
+
+    /// Schedules a re-analysis of `program` in the background and returns
+    /// the epoch its snapshot will carry. Queries keep being served from
+    /// the current snapshot until the new one atomically replaces it;
+    /// updates apply in submission order. Use
+    /// [`FlowService::wait_for_epoch`] to block until the swap happened.
+    pub fn update(&self, program: impl Into<Arc<CompiledProgram>>) -> u64 {
+        let program = program.into();
+        // Allocate the epoch and enqueue under one lock: the updater
+        // assigns epochs in pop order, so the position promised here must
+        // be the position the program actually lands in.
+        let mut updates = self.shared.updates.lock().expect("service update lock");
+        let epoch = self.base_epoch + self.updates_submitted.fetch_add(1, Ordering::SeqCst) + 1;
+        updates.push_back(program);
+        drop(updates);
+        self.shared.update_pending.notify_one();
+        epoch
+    }
+
+    /// Blocks until the serving snapshot's epoch is at least `epoch` (as
+    /// returned by [`FlowService::update`]). Returns even if that update's
+    /// re-analysis panicked — the epoch still advances so callers never
+    /// hang; check [`ServiceStats::updates_failed`] (or compare the served
+    /// envelopes' epochs) to detect that the snapshot did not change.
+    pub fn wait_for_epoch(&self, epoch: u64) {
+        let mut current = self.shared.current_epoch.lock().expect("epoch lock");
+        while *current < epoch {
+            current = self
+                .shared
+                .epoch_advanced
+                .wait(current)
+                .expect("epoch lock");
+        }
+    }
+
+    /// Epoch of the snapshot currently serving queries.
+    pub fn current_epoch(&self) -> u64 {
+        *self.shared.current_epoch.lock().expect("epoch lock")
+    }
+
+    /// A clone of the snapshot currently serving queries, for direct
+    /// (in-thread) query access alongside the queued protocol.
+    pub fn snapshot(&self) -> AnalysisSnapshot {
+        self.shared.snapshot.read().expect("snapshot lock").clone()
+    }
+
+    /// Service health counters (the immediate equivalent of submitting
+    /// [`QueryRequest::Stats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let snapshot = self.snapshot();
+        stats_from(&self.shared, &snapshot)
+    }
+}
+
+impl Drop for FlowService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Notify while holding the matching mutex: a thread that checked
+        // the flag under the lock is either going to re-check (and see
+        // `true`) or is already parked in `wait()` when we acquire the
+        // lock — notifying lock-free instead could land in the gap between
+        // its check and its `wait()`, losing the one-and-only wakeup and
+        // hanging `join()` below forever.
+        {
+            let _guard = self.shared.queue.lock().expect("service queue lock");
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        {
+            let _guard = self.shared.updates.lock().expect("service update lock");
+            self.shared.update_pending.notify_all();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.updater_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn stats_from(shared: &ServiceShared, snapshot: &AnalysisSnapshot) -> ServiceStats {
+    ServiceStats {
+        epoch: snapshot.epoch(),
+        queue_depth: shared.queue.lock().expect("service queue lock").len(),
+        workers: shared.workers,
+        served: shared.served.load(Ordering::Relaxed),
+        updates_applied: shared.updates_applied.load(Ordering::Relaxed),
+        updates_failed: shared.updates_failed.load(Ordering::Relaxed),
+        run: snapshot.stats(),
+    }
+}
+
+/// Serves one request entirely from `snapshot` — the single source of
+/// consistency: everything the answer contains belongs to one epoch.
+fn serve(
+    shared: &ServiceShared,
+    snapshot: &AnalysisSnapshot,
+    request: QueryRequest,
+) -> QueryResponse {
+    let num_funcs = snapshot.program().bodies.len();
+    let check = |func: FuncId| -> Result<FuncId, QueryResponse> {
+        if (func.0 as usize) < num_funcs {
+            Ok(func)
+        } else {
+            Err(QueryResponse::Error(format!(
+                "unknown function id {} (program has {num_funcs} functions)",
+                func.0
+            )))
+        }
+    };
+    match request {
+        QueryRequest::Summary(func) => match check(func) {
+            Ok(func) => QueryResponse::Summary(snapshot.summary(func).cloned()),
+            Err(e) => e,
+        },
+        QueryRequest::Results(func) => match check(func) {
+            Ok(func) => QueryResponse::Results(snapshot.results(func)),
+            Err(e) => e,
+        },
+        QueryRequest::BackwardSlice { func, var } => match check(func) {
+            Ok(func) => QueryResponse::BackwardSlice(snapshot.backward_slice(func, &var)),
+            Err(e) => e,
+        },
+        QueryRequest::BackwardSliceAt { func, place, loc } => match check(func) {
+            Ok(func) => {
+                QueryResponse::BackwardSliceAt(snapshot.backward_slice_at(func, &place, loc))
+            }
+            Err(e) => e,
+        },
+        QueryRequest::CheckIfc(policy) => QueryResponse::CheckIfc(snapshot.check_ifc(policy)),
+        QueryRequest::Stats => QueryResponse::Stats(stats_from(shared, snapshot)),
+    }
+}
+
+fn worker_loop(shared: &ServiceShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("service queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.not_empty.wait(queue).expect("service queue lock");
+            }
+        };
+        let Some(job) = job else { break };
+        shared.not_full.notify_one();
+
+        // Pin the epoch for this whole request: the clone is two Arc bumps,
+        // and a concurrent snapshot swap cannot touch it afterwards.
+        let snapshot = shared.snapshot.read().expect("snapshot lock").clone();
+        // Count the request before serving it, so a Stats answer includes
+        // itself (as its field documents).
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(shared, &snapshot, job.request)
+        }))
+        .unwrap_or_else(|_| QueryResponse::Error("query panicked".to_string()));
+        job.slot.fill(QueryEnvelope {
+            epoch: snapshot.epoch(),
+            response,
+        });
+    }
+}
+
+fn updater_loop(shared: &ServiceShared) {
+    loop {
+        let program = {
+            let mut updates = shared.updates.lock().expect("service update lock");
+            loop {
+                if let Some(program) = updates.pop_front() {
+                    break Some(program);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                updates = shared
+                    .update_pending
+                    .wait(updates)
+                    .expect("service update lock");
+            }
+        };
+        let Some(program) = program else { break };
+
+        // Re-analyze on this thread — warm from the engine's summary cache,
+        // parallel via the work-stealing scheduler — while queries keep
+        // flowing against the old snapshot. A panicking analysis must not
+        // kill the updater (that would leave `wait_for_epoch` callers
+        // blocked forever and later updates silently undrained): catch it,
+        // count the update as failed, and advance the epoch so waiters
+        // unblock — queries simply keep being served from the surviving
+        // snapshot, whose envelopes still carry *its* epoch.
+        let outcome = {
+            let mut engine = shared.engine.lock().expect("service engine lock");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let epoch = engine.update_program(program);
+                engine.analyze_all();
+                (engine.snapshot(), epoch)
+            }))
+        };
+        let epoch = match outcome {
+            Ok((snapshot, epoch)) => {
+                // The atomic swap: requests started before this instant keep
+                // their clone of the old snapshot; requests started after
+                // see the new one.
+                *shared.snapshot.write().expect("snapshot lock") = snapshot;
+                shared.updates_applied.fetch_add(1, Ordering::Relaxed);
+                epoch
+            }
+            Err(_) => {
+                shared.updates_failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "warning: FlowService background re-analysis panicked; \
+                     keeping the previous snapshot"
+                );
+                *shared.current_epoch.lock().expect("epoch lock") + 1
+            }
+        };
+        let mut current = shared.current_epoch.lock().expect("epoch lock");
+        *current = epoch;
+        shared.epoch_advanced.notify_all();
+    }
+}

@@ -5,7 +5,10 @@
 //! * editing one function re-analyzes exactly the edited function and its
 //!   transitive callers;
 //! * the disk cache survives engine restarts;
-//! * parallel and sequential schedules produce the same summaries.
+//! * parallel and sequential schedules produce the same summaries;
+//! * snapshots are self-contained: they serve their epoch from any thread,
+//!   survive the engine moving on, and their bounded results memo evicts
+//!   without changing any answer.
 
 use flowistry_core::{analyze, AnalysisParams, Condition};
 use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
@@ -14,6 +17,7 @@ use flowistry_ifc::{IfcChecker, IfcPolicy};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A synthetic workload with `modules` independent call chains of `depth`
 /// functions each: `m{i}_l{j}` calls `m{i}_l{j-1}`, and `m{i}_l0` is the
@@ -54,6 +58,10 @@ fn whole_program() -> AnalysisParams {
     AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)
 }
 
+fn compile(src: &str) -> Arc<CompiledProgram> {
+    Arc::new(flowistry_lang::compile(src).unwrap())
+}
+
 #[test]
 fn engine_matches_direct_analysis_on_the_corpus() {
     // One representative corpus crate, both headline conditions that the
@@ -61,6 +69,7 @@ fn engine_matches_direct_analysis_on_the_corpus() {
     // equality of the per-location results.
     let profile = &paper_profiles()[0];
     let krate = generate_crate(profile, DEFAULT_SEED);
+    let program = Arc::new(krate.program.clone());
     for condition in [Condition::MODULAR, Condition::WHOLE_PROGRAM] {
         let params = AnalysisParams {
             condition,
@@ -68,18 +77,18 @@ fn engine_matches_direct_analysis_on_the_corpus() {
             ..AnalysisParams::default()
         };
         let mut engine = AnalysisEngine::new(
-            &krate.program,
+            program.clone(),
             EngineConfig::default().with_params(params.clone()),
         );
         engine.analyze_all();
         for &func in &krate.crate_funcs {
-            let direct = analyze(&krate.program, func, &params);
+            let direct = analyze(&program, func, &params);
             assert_eq!(
                 *engine.results(func),
                 direct,
                 "{}::{} diverged under {condition}",
                 krate.name,
-                krate.program.body(func).name
+                program.body(func).name
             );
         }
     }
@@ -88,10 +97,10 @@ fn engine_matches_direct_analysis_on_the_corpus() {
 #[test]
 fn engine_summaries_match_naive_summaries_everywhere() {
     let src = layered_source(4, 4);
-    let program = flowistry_lang::compile(&src).unwrap();
+    let program = compile(&src);
     let params = whole_program();
     let mut engine = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     engine.analyze_all();
@@ -115,14 +124,17 @@ fn editing_one_function_recomputes_only_its_caller_cone() {
         "fn m0_l0(p: &mut i32, v: i32) -> i32 { let zedit = 7; *p = *p + zedit;",
     );
     assert_ne!(v1, v2);
-    let p1 = flowistry_lang::compile(&v1).unwrap();
-    let p2 = flowistry_lang::compile(&v2).unwrap();
+    let p1 = compile(&v1);
+    let p2 = compile(&v2);
 
-    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(whole_program()));
+    let mut engine = AnalysisEngine::new(
+        p1.clone(),
+        EngineConfig::default().with_params(whole_program()),
+    );
     let cold = engine.analyze_all();
     assert_eq!(cold.analyzed, 12);
 
-    engine.update_program(&p2);
+    engine.update_program(p2.clone());
     let warm = engine.analyze_all();
     // Module 0's chain (4 functions) is dirty; modules 1 and 2 are warm.
     assert_eq!(warm.analyzed, 4, "dirty cone must be exactly module 0");
@@ -140,11 +152,11 @@ fn editing_a_root_function_recomputes_only_itself() {
         "fn m1_l2(p: &mut i32, v: i32) -> i32 {",
         "fn m1_l2(p: &mut i32, v: i32) -> i32 { let zedit = 1;",
     );
-    let p1 = flowistry_lang::compile(&v1).unwrap();
-    let p2 = flowistry_lang::compile(&v2).unwrap();
-    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(whole_program()));
+    let p1 = compile(&v1);
+    let p2 = compile(&v2);
+    let mut engine = AnalysisEngine::new(p1, EngineConfig::default().with_params(whole_program()));
     engine.analyze_all();
-    engine.update_program(&p2);
+    engine.update_program(p2);
     let warm = engine.analyze_all();
     assert_eq!(warm.analyzed, 1, "a root has no callers");
     assert_eq!(warm.cache_hits, 5);
@@ -157,17 +169,17 @@ fn disk_cache_survives_engine_restarts() {
     let path = dir.join("summaries.cache");
 
     let src = layered_source(2, 3);
-    let program = flowistry_lang::compile(&src).unwrap();
+    let program = compile(&src);
     let config = EngineConfig::default()
         .with_params(whole_program())
         .with_cache_path(&path);
 
-    let mut first = AnalysisEngine::new(&program, config.clone());
+    let mut first = AnalysisEngine::new(program.clone(), config.clone());
     let cold = first.analyze_all();
     assert_eq!(cold.analyzed, 6);
     drop(first);
 
-    let mut second = AnalysisEngine::new(&program, config);
+    let mut second = AnalysisEngine::new(program.clone(), config);
     let warm = second.analyze_all();
     assert_eq!(warm.analyzed, 0, "disk cache should start the engine warm");
     assert_eq!(warm.cache_hits, 6);
@@ -189,20 +201,21 @@ fn work_stealing_and_barrier_schedules_agree_on_the_corpus() {
     // over the evaluation corpus.
     let profile = &paper_profiles()[0];
     let krate = generate_crate(profile, DEFAULT_SEED);
+    let program = Arc::new(krate.program.clone());
     let params = AnalysisParams {
         condition: Condition::WHOLE_PROGRAM,
         available_bodies: Some(krate.available_bodies()),
         ..AnalysisParams::default()
     };
     let mut stealing = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_scheduler(SchedulerKind::WorkStealing)
             .with_threads(8),
     );
     let mut barrier = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_scheduler(SchedulerKind::LevelBarrier)
@@ -216,12 +229,12 @@ fn work_stealing_and_barrier_schedules_agree_on_the_corpus() {
     assert_eq!(lb_stats.steals, 0, "the barrier schedule never steals");
     for &func in &krate.crate_funcs {
         assert_eq!(stealing.summary(func), barrier.summary(func));
-        let direct = analyze(&krate.program, func, &params);
+        let direct = analyze(&program, func, &params);
         assert_eq!(
             *stealing.results(func),
             direct,
             "work stealing diverged from direct analyze on {}",
-            krate.program.body(func).name
+            program.body(func).name
         );
         assert_eq!(*barrier.results(func), direct);
     }
@@ -230,9 +243,9 @@ fn work_stealing_and_barrier_schedules_agree_on_the_corpus() {
 #[test]
 fn single_worker_work_stealing_is_strictly_sequential() {
     let src = layered_source(4, 3);
-    let program = flowistry_lang::compile(&src).unwrap();
+    let program = compile(&src);
     let mut engine = AnalysisEngine::new(
-        &program,
+        program,
         EngineConfig::default()
             .with_params(whole_program())
             .with_threads(1),
@@ -246,15 +259,15 @@ fn single_worker_work_stealing_is_strictly_sequential() {
 #[test]
 fn parallel_and_sequential_schedules_agree() {
     let src = layered_source(6, 3);
-    let program = flowistry_lang::compile(&src).unwrap();
+    let program = compile(&src);
     let mut sequential = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default()
             .with_params(whole_program())
             .with_threads(1),
     );
     let mut parallel = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default()
             .with_params(whole_program())
             .with_threads(4),
@@ -286,8 +299,8 @@ fn batch_queries_share_one_engine() {
             return a;
         }
     ";
-    let program: CompiledProgram = flowistry_lang::compile(src).unwrap();
-    let mut engine = AnalysisEngine::new(&program, EngineConfig::default());
+    let program = compile(src);
+    let mut engine = AnalysisEngine::new(program.clone(), EngineConfig::default());
     engine.analyze_all();
 
     // Slicing query.
@@ -315,6 +328,138 @@ fn batch_queries_share_one_engine() {
 }
 
 #[test]
+fn snapshots_are_sendable_and_serve_from_any_thread() {
+    // The owned API's raison d'être: one snapshot, queried concurrently
+    // from many threads, each answer identical to direct analysis.
+    let src = layered_source(3, 3);
+    let program = compile(&src);
+    let params = whole_program();
+    let mut engine = AnalysisEngine::new(
+        program.clone(),
+        EngineConfig::default().with_params(params.clone()),
+    );
+    engine.analyze_all();
+    let snapshot = engine.snapshot();
+    drop(engine); // the snapshot owns everything it needs
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let snapshot = snapshot.clone();
+            let program = program.clone();
+            let params = params.clone();
+            s.spawn(move || {
+                for i in 0..program.bodies.len() {
+                    let func = FuncId(((i + t) % program.bodies.len()) as u32);
+                    let direct = analyze(&program, func, &params);
+                    assert_eq!(*snapshot.results(func), direct);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn memoized_results_carry_across_runs_and_epochs_when_keys_match() {
+    // Freshly analyzed functions seed the snapshot memo, a warm re-run
+    // inherits every entry (same keys, shared Arcs — no recompute, no
+    // deep drop), and after an edit only the dirty cone's entries are
+    // replaced: unchanged functions keep the *same* allocation across
+    // epochs while edited ones get fresh results.
+    let v1 = layered_source(2, 2);
+    let v2 = v1.replace(
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 {",
+        "fn m0_l0(p: &mut i32, v: i32) -> i32 { let zedit = 3; *p = *p + zedit;",
+    );
+    let p1 = compile(&v1);
+    let p2 = compile(&v2);
+    let mut engine = AnalysisEngine::new(
+        p1.clone(),
+        EngineConfig::default().with_params(whole_program()),
+    );
+    engine.analyze_all();
+    let first = engine.snapshot();
+    assert_eq!(first.memoized_results(), 4, "cold run seeds every function");
+    let untouched = p1.func_id("m1_l1").unwrap();
+    let dirty = p1.func_id("m0_l0").unwrap();
+    let untouched_results = first.results(untouched);
+
+    // Warm re-run: the new snapshot inherits the whole memo by Arc.
+    engine.analyze_all();
+    let warm = engine.snapshot();
+    assert_eq!(warm.memoized_results(), 4, "warm run inherits the memo");
+    assert!(
+        Arc::ptr_eq(&warm.results(untouched), &untouched_results),
+        "inherited entries must share the allocation, not recompute"
+    );
+
+    // Edit module 0's leaf: module 1 carries over, module 0 re-seeds.
+    engine.update_program(p2.clone());
+    engine.analyze_all();
+    let edited = engine.snapshot();
+    assert_eq!(edited.epoch(), 1);
+    assert_eq!(edited.memoized_results(), 4);
+    assert!(
+        Arc::ptr_eq(&edited.results(untouched), &untouched_results),
+        "unchanged keys keep their memoized results across epochs"
+    );
+    assert_eq!(
+        *edited.results(dirty),
+        analyze(&p2, dirty, &whole_program()),
+        "dirty-cone entries must be the new epoch's results"
+    );
+    assert_ne!(
+        *edited.results(dirty),
+        *first.results(dirty),
+        "the edit must actually change the dirty function's results"
+    );
+}
+
+#[test]
+fn results_memo_eviction_keeps_answers_bit_identical() {
+    // The bounded memo: with a capacity far below the function count, every
+    // query still answers exactly what direct analysis would — eviction
+    // costs recomputation, never precision — and the memo never exceeds
+    // its cap.
+    let src = layered_source(4, 3); // 12 functions
+    let program = compile(&src);
+    let params = whole_program();
+    let mut engine = AnalysisEngine::new(
+        program.clone(),
+        EngineConfig::default()
+            .with_params(params.clone())
+            .with_results_capacity(2),
+    );
+    engine.analyze_all();
+    let snapshot = engine.snapshot();
+
+    // Two full passes: the second pass re-queries functions that were
+    // evicted by the first.
+    for _pass in 0..2 {
+        for i in 0..program.bodies.len() {
+            let func = FuncId(i as u32);
+            let direct = analyze(&program, func, &params);
+            assert_eq!(
+                *snapshot.results(func),
+                direct,
+                "evicted-and-recomputed results diverged for {}",
+                program.body(func).name
+            );
+            assert!(
+                snapshot.memoized_results() <= 2,
+                "memo exceeded its capacity: {}",
+                snapshot.memoized_results()
+            );
+        }
+    }
+
+    // A hot entry is served from the memo (same Arc), not recomputed.
+    let hot = program.func_id("m0_l2").unwrap();
+    let first = snapshot.results(hot);
+    let second = snapshot.results(hot);
+    assert!(Arc::ptr_eq(&first, &second), "hot entry must be shared");
+}
+
+#[test]
 fn availability_is_remapped_by_name_across_updates() {
     // v2 inserts a new function *above* the others, shifting every FuncId.
     let v1 = "fn helper(p: &mut i32, v: i32) { *p = v; }
@@ -322,18 +467,18 @@ fn availability_is_remapped_by_name_across_updates() {
     let v2 = "fn newcomer(q: i32) -> i32 { return q * 3; }
               fn helper(p: &mut i32, v: i32) { *p = v; }
               fn top(v: i32) -> i32 { let mut x = 0; helper(&mut x, v); return x; }";
-    let p1 = flowistry_lang::compile(v1).unwrap();
-    let p2 = flowistry_lang::compile(v2).unwrap();
+    let p1 = compile(v1);
+    let p2 = compile(v2);
 
     let params = AnalysisParams {
         condition: Condition::WHOLE_PROGRAM,
         available_bodies: Some([p1.func_id("helper").unwrap(), p1.func_id("top").unwrap()].into()),
         ..AnalysisParams::default()
     };
-    let mut engine = AnalysisEngine::new(&p1, EngineConfig::default().with_params(params));
+    let mut engine = AnalysisEngine::new(p1, EngineConfig::default().with_params(params));
     assert_eq!(engine.analyze_all().analyzed, 2);
 
-    engine.update_program(&p2);
+    engine.update_program(p2.clone());
     // The restriction must now denote {helper, top} under the *new* ids —
     // i.e. not include `newcomer`, and both old functions stay warm.
     let remapped = engine.params().available_bodies.clone().unwrap();
@@ -355,11 +500,11 @@ fn stale_cache_entries_are_evicted_after_retention_runs() {
         "fn m0_l0(p: &mut i32, v: i32) -> i32 {",
         "fn m0_l0(p: &mut i32, v: i32) -> i32 { let zedit = 5;",
     );
-    let p1 = flowistry_lang::compile(&v1).unwrap();
-    let p2 = flowistry_lang::compile(&v2).unwrap();
+    let p1 = compile(&v1);
+    let p2 = compile(&v2);
 
     let mut engine = AnalysisEngine::new(
-        &p1,
+        p1.clone(),
         EngineConfig::default()
             .with_params(whole_program())
             .with_cache_retention(2),
@@ -368,7 +513,7 @@ fn stale_cache_entries_are_evicted_after_retention_runs() {
     assert_eq!(engine.cache().len(), 2);
 
     // Move to v2 and stay there: v1's entries go stale.
-    engine.update_program(&p2);
+    engine.update_program(p2);
     engine.analyze_all();
     assert_eq!(engine.cache().len(), 4, "both versions warm at first");
     for _ in 0..3 {
@@ -382,7 +527,7 @@ fn stale_cache_entries_are_evicted_after_retention_runs() {
     );
 
     // Flipping back to v1 is now cold again — but still correct.
-    engine.update_program(&p1);
+    engine.update_program(p1);
     let back = engine.analyze_all();
     assert_eq!(back.analyzed, 2);
 }
@@ -405,10 +550,12 @@ fn availability_fingerprint_is_stable_under_id_shifts() {
               fn unrelated(q: i32) -> i32 { return q * 3; }
               fn alpha(p: &mut i32, v: i32) { *p = v; }";
 
-    let engines: Vec<(CompiledProgram, AnalysisEngine<'_>)> = [v1, v2, v3]
+    // The engine shares the program through an Arc — no leak, no lifetime
+    // gymnastics needed to keep engines for several programs alive at once.
+    let engines: Vec<(Arc<CompiledProgram>, AnalysisEngine)> = [v1, v2, v3]
         .into_iter()
         .map(|src| {
-            let program = flowistry_lang::compile(src).unwrap();
+            let program = compile(src);
             let params = AnalysisParams {
                 condition: Condition::WHOLE_PROGRAM,
                 available_bodies: Some(
@@ -420,11 +567,6 @@ fn availability_fingerprint_is_stable_under_id_shifts() {
                 ),
                 ..AnalysisParams::default()
             };
-            (program, params)
-        })
-        .map(|(program, params)| {
-            // The engine borrows the program; leak for test convenience.
-            let program: &'static CompiledProgram = Box::leak(Box::new(program));
             (
                 program.clone(),
                 AnalysisEngine::new(program, EngineConfig::default().with_params(params)),
@@ -463,7 +605,7 @@ fn check_ifc_matches_the_checker_under_restricted_availability() {
             return ok;
         }
     ";
-    let program = flowistry_lang::compile(src).unwrap();
+    let program = compile(src);
     let policy = IfcPolicy::from_conventions(&program);
     // Restrict availability to `audit` and `relay`: the callee bodies are
     // opaque, but both functions are still checked.
@@ -479,7 +621,7 @@ fn check_ifc_matches_the_checker_under_restricted_availability() {
         ..AnalysisParams::default()
     };
     let mut engine = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     engine.analyze_all();
@@ -496,7 +638,8 @@ fn check_ifc_matches_the_checker_under_restricted_availability() {
 fn check_ifc_under_full_availability_matches_too() {
     let profile = &paper_profiles()[0];
     let krate = generate_crate(profile, DEFAULT_SEED);
-    let policy = IfcPolicy::from_conventions(&krate.program)
+    let program = Arc::new(krate.program.clone());
+    let policy = IfcPolicy::from_conventions(&program)
         .with_secure_param("helper_0", "x")
         .with_sink("helper_1");
     let params = AnalysisParams {
@@ -505,13 +648,13 @@ fn check_ifc_under_full_availability_matches_too() {
         ..AnalysisParams::default()
     };
     let mut engine = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     engine.analyze_all();
     assert_eq!(
         engine.check_ifc(policy.clone()),
-        IfcChecker::new(&krate.program, policy)
+        IfcChecker::new(&program, policy)
             .with_params(params)
             .check_program()
     );
@@ -522,17 +665,17 @@ fn engine_slicers_share_the_memoized_results() {
     // `slicer()` must hand the memo table's `Arc` to the slicer instead of
     // deep-cloning the per-location results on every query.
     let src = layered_source(1, 2);
-    let program = flowistry_lang::compile(&src).unwrap();
-    let mut engine = AnalysisEngine::new(&program, EngineConfig::default());
+    let program = compile(&src);
+    let mut engine = AnalysisEngine::new(program.clone(), EngineConfig::default());
     engine.analyze_all();
     let func = program.func_id("m0_l1").unwrap();
 
     let handle = engine.results(func); // memo + this handle = 2
-    assert_eq!(std::sync::Arc::strong_count(&handle), 2);
+    assert_eq!(Arc::strong_count(&handle), 2);
     let slicer_a = engine.slicer(func);
     let slicer_b = engine.slicer(func);
     assert_eq!(
-        std::sync::Arc::strong_count(&handle),
+        Arc::strong_count(&handle),
         4,
         "each slicer must share the memoized Arc, not clone the results"
     );
@@ -551,14 +694,14 @@ fn deep_chains_are_at_least_as_precise_as_depth_limited_recursion() {
     // direct analysis — more precise, still sound. This documents the one
     // intentional deviation from exact equality.
     let src = layered_source(1, 6);
-    let program = flowistry_lang::compile(&src).unwrap();
+    let program = compile(&src);
     let params = AnalysisParams {
         condition: Condition::WHOLE_PROGRAM,
         max_recursion_depth: 3,
         ..AnalysisParams::default()
     };
     let mut engine = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     engine.analyze_all();

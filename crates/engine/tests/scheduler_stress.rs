@@ -49,13 +49,15 @@ proptest! {
         edge_bits in 0u64..u64::MAX,
     ) {
         let src = dag_source(n, edge_bits);
-        let program = flowistry_lang::compile(&src)
-            .unwrap_or_else(|e| panic!("generated DAG failed to compile: {e:?}\n{src}"));
+        let program = std::sync::Arc::new(
+            flowistry_lang::compile(&src)
+                .unwrap_or_else(|e| panic!("generated DAG failed to compile: {e:?}\n{src}")),
+        );
         let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
 
         // The reference: a strictly sequential work-stealing run.
         let mut reference = AnalysisEngine::new(
-            &program,
+            program.clone(),
             EngineConfig::default()
                 .with_params(params.clone())
                 .with_threads(1),
@@ -66,7 +68,7 @@ proptest! {
         for threads in [2usize, 8] {
             for scheduler in [SchedulerKind::WorkStealing, SchedulerKind::LevelBarrier] {
                 let mut engine = AnalysisEngine::new(
-                    &program,
+                    program.clone(),
                     EngineConfig::default()
                         .with_params(params.clone())
                         .with_threads(threads)

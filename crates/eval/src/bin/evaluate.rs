@@ -3,24 +3,78 @@
 //! ```text
 //! cargo run --release -p flowistry-eval --bin evaluate -- all
 //! cargo run --release -p flowistry-eval --bin evaluate -- fig2 --seed 0xF10A
+//! cargo run --release -p flowistry-eval --bin evaluate -- all --smoke --threads 2
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
 //! `perf`, `noninterference`, `all` (default). Results are printed and also
 //! written as JSON under `results/`.
+//!
+//! Flags:
+//!
+//! * `--seed <hex|dec>` — corpus generation seed;
+//! * `--threads <N>` — engine worker threads; overrides the
+//!   `FLOWISTRY_ENGINE_THREADS` environment variable, so sweeps are
+//!   reproducible without env plumbing;
+//! * `--smoke` — a fast CI pass: the corpus sweep is limited to the first
+//!   two crates, the engine experiment runs on the smallest profile, and
+//!   the noninterference check uses fewer functions and trials;
+//! * `--no-baseline` — skip the direct per-function baseline sweep (it
+//!   exists only to measure the engine-backed sweep's speedup and roughly
+//!   doubles the corpus measurement at one worker); figures and records
+//!   are identical, the speedup report is omitted.
 
 use flowistry_core::Condition;
 use flowistry_eval::report;
 use flowistry_eval::{
-    boundary_stats, diff_stats, measure_corpus, measure_slowdown, per_crate_stats,
-    CrateMeasurements, VariableRecord,
+    boundary_stats, diff_stats, measure_corpus_engine_only, measure_corpus_limited,
+    measure_slowdown, per_crate_stats, CrateMeasurements, VariableRecord,
 };
 use std::path::Path;
+
+/// How much of each experiment to run: the full evaluation or the CI smoke.
+#[derive(Clone, Copy)]
+struct Scale {
+    baseline: bool,
+    max_crates: usize,
+    engine_profile: usize,
+    noninterference_crates: usize,
+    noninterference_funcs: usize,
+    noninterference_trials: usize,
+    slowdown_depth: usize,
+}
+
+impl Scale {
+    fn full() -> Scale {
+        Scale {
+            baseline: true,
+            max_crates: usize::MAX,
+            engine_profile: 7, // the rg3d stand-in — the largest corpus crate
+            noninterference_crates: 3,
+            noninterference_funcs: 30,
+            noninterference_trials: 8,
+            slowdown_depth: 6,
+        }
+    }
+
+    fn smoke() -> Scale {
+        Scale {
+            baseline: true,
+            max_crates: 2,
+            engine_profile: 0,
+            noninterference_crates: 1,
+            noninterference_funcs: 5,
+            noninterference_trials: 2,
+            slowdown_depth: 4,
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = "all".to_string();
     let mut seed = flowistry_corpus::DEFAULT_SEED;
+    let mut scale = Scale::full();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -32,6 +86,20 @@ fn main() {
                         .unwrap_or(flowistry_corpus::DEFAULT_SEED);
                 }
             }
+            "--threads" => {
+                if let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                    // The engine resolves `threads: 0` through this
+                    // variable, so setting it here (before any engine
+                    // spawns) overrides whatever the environment carried.
+                    std::env::set_var("FLOWISTRY_ENGINE_THREADS", n.to_string());
+                }
+            }
+            "--smoke" => {
+                let baseline = scale.baseline;
+                scale = Scale::smoke();
+                scale.baseline = baseline;
+            }
+            "--no-baseline" => scale.baseline = false,
             other if !other.starts_with("--") => command = other.to_string(),
             _ => {}
         }
@@ -49,14 +117,22 @@ fn main() {
                 report::render_table2(&flowistry_corpus::paper_profiles(), seed)
             );
         }
-        "perf" => run_perf(seed, out_dir),
-        "engine" => run_engine(seed, out_dir),
-        "noninterference" => run_noninterference(seed),
+        "perf" => run_perf(seed, scale, out_dir),
+        "engine" => run_engine(seed, scale, out_dir),
+        "noninterference" => run_noninterference(seed, scale),
         cmd => {
             // Everything else needs the corpus measured under the four
             // headline conditions.
-            eprintln!("measuring corpus (4 conditions x 10 crates)...");
-            let measurements = measure_corpus(seed, &Condition::headline_four());
+            let conditions = Condition::headline_four();
+            let measurements = if scale.baseline {
+                eprintln!(
+                    "measuring corpus (4 conditions, engine-backed sweep + direct baseline)..."
+                );
+                measure_corpus_limited(seed, &conditions, scale.max_crates)
+            } else {
+                eprintln!("measuring corpus (4 conditions, engine-backed sweep)...");
+                measure_corpus_engine_only(seed, &conditions, scale.max_crates)
+            };
             let records: Vec<VariableRecord> = measurements
                 .iter()
                 .flat_map(|m| m.records.iter().cloned())
@@ -64,24 +140,24 @@ fn main() {
             write_json(out_dir.join("measurements.json"), &measurements);
 
             match cmd {
-                "table1" => print_table1(&measurements, out_dir),
+                "table1" => print_table1(&measurements, scale, out_dir),
                 "fig2" => print_fig2(&records, out_dir),
                 "fig3" => print_fig3(&records, out_dir),
                 "fig4" => print_fig4(&measurements, out_dir),
                 "boundary" => print_boundary(&records, out_dir),
                 _ => {
-                    print_table1(&measurements, out_dir);
+                    print_table1(&measurements, scale, out_dir);
                     print_fig2(&records, out_dir);
                     print_fig3(&records, out_dir);
                     print_fig4(&measurements, out_dir);
                     print_boundary(&records, out_dir);
-                    print_perf_from(&measurements, out_dir);
-                    run_engine(seed, out_dir);
+                    print_perf_from(&measurements, scale, out_dir);
+                    run_engine(seed, scale, out_dir);
                     println!(
                         "{}",
                         report::render_table2(&flowistry_corpus::paper_profiles(), seed)
                     );
-                    run_noninterference(seed);
+                    run_noninterference(seed, scale);
                 }
             }
         }
@@ -95,10 +171,18 @@ fn write_json<T: flowistry_eval::ToJson>(path: std::path::PathBuf, value: &T) {
     }
 }
 
-fn print_table1(measurements: &[CrateMeasurements], out_dir: &Path) {
+fn print_table1(measurements: &[CrateMeasurements], scale: Scale, out_dir: &Path) {
     let text = report::render_table1(measurements);
     println!("{text}");
     let _ = std::fs::write(out_dir.join("table1.txt"), &text);
+    // The engine-backed sweep comparison rides along with the dataset
+    // summary: same measurements, new dependent variable (time). Without
+    // the baseline there is nothing to compare against.
+    if scale.baseline {
+        let sweep = report::render_sweep(measurements);
+        println!("{sweep}");
+        let _ = std::fs::write(out_dir.join("sweep.txt"), &sweep);
+    }
 }
 
 fn print_fig2(records: &[VariableRecord], out_dir: &Path) {
@@ -149,44 +233,43 @@ fn print_boundary(records: &[VariableRecord], out_dir: &Path) {
     write_json(out_dir.join("boundary.json"), &stats);
 }
 
-fn print_perf_from(measurements: &[CrateMeasurements], out_dir: &Path) {
+fn print_perf_from(measurements: &[CrateMeasurements], scale: Scale, out_dir: &Path) {
     let medians: Vec<(String, f64)> = measurements
         .iter()
         .map(|m| (m.name.clone(), m.median_analysis_micros))
         .collect();
-    let slowdown = measure_slowdown(6, 2);
+    let slowdown = measure_slowdown(scale.slowdown_depth, 2);
     let text = report::render_perf(&medians, &slowdown);
     println!("{text}");
     write_json(out_dir.join("perf.json"), &slowdown);
 }
 
-fn run_perf(seed: u64, out_dir: &Path) {
+fn run_perf(seed: u64, scale: Scale, out_dir: &Path) {
     eprintln!("measuring corpus for per-function timings...");
-    let measurements = measure_corpus(seed, &[Condition::MODULAR]);
-    print_perf_from(&measurements, out_dir);
+    let measurements = measure_corpus_limited(seed, &[Condition::MODULAR], scale.max_crates);
+    print_perf_from(&measurements, scale, out_dir);
 }
 
-fn run_engine(seed: u64, out_dir: &Path) {
+fn run_engine(seed: u64, scale: Scale, out_dir: &Path) {
     eprintln!("measuring the incremental engine (cold / warm / edited, sequential / parallel)...");
-    // Profile 7 is the rg3d stand-in — the largest crate of the corpus.
-    let report = flowistry_eval::measure_incremental(7, seed);
+    let report = flowistry_eval::measure_incremental(scale.engine_profile, seed);
     println!("{}", flowistry_eval::render_incremental(&report));
     write_json(out_dir.join("engine.json"), &report);
 }
 
-fn run_noninterference(seed: u64) {
+fn run_noninterference(seed: u64, scale: Scale) {
     println!("Empirical noninterference check (Theorem 3.1) on corpus drivers");
     let corpus = flowistry_corpus::generate_corpus(seed);
     let mut checked = 0usize;
     let mut trials = 0usize;
     let mut violations = 0usize;
-    for krate in corpus.iter().take(3) {
-        for &func in krate.crate_funcs.iter().take(30) {
+    for krate in corpus.iter().take(scale.noninterference_crates) {
+        for &func in krate.crate_funcs.iter().take(scale.noninterference_funcs) {
             let report = flowistry_interp::check_function(
                 &krate.program,
                 func,
                 &flowistry_core::AnalysisParams::default(),
-                8,
+                scale.noninterference_trials,
                 seed ^ func.0 as u64,
             );
             if let Some(report) = report {

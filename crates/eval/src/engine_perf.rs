@@ -22,6 +22,7 @@
 use flowistry_core::{AnalysisParams, Condition};
 use flowistry_corpus::generate_crate;
 use flowistry_engine::{AnalysisEngine, EngineConfig, SchedulerKind};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Results of the incremental-engine experiment on one corpus crate.
@@ -86,6 +87,7 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
     let profiles = flowistry_corpus::paper_profiles();
     let profile = &profiles[profile_index.min(profiles.len() - 1)];
     let krate = generate_crate(profile, seed);
+    let program = Arc::new(krate.program.clone());
     let params = AnalysisParams {
         condition: Condition::WHOLE_PROGRAM,
         available_bodies: Some(krate.available_bodies()),
@@ -94,7 +96,7 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
 
     // Cold and warm, on the default (parallel) configuration.
     let mut engine = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     let start = Instant::now();
@@ -108,17 +110,18 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
 
     // Edit one helper, recompile, re-analyze incrementally.
     let edited_source = edit_one_helper(&krate.source).expect("corpus crates define helper_0");
-    let edited_program = flowistry_lang::compile(&edited_source).expect("edited crate compiles");
+    let edited_program =
+        Arc::new(flowistry_lang::compile(&edited_source).expect("edited crate compiles"));
     // Availability was expressed as FuncIds of the original program; the
     // edit keeps the function list identical, so it carries over.
-    engine.update_program(&edited_program);
+    engine.update_program(edited_program);
     let start = Instant::now();
     let edited_stats = engine.analyze_all();
     let edited_seconds = start.elapsed().as_secs_f64();
 
     // Sequential vs parallel cold runs on fresh engines.
     let mut sequential = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_threads(1),
@@ -128,7 +131,7 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
     let sequential_seconds = start.elapsed().as_secs_f64();
 
     let mut parallel = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default().with_params(params.clone()),
     );
     let start = Instant::now();
@@ -138,7 +141,7 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
     // Barrier vs work-stealing, measured back-to-back on fresh engines with
     // the same (auto) thread count.
     let mut barrier = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params.clone())
             .with_scheduler(SchedulerKind::LevelBarrier),
@@ -148,7 +151,7 @@ pub fn measure_incremental(profile_index: usize, seed: u64) -> IncrementalReport
     let barrier_seconds = start.elapsed().as_secs_f64();
 
     let mut stealing = AnalysisEngine::new(
-        &krate.program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params)
             .with_scheduler(SchedulerKind::WorkStealing),

@@ -208,6 +208,9 @@ impl ToJson for CrateMeasurements {
                 "median_analysis_micros",
                 self.median_analysis_micros.to_json(),
             ),
+            ("sweep_engine_seconds", self.sweep_engine_seconds.to_json()),
+            ("sweep_direct_seconds", self.sweep_direct_seconds.to_json()),
+            ("sweep_speedup", self.sweep_speedup.to_json()),
             ("records", self.records.to_json()),
         ])
     }

@@ -29,5 +29,8 @@ pub mod report;
 pub use engine_perf::{measure_incremental, render_incremental, IncrementalReport};
 pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, DiffStats};
 pub use json::{Json, ToJson};
-pub use measure::{measure_corpus, measure_crate, CrateMeasurements, VariableRecord};
+pub use measure::{
+    measure_corpus, measure_corpus_engine_only, measure_corpus_limited, measure_crate,
+    measure_crate_engine_only, CrateMeasurements, VariableRecord,
+};
 pub use perf::{measure_slowdown, stress_source, SlowdownReport};

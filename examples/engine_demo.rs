@@ -1,6 +1,8 @@
 //! Demonstrates the incremental analysis engine end to end: batch analysis,
-//! warm-start from a disk cache, incremental re-analysis after an edit, and
-//! engine-served slicing/IFC queries.
+//! warm-start from a disk cache, incremental re-analysis after an edit,
+//! snapshot-served slicing/IFC queries, and the `FlowService` front that
+//! answers queries concurrently while re-analysis happens in the
+//! background.
 //!
 //! ```sh
 //! cargo run --release --example engine_demo
@@ -10,6 +12,7 @@
 //! and re-analyzes nothing.
 
 use flowistry::prelude::*;
+use std::sync::Arc;
 
 const V1: &str = "
 fn read_secret() -> i32 { return 41; }
@@ -40,9 +43,9 @@ fn main() {
     let cache = "results/engine_demo.cache";
     let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
 
-    let program = compile(V1).expect("demo program compiles");
+    let program = Arc::new(compile(V1).expect("demo program compiles"));
     let mut engine = AnalysisEngine::new(
-        &program,
+        program.clone(),
         EngineConfig::default()
             .with_params(params)
             .with_cache_path(cache),
@@ -54,22 +57,25 @@ fn main() {
         stats.analyzed, stats.cache_hits, stats.levels
     );
 
-    // Query 1: a backward slice served from the engine's memoized results.
+    // The snapshot is the owned query surface: no lifetime, cheap clones,
+    // safe to hand to any thread.
+    let snapshot = engine.snapshot();
+
+    // Query 1: a backward slice served from the snapshot's memoized results.
     let audit = program.func_id("audit").expect("audit exists");
-    let slice = engine
+    let slice = snapshot
         .backward_slice(audit, "cell")
         .expect("cell is a variable of audit");
     println!("\nbackward slice of `cell` in audit:");
-    let audit_src: String = V1.to_string();
-    for line in slice.render(&audit_src).lines().skip(1) {
+    for line in slice.render(V1).lines().skip(1) {
         println!("  {line}");
     }
 
-    // Query 2: IFC over the whole program, same engine instance.
+    // Query 2: IFC over the whole program, same snapshot.
     let policy = IfcPolicy::from_conventions(&program)
         .with_sink("insecure_log")
         .with_secure_producer("read_secret");
-    let reports = engine.check_ifc(policy);
+    let reports = snapshot.check_ifc(policy.clone());
     println!("\nIFC violations:");
     for report in &reports {
         for violation in &report.violations {
@@ -77,14 +83,31 @@ fn main() {
         }
     }
 
-    // Edit one function and re-analyze: only its caller cone is dirty.
+    // Put the service front on: queries go through a typed protocol and a
+    // worker pool, and updates re-analyze in the background.
+    let service = FlowService::new(engine, ServiceConfig::default());
+    let reply = service.query(QueryRequest::Summary(
+        program.func_id("store").expect("store exists"),
+    ));
+    println!("\nservice summary of `store` (epoch {}):", reply.epoch);
+    if let QueryResponse::Summary(Some(summary)) = &reply.response {
+        println!(
+            "  {} mutation(s) visible to callers",
+            summary.mutations.len()
+        );
+    }
+
+    // Edit one function and update through the service: the re-analysis is
+    // warm from the cache, and the swap is atomic — queries before the swap
+    // answer epoch 0, queries after answer epoch 1.
     let edited_src = V1.replace(V2_EDIT.0, V2_EDIT.1);
     assert_ne!(edited_src, V1, "the edit must apply");
-    let edited = compile(&edited_src).expect("edited program compiles");
-    engine.update_program(&edited);
-    let stats = engine.analyze_all();
+    let edited = Arc::new(compile(&edited_src).expect("edited program compiles"));
+    let epoch = service.update(edited);
+    service.wait_for_epoch(epoch);
+    let stats = service.snapshot().stats();
     println!(
-        "\nafter editing `store`: re-analyzed {} functions, {} still cached",
+        "\nafter editing `store` (epoch {epoch}): re-analyzed {} functions, {} still cached",
         stats.analyzed, stats.cache_hits
     );
 }

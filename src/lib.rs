@@ -9,7 +9,8 @@
 //! * [`core`] — the modular information flow analysis itself;
 //! * [`interp`] — the interpreter and empirical noninterference checker;
 //! * [`engine`] — the incremental analysis engine (call-graph scheduling,
-//!   content-hashed summary caching, batch query API);
+//!   content-hashed summary caching, owned `AnalysisSnapshot` query
+//!   surface, and the async `FlowService` query front);
 //! * [`slicer`] — the program slicer application (Figure 5a);
 //! * [`ifc`] — the information flow control checker (Figure 5b);
 //! * [`corpus`] — the synthetic evaluation dataset generator;
@@ -44,7 +45,10 @@ pub use flowistry_slicer as slicer;
 /// The most commonly used items, for `use flowistry::prelude::*`.
 pub mod prelude {
     pub use flowistry_core::{analyze, AnalysisParams, Condition, Dep, DepSet, Theta, ThetaExt};
-    pub use flowistry_engine::{AnalysisEngine, EngineConfig};
+    pub use flowistry_engine::{
+        AnalysisEngine, AnalysisSnapshot, EngineConfig, FlowService, QueryRequest, QueryResponse,
+        ServiceConfig,
+    };
     pub use flowistry_ifc::{IfcChecker, IfcPolicy};
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
@@ -74,28 +78,42 @@ mod tests {
 
     #[test]
     fn facade_engine_serves_slices_and_summaries() {
-        let program = compile(
-            "fn helper(p: &mut i32, v: i32) { *p = v; }
-             fn main_fn(a: i32, b: i32) -> i32 {
-                 let mut x = 0;
-                 helper(&mut x, a);
-                 let unused = b + 1;
-                 return x;
-             }",
-        )
-        .unwrap();
+        let program = std::sync::Arc::new(
+            compile(
+                "fn helper(p: &mut i32, v: i32) { *p = v; }
+                 fn main_fn(a: i32, b: i32) -> i32 {
+                     let mut x = 0;
+                     helper(&mut x, a);
+                     let unused = b + 1;
+                     return x;
+                 }",
+            )
+            .unwrap(),
+        );
         let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
-        let mut engine = AnalysisEngine::new(&program, EngineConfig::default().with_params(params));
+        let mut engine =
+            AnalysisEngine::new(program.clone(), EngineConfig::default().with_params(params));
         let stats = engine.analyze_all();
         assert_eq!(stats.analyzed, 2);
 
+        // Queries go through the owned snapshot — no lifetime on the API.
+        let snapshot = engine.snapshot();
         let main_fn = program.func_id("main_fn").unwrap();
-        let slice = engine.backward_slice(main_fn, "x").unwrap();
+        let slice = snapshot.backward_slice(main_fn, "x").unwrap();
         assert!(slice.contains_line(4), "lines: {:?}", slice.lines);
         assert!(!slice.contains_line(5), "lines: {:?}", slice.lines);
 
         let helper = program.func_id("helper").unwrap();
-        let summary = engine.summary(helper).unwrap();
+        let summary = snapshot.summary(helper).unwrap();
         assert_eq!(summary.mutations.len(), 1);
+
+        // And through the service front, with the typed protocol.
+        let service = FlowService::new(engine, ServiceConfig::default().with_workers(2));
+        let reply = service.query(QueryRequest::Summary(helper));
+        assert_eq!(reply.epoch, 0);
+        assert_eq!(
+            reply.response,
+            QueryResponse::Summary(Some(summary.clone()))
+        );
     }
 }
