@@ -212,6 +212,46 @@ impl InfoFlowResults {
             .filter_map(Dep::location)
             .collect()
     }
+
+    /// Decomposes the results into their raw fields, in the order
+    /// [`InfoFlowResults::from_raw_parts`] accepts them. This is the hook a
+    /// wire codec needs: `PartialEq` compares exactly these fields, so
+    /// encoding them and rebuilding via `from_raw_parts` round-trips to an
+    /// equal value.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (FuncId, &[Theta], &[Vec<Theta>], &Theta, bool, usize) {
+        (
+            self.func,
+            &self.entry_states,
+            &self.after_states,
+            &self.exit_theta,
+            self.hit_boundary,
+            self.iterations,
+        )
+    }
+
+    /// Reassembles results from the fields produced by
+    /// [`InfoFlowResults::raw_parts`] (e.g. decoded from a wire format).
+    /// The caller owns the shape invariants: one entry state per basic
+    /// block, and per block one after-state per statement plus one for the
+    /// terminator.
+    pub fn from_raw_parts(
+        func: FuncId,
+        entry_states: Vec<Theta>,
+        after_states: Vec<Vec<Theta>>,
+        exit_theta: Theta,
+        hit_boundary: bool,
+        iterations: usize,
+    ) -> InfoFlowResults {
+        InfoFlowResults {
+            func,
+            entry_states,
+            after_states,
+            exit_theta,
+            hit_boundary,
+            iterations,
+        }
+    }
 }
 
 /// Analyzes one function of `program` under `params`.

@@ -91,17 +91,12 @@ impl FunctionSummary {
         };
         let mut segments = vec![format!("ret:{}", locals(&self.return_sources))];
         for m in &self.mutations {
-            let mut proj = String::new();
-            for elem in &m.projection {
-                match elem {
-                    PlaceElem::Deref => proj.push('*'),
-                    PlaceElem::Field(i) => {
-                        proj.push('.');
-                        proj.push_str(&i.to_string());
-                    }
-                }
-            }
-            segments.push(format!("mut:{}:{}:{}", m.param.0, proj, locals(&m.sources)));
+            segments.push(format!(
+                "mut:{}:{}:{}",
+                m.param.0,
+                flowistry_lang::mir::encode_projection(&m.projection),
+                locals(&m.sources)
+            ));
         }
         segments.join(";")
     }
@@ -118,25 +113,6 @@ impl FunctionSummary {
                 .map(|part| part.parse::<u32>().ok().map(Local))
                 .collect()
         }
-        fn projection(text: &str) -> Option<Vec<PlaceElem>> {
-            let mut out = Vec::new();
-            let mut chars = text.chars().peekable();
-            while let Some(c) = chars.next() {
-                match c {
-                    '*' => out.push(PlaceElem::Deref),
-                    '.' => {
-                        let mut digits = String::new();
-                        while chars.peek().is_some_and(char::is_ascii_digit) {
-                            digits.push(chars.next()?);
-                        }
-                        out.push(PlaceElem::Field(digits.parse().ok()?));
-                    }
-                    _ => return None,
-                }
-            }
-            Some(out)
-        }
-
         let mut summary = FunctionSummary::default();
         let mut saw_ret = false;
         for segment in text.split(';') {
@@ -149,7 +125,7 @@ impl FunctionSummary {
             } else if let Some(rest) = segment.strip_prefix("mut:") {
                 let mut parts = rest.splitn(3, ':');
                 let param = Local(parts.next()?.parse().ok()?);
-                let proj = projection(parts.next()?)?;
+                let proj = flowistry_lang::mir::parse_projection(parts.next()?)?;
                 let sources = locals(parts.next()?)?;
                 summary.mutations.push(SummaryMutation {
                     param,

@@ -19,7 +19,9 @@
 //! cache path replace sixteenths of the store atomically and independently.
 //! Persistence is *last-writer-wins per shard* — a save writes this
 //! process's entries, it does not merge with what is on disk (on-disk
-//! merging would resurrect evicted entries forever). Content-addressed keys
+//! merging would resurrect evicted entries forever); shards that are empty
+//! and never held an entry in this process are skipped, so a cold engine
+//! never wipes shards a sibling process populated. Content-addressed keys
 //! make any interleaving of whole-shard files safe: a loader sees some
 //! writer's complete, valid entry set per shard, never a torn mix.
 //!
@@ -47,7 +49,7 @@ use flowistry_core::{CachedSummary, FunctionSummary};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// The cache key of one function's summary under one parameterization.
@@ -95,6 +97,21 @@ struct Entry {
 #[derive(Debug)]
 pub struct SummaryCache {
     shards: Vec<Mutex<HashMap<SummaryKey, Entry>>>,
+    /// Per shard: whether this process ever held entries in it — set by
+    /// [`SummaryCache::load`] for shards loaded non-empty and by
+    /// [`SummaryCache::insert`]. A shard that is empty *and* never held
+    /// anything has nothing to persist — [`SummaryCache::save`] leaves its
+    /// file untouched, so a cold engine (fresh cache, or one whose load
+    /// degraded to empty on a corrupt header) pointed at a shared cache
+    /// directory cannot wipe shards a sibling process populated. A shard
+    /// that *did* hold entries is always written, even when empty now:
+    /// that is how evictions reach disk.
+    ever_nonempty: Vec<AtomicBool>,
+    /// Whether [`SummaryCache::load`] consumed a legacy `v1` single-file
+    /// cache at the configured path. Only then may [`SummaryCache::save`]
+    /// delete that file: a cold engine must not destroy a sibling's v1
+    /// cache it never read (its contents would be re-persisted nowhere).
+    loaded_legacy: AtomicBool,
     generation: AtomicU64,
 }
 
@@ -104,6 +121,8 @@ impl Default for SummaryCache {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            ever_nonempty: (0..SHARD_COUNT).map(|_| AtomicBool::new(false)).collect(),
+            loaded_legacy: AtomicBool::new(false),
             generation: AtomicU64::new(0),
         }
     }
@@ -146,6 +165,10 @@ impl SummaryCache {
     /// Stores a summary under `key`, marking it used in this generation.
     pub fn insert(&self, key: SummaryKey, entry: CachedSummary) {
         let last_seen = self.generation.load(Ordering::Relaxed);
+        // This shard now has (or had) entries this process owns: if they
+        // are all evicted later, the next save must still write the shard
+        // so the eviction reaches disk.
+        self.ever_nonempty[shard_of(key)].store(true, Ordering::Relaxed);
         self.shard(key).insert(
             key,
             Entry {
@@ -212,27 +235,39 @@ impl SummaryCache {
     /// are skipped.
     pub fn load(base: &Path) -> io::Result<SummaryCache> {
         let cache = SummaryCache::new();
-        cache.load_file(base, HEADER_V1)?;
+        let consumed_legacy = cache.load_file(base, HEADER_V1)?;
+        cache
+            .loaded_legacy
+            .store(consumed_legacy, Ordering::Relaxed);
         for shard in 0..SHARD_COUNT {
             cache.load_file(&SummaryCache::shard_file(base, shard), HEADER_V2)?;
+        }
+        // Record which shards the disk actually had entries for: save() only
+        // rewrites a shard that held entries at some point (see the field
+        // docs on `ever_nonempty`).
+        for (index, shard) in cache.shards.iter().enumerate() {
+            if !shard.lock().expect("cache shard lock").is_empty() {
+                cache.ever_nonempty[index].store(true, Ordering::Relaxed);
+            }
         }
         Ok(cache)
     }
 
     /// Merges one persistence file into the cache. Entries land in the
     /// shard their key hashes to regardless of which file carried them, so
-    /// a layout change can never misplace an entry.
-    fn load_file(&self, path: &Path, expect_header: &str) -> io::Result<()> {
+    /// a layout change can never misplace an entry. Returns whether a file
+    /// with the expected header was actually consumed.
+    fn load_file(&self, path: &Path, expect_header: &str) -> io::Result<bool> {
         let file = match std::fs::File::open(path) {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
             Err(e) => return Err(e),
         };
         let mut lines = io::BufReader::new(file).lines();
         match lines.next() {
             Some(Ok(header)) if header == expect_header => {}
             // Unknown version or unreadable header: treat as cold.
-            _ => return Ok(()),
+            _ => return Ok(false),
         }
         for line in lines {
             let Some((key, value)) = parse_line(&line?) else {
@@ -246,23 +281,35 @@ impl SummaryCache {
                 },
             );
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Writes the cache under the configured path `base`: one file per
     /// shard (see the module docs for naming and format), each produced
     /// atomically via a uniquely named sibling temp file, in sorted key
     /// order so the output is reproducible. A legacy single-file `v1`
-    /// cache at `base` is removed once its contents are safely re-persisted
-    /// in the sharded layout.
+    /// cache at `base` that this cache *loaded* is removed — its contents
+    /// are now safely re-persisted in the sharded layout; a v1 file this
+    /// cache never read is left untouched.
+    ///
+    /// Shards that are empty *and* never held an entry in this process are
+    /// skipped entirely: persistence is last-writer-wins per shard, so a
+    /// cold engine writing its (empty) view of a shard it never touched
+    /// would wipe entries a sibling process persisted there. A shard that
+    /// ever held entries (loaded non-empty, or inserted into) is always
+    /// written, even when empty now — that is how this process's evictions
+    /// reach disk.
     pub fn save(&self, base: &Path) -> io::Result<()> {
         for (index, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().expect("cache shard lock");
+            if guard.is_empty() && !self.ever_nonempty[index].load(Ordering::Relaxed) {
+                continue;
+            }
             let path = SummaryCache::shard_file(base, index);
             let tmp = unique_temp_path(&path);
             {
                 let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
                 writeln!(out, "{HEADER_V2}")?;
-                let guard = shard.lock().expect("cache shard lock");
                 let mut keys: Vec<&SummaryKey> = guard.keys().collect();
                 keys.sort();
                 for key in keys {
@@ -281,7 +328,13 @@ impl SummaryCache {
                 return Err(e);
             }
         }
-        remove_legacy_file(base);
+        // Migration cleanup, but only for a legacy file *this cache read*:
+        // its entries are now re-persisted in the shard files above. A cold
+        // cache that never loaded `base` must leave a sibling's v1 file
+        // alone — deleting it would destroy data persisted nowhere else.
+        if self.loaded_legacy.load(Ordering::Relaxed) {
+            remove_legacy_file(base);
+        }
         Ok(())
     }
 }
@@ -538,6 +591,112 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
         assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a cold engine (fresh cache) saving to a shared cache
+    /// directory must not wipe shards another process populated — only the
+    /// shards it actually has entries for are rewritten.
+    #[test]
+    fn cold_save_leaves_a_warm_siblings_shards_intact() {
+        let dir = temp_dir("coldsave");
+        let path = dir.join("summaries.cache");
+
+        // The "warm sibling": entries in shards 0 and 15.
+        let warm = SummaryCache::new();
+        warm.insert(SummaryKey(0x0000_0000_0000_00AA), sample_entry());
+        warm.insert(SummaryKey(0xF000_0000_0000_00BB), sample_entry());
+        warm.save(&path).unwrap();
+
+        // A cold engine with one fresh entry in shard 3 saves to the same
+        // path: shard 3 appears, shards 0 and 15 survive untouched.
+        let cold = SummaryCache::new();
+        cold.insert(SummaryKey(0x3000_0000_0000_00CC), sample_entry());
+        cold.save(&path).unwrap();
+
+        let loaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 3, "cold save wiped a warm shard");
+        assert!(loaded.get(SummaryKey(0x0000_0000_0000_00AA)).is_some());
+        assert!(loaded.get(SummaryKey(0xF000_0000_0000_00BB)).is_some());
+        assert!(loaded.get(SummaryKey(0x3000_0000_0000_00CC)).is_some());
+
+        // A cold save must also leave a sibling's *legacy v1* file alone:
+        // nothing re-persists its contents, so deleting it loses data.
+        let legacy_dir = temp_dir("coldsave-legacy");
+        let legacy = legacy_dir.join("summaries.cache");
+        let entry = sample_entry();
+        std::fs::write(
+            &legacy,
+            format!(
+                "{HEADER_V1}\n{} 1 {}\n",
+                SummaryKey(0xDEAD),
+                entry.summary.encode()
+            ),
+        )
+        .unwrap();
+        let never_loaded = SummaryCache::new();
+        never_loaded.insert(SummaryKey(0x3000_0000_0000_00CC), sample_entry());
+        never_loaded.save(&legacy).unwrap();
+        assert!(
+            legacy.exists(),
+            "cold save deleted a sibling's legacy v1 cache"
+        );
+        assert_eq!(SummaryCache::load(&legacy).unwrap().len(), 2);
+        std::fs::remove_dir_all(&legacy_dir).unwrap();
+
+        // An engine whose load degraded to empty (corrupt shard headers)
+        // behaves like a cold one: saving writes nothing and wipes nothing.
+        let other = temp_dir("coldsave-corrupt");
+        let corrupt = other.join("summaries.cache");
+        std::fs::write(
+            SummaryCache::shard_file(&corrupt, 0),
+            "some-other-format v9\ngarbage\n",
+        )
+        .unwrap();
+        let degraded = SummaryCache::load(&corrupt).unwrap();
+        assert!(degraded.is_empty());
+        degraded.save(&path).unwrap();
+        let still = SummaryCache::load(&path).unwrap();
+        assert_eq!(still.len(), 3, "degraded-to-empty save wiped a shard");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&other).unwrap();
+    }
+
+    /// The flip side of skipping cold empty shards: a shard that ever held
+    /// entries and then emptied (eviction) must still be rewritten, or
+    /// evictions would never reach disk. Covers both ways a shard becomes
+    /// "warm": loaded non-empty from disk, and populated by this process's
+    /// own inserts.
+    #[test]
+    fn emptied_warm_shards_still_persist_their_eviction() {
+        let dir = temp_dir("evictsave");
+        let path = dir.join("summaries.cache");
+
+        let warm = SummaryCache::new();
+        warm.insert(SummaryKey(0x0000_0000_0000_00AA), sample_entry());
+        warm.save(&path).unwrap();
+
+        // Load-then-evict: the reloaded cache saw shard 0 non-empty.
+        let reloaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        reloaded.clear();
+        reloaded.save(&path).unwrap();
+
+        let after = SummaryCache::load(&path).unwrap();
+        assert!(after.is_empty(), "eviction did not persist");
+
+        // Insert-then-evict in one process lifetime (never loaded): the
+        // stale on-disk entries must not survive the eviction either.
+        let own = SummaryCache::new();
+        own.insert(SummaryKey(0x0000_0000_0000_00AA), sample_entry());
+        own.save(&path).unwrap();
+        assert_eq!(SummaryCache::load(&path).unwrap().len(), 1);
+        own.clear();
+        own.save(&path).unwrap();
+        let after = SummaryCache::load(&path).unwrap();
+        assert!(after.is_empty(), "own-insert eviction did not persist");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

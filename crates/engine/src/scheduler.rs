@@ -65,10 +65,36 @@ pub fn resolve_worker_threads(configured: usize) -> usize {
     match configured {
         0 => std::env::var("FLOWISTRY_ENGINE_THREADS")
             .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+            .and_then(|raw| parse_thread_env(&raw))
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
         n => n,
+    }
+}
+
+/// Warned-once flag for a malformed `FLOWISTRY_ENGINE_THREADS`: the
+/// resolver runs once per `analyze_all` and per service pool, and repeating
+/// the warning every time would drown real output.
+static WARNED_MALFORMED_THREADS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Parses a `FLOWISTRY_ENGINE_THREADS` value. Whitespace is trimmed first —
+/// `FLOWISTRY_ENGINE_THREADS="8 "` (or a trailing newline from command
+/// substitution) must not silently disable the knob. `0` means auto, like
+/// the configured value. Anything that still fails to parse warns once on
+/// stderr and falls back to available parallelism.
+fn parse_thread_env(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n),
+        Err(_) => {
+            if !WARNED_MALFORMED_THREADS.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: ignoring malformed FLOWISTRY_ENGINE_THREADS value {raw:?}; \
+                     using available parallelism"
+                );
+            }
+            None
+        }
     }
 }
 
@@ -354,6 +380,43 @@ fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize, steals: &AtomicUsize) -> 
 mod tests {
     use super::*;
     use flowistry_core::Condition;
+
+    /// Regressions for `FLOWISTRY_ENGINE_THREADS` parsing, in one test so
+    /// the process-global warned-once flag is observed in a fixed order:
+    /// (1) surrounding whitespace (e.g. a trailing newline from
+    /// `FLOWISTRY_ENGINE_THREADS=$(nproc)`) used to fail `parse` and
+    /// silently fall through to available parallelism — it is trimmed now;
+    /// (2) a value that still fails to parse warns once instead of being
+    /// silently ignored.
+    #[test]
+    fn thread_env_is_trimmed_and_malformed_values_warn_once() {
+        assert_eq!(parse_thread_env("8"), Some(8));
+        assert_eq!(parse_thread_env(" 8 "), Some(8));
+        assert_eq!(parse_thread_env("8\n"), Some(8));
+        assert_eq!(parse_thread_env("\t2"), Some(2));
+        // 0 means auto, exactly like the configured value — no warning.
+        // (No flag-is-still-false assertion here: a sibling test resolving
+        // threads under a genuinely malformed env var would flip the
+        // process-global flag concurrently and flake this test for exactly
+        // the users the warning exists for.)
+        assert_eq!(parse_thread_env("0"), None);
+
+        // Malformed values fall back to available parallelism and warn on
+        // stderr — but only the first one.
+        assert_eq!(parse_thread_env("bogus"), None);
+        assert!(WARNED_MALFORMED_THREADS.load(Ordering::Relaxed));
+        assert_eq!(parse_thread_env("8 threads"), None);
+        assert_eq!(parse_thread_env("-2"), None);
+        assert!(WARNED_MALFORMED_THREADS.load(Ordering::Relaxed));
+
+        // An explicitly configured count never consults the environment.
+        // (No `set_var` here: mutating the environment races concurrent
+        // `getenv` calls from sibling tests — the trim behavior is covered
+        // through `parse_thread_env`, which `resolve_worker_threads` feeds
+        // every env value through.)
+        assert_eq!(resolve_worker_threads(3), 3);
+        assert_eq!(resolve_worker_threads(1), 1);
+    }
 
     /// A panicking worker must re-throw on the calling thread, not leave
     /// its siblings spinning forever on a `remaining` count that can never

@@ -96,7 +96,8 @@ impl ServiceConfig {
 }
 
 /// One query against the service, mirroring the snapshot query API.
-#[derive(Debug, Clone)]
+/// (`PartialEq` exists for wire codecs and tests that round-trip requests.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
     /// The published [`FunctionSummary`] of a function
     /// ([`AnalysisSnapshot::summary`]).
@@ -144,8 +145,9 @@ pub enum QueryResponse {
     CheckIfc(Vec<IfcReport>),
     /// Answer to [`QueryRequest::Stats`].
     Stats(ServiceStats),
-    /// The request could not be served (unknown function id, or the query
-    /// panicked). The service itself stays up.
+    /// The request could not be served: unknown function id, out-of-range
+    /// place or location, or the query panicked (the message then carries
+    /// the panic payload). The service itself stays up.
     Error(String),
 }
 
@@ -414,6 +416,23 @@ impl Drop for FlowService {
         if let Some(handle) = self.updater_handle.take() {
             let _ = handle.join();
         }
+        // Drain-on-shutdown guarantee: every outstanding `Ticket` gets an
+        // answer. The workers drain the queue before exiting (they only
+        // stop once it is empty), so this is normally a no-op — but if a
+        // job ever lands after the last worker checked (e.g. a backpressured
+        // submitter released in the shutdown window), answer it here rather
+        // than leave its ticket unfilled forever.
+        let leftovers: Vec<Job> = {
+            let mut queue = self.shared.queue.lock().expect("service queue lock");
+            queue.drain(..).collect()
+        };
+        if !leftovers.is_empty() {
+            let snapshot = self.shared.snapshot.read().expect("snapshot lock").clone();
+            for job in leftovers {
+                self.shared.served.fetch_add(1, Ordering::Relaxed);
+                serve_job(&self.shared, &snapshot, job);
+            }
+        }
     }
 }
 
@@ -460,15 +479,97 @@ fn serve(
             Ok(func) => QueryResponse::BackwardSlice(snapshot.backward_slice(func, &var)),
             Err(e) => e,
         },
-        QueryRequest::BackwardSliceAt { func, place, loc } => match check(func) {
-            Ok(func) => {
-                QueryResponse::BackwardSliceAt(snapshot.backward_slice_at(func, &place, loc))
+        QueryRequest::BackwardSliceAt { func, place, loc } => {
+            // Remote callers can send arbitrary places and locations; an
+            // out-of-range index must come back as a descriptive error, not
+            // a panic swallowed by `catch_unwind`.
+            let checked = check(func)
+                .and_then(|func| check_place(snapshot, func, &place).map(|()| func))
+                .and_then(|func| check_location(snapshot, func, loc).map(|()| func));
+            match checked {
+                Ok(func) => {
+                    QueryResponse::BackwardSliceAt(snapshot.backward_slice_at(func, &place, loc))
+                }
+                Err(e) => e,
             }
-            Err(e) => e,
-        },
+        }
         QueryRequest::CheckIfc(policy) => QueryResponse::CheckIfc(snapshot.check_ifc(policy)),
         QueryRequest::Stats => QueryResponse::Stats(stats_from(shared, snapshot)),
     }
+}
+
+/// Validates that `place`'s root local exists in `func`'s body.
+fn check_place(
+    snapshot: &AnalysisSnapshot,
+    func: FuncId,
+    place: &Place,
+) -> Result<(), QueryResponse> {
+    let body = snapshot.program().body(func);
+    let num_locals = body.local_decls.len();
+    if place.local.index() < num_locals {
+        Ok(())
+    } else {
+        Err(QueryResponse::Error(format!(
+            "place local {} out of range for `{}` ({num_locals} locals)",
+            place.local, body.name
+        )))
+    }
+}
+
+/// Validates that `loc` denotes a statement or terminator of `func`'s body.
+fn check_location(
+    snapshot: &AnalysisSnapshot,
+    func: FuncId,
+    loc: Location,
+) -> Result<(), QueryResponse> {
+    let body = snapshot.program().body(func);
+    let num_blocks = body.basic_blocks.len();
+    if loc.block.index() >= num_blocks {
+        return Err(QueryResponse::Error(format!(
+            "location {loc} out of range for `{}` ({num_blocks} blocks)",
+            body.name
+        )));
+    }
+    // `statement_index == statements.len()` is the terminator — valid.
+    let statements = body.basic_blocks[loc.block.index()].statements.len();
+    if loc.statement_index > statements {
+        return Err(QueryResponse::Error(format!(
+            "location {loc} out of range for `{}` ({} has {statements} statements)",
+            body.name, loc.block
+        )));
+    }
+    Ok(())
+}
+
+/// Extracts the message out of a panic payload, if it carries one: panics
+/// raised by `panic!` carry a `&str` or `String`.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+}
+
+/// Renders a panic payload into the error message a caller sees — a bare
+/// `"query panicked"` gives a remote caller nothing to act on.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    match panic_detail(payload) {
+        Some(msg) => format!("query panicked: {msg}"),
+        None => "query panicked".to_string(),
+    }
+}
+
+/// Serves `job` against `snapshot` and fills its ticket, converting a panic
+/// into a [`QueryResponse::Error`] carrying the panic message.
+fn serve_job(shared: &ServiceShared, snapshot: &AnalysisSnapshot, job: Job) {
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve(shared, snapshot, job.request)
+    }))
+    .unwrap_or_else(|payload| QueryResponse::Error(panic_message(payload.as_ref())));
+    job.slot.fill(QueryEnvelope {
+        epoch: snapshot.epoch(),
+        response,
+    });
 }
 
 fn worker_loop(shared: &ServiceShared) {
@@ -494,14 +595,7 @@ fn worker_loop(shared: &ServiceShared) {
         // Count the request before serving it, so a Stats answer includes
         // itself (as its field documents).
         shared.served.fetch_add(1, Ordering::Relaxed);
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve(shared, &snapshot, job.request)
-        }))
-        .unwrap_or_else(|_| QueryResponse::Error("query panicked".to_string()));
-        job.slot.fill(QueryEnvelope {
-            epoch: snapshot.epoch(),
-            response,
-        });
+        serve_job(shared, &snapshot, job);
     }
 }
 
@@ -549,11 +643,14 @@ fn updater_loop(shared: &ServiceShared) {
                 shared.updates_applied.fetch_add(1, Ordering::Relaxed);
                 epoch
             }
-            Err(_) => {
+            Err(payload) => {
                 shared.updates_failed.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
-                    "warning: FlowService background re-analysis panicked; \
-                     keeping the previous snapshot"
+                    "warning: FlowService background re-analysis panicked{}; \
+                     keeping the previous snapshot",
+                    panic_detail(payload.as_ref())
+                        .map(|msg| format!(" ({msg})"))
+                        .unwrap_or_default()
                 );
                 *shared.current_epoch.lock().expect("epoch lock") + 1
             }
@@ -561,5 +658,113 @@ fn updater_loop(shared: &ServiceShared) {
         let mut current = shared.current_epoch.lock().expect("epoch lock");
         *current = epoch;
         shared.epoch_advanced.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use flowistry_core::{AnalysisParams, Condition};
+    use flowistry_lang::mir::BasicBlock;
+
+    fn service() -> (Arc<CompiledProgram>, FlowService) {
+        let program = Arc::new(
+            flowistry_lang::compile(
+                "fn store(p: &mut i32, v: i32) { *p = v; }
+                 fn caller(v: i32) -> i32 { let mut x = 0; store(&mut x, v); return x; }",
+            )
+            .unwrap(),
+        );
+        let engine = AnalysisEngine::new(
+            program.clone(),
+            EngineConfig::default()
+                .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+        );
+        let service = FlowService::new(engine, ServiceConfig::default().with_workers(1));
+        (program, service)
+    }
+
+    fn slice_at(func: FuncId, local: u32, block: u32, stmt: usize) -> QueryRequest {
+        QueryRequest::BackwardSliceAt {
+            func,
+            place: Place::from_local(flowistry_lang::mir::Local(local)).deref(),
+            loc: Location {
+                block: BasicBlock(block),
+                statement_index: stmt,
+            },
+        }
+    }
+
+    /// Regression (remote callers can send arbitrary places): an
+    /// out-of-range place local answers a descriptive error instead of a
+    /// bare `"query panicked"`.
+    #[test]
+    fn out_of_range_place_answers_a_descriptive_error() {
+        let (program, service) = service();
+        let func = program.func_id("store").unwrap();
+        let envelope = service.query(slice_at(func, 999, 0, 0));
+        match envelope.response {
+            QueryResponse::Error(msg) => {
+                assert!(msg.contains("place local _999"), "unhelpful error: {msg}");
+                assert!(msg.contains("store"), "no function name: {msg}");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // The service keeps serving after the rejected request.
+        let ok = service.query(QueryRequest::Summary(func));
+        assert!(matches!(ok.response, QueryResponse::Summary(Some(_))));
+    }
+
+    /// Regression: out-of-range locations (bad block, bad statement index)
+    /// answer descriptive errors; the terminator location is valid.
+    #[test]
+    fn out_of_range_location_answers_a_descriptive_error() {
+        let (program, service) = service();
+        let func = program.func_id("store").unwrap();
+
+        let envelope = service.query(slice_at(func, 1, 999, 0));
+        match envelope.response {
+            QueryResponse::Error(msg) => {
+                assert!(msg.contains("bb999[0]"), "unhelpful error: {msg}")
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+
+        let statements = program.body(func).basic_blocks[0].statements.len();
+        let envelope = service.query(slice_at(func, 1, 0, statements + 1));
+        match envelope.response {
+            QueryResponse::Error(msg) => {
+                assert!(msg.contains("statements"), "unhelpful error: {msg}")
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+
+        // One past the last statement is the terminator — a valid location.
+        let envelope = service.query(slice_at(func, 1, 0, statements));
+        assert!(
+            matches!(envelope.response, QueryResponse::BackwardSliceAt(_)),
+            "terminator location must be served: {:?}",
+            envelope.response
+        );
+    }
+
+    /// Regression: a panic payload's `&str`/`String` message is forwarded
+    /// into the error response instead of being discarded.
+    #[test]
+    fn panic_payloads_forward_their_message() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static message");
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "query panicked: static message"
+        );
+        let payload: Box<dyn std::any::Any + Send> = Box::new(format!("formatted {}", 42));
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "query panicked: formatted 42"
+        );
+        // Exotic payloads still degrade to the bare marker.
+        let payload: Box<dyn std::any::Any + Send> = Box::new(7usize);
+        assert_eq!(panic_message(payload.as_ref()), "query panicked");
     }
 }

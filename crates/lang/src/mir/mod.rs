@@ -93,6 +93,45 @@ pub enum PlaceElem {
     Deref,
 }
 
+/// Renders a projection path in the shared text-codec grammar — `*` for a
+/// dereference, `.N` for a field — used by both the summary cache codec
+/// (`FunctionSummary::encode`) and the network wire protocol. Inverted
+/// exactly by [`parse_projection`].
+pub fn encode_projection(projection: &[PlaceElem]) -> String {
+    let mut out = String::new();
+    for elem in projection {
+        match elem {
+            PlaceElem::Deref => out.push('*'),
+            PlaceElem::Field(i) => {
+                out.push('.');
+                out.push_str(&i.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Parses [`encode_projection`]'s output. Returns `None` on any malformed
+/// text (codecs treat that as a decode failure, never a panic).
+pub fn parse_projection(text: &str) -> Option<Vec<PlaceElem>> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '*' => out.push(PlaceElem::Deref),
+            '.' => {
+                let mut digits = String::new();
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    digits.push(chars.next()?);
+                }
+                out.push(PlaceElem::Field(digits.parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 /// A place: a local plus a projection path — the `p` of the paper.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Place {

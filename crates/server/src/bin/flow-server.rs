@@ -1,0 +1,119 @@
+//! The standalone analysis server: compiles a source file, builds a
+//! [`FlowService`](flowistry_engine::FlowService), and serves the wire
+//! protocol over TCP until a `shutdown` command arrives.
+//!
+//! ```text
+//! flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+//! ```
+//!
+//! `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
+//! address is printed as `flow-server listening on <addr>` so scripts can
+//! scrape it. `--workers` sizes the service's query pool and `--max-conns`
+//! the live-connection cap (`0` = `FLOWISTRY_ENGINE_THREADS` or available
+//! parallelism, like every engine pool).
+
+use flowistry_core::{AnalysisParams, Condition};
+use flowistry_engine::{AnalysisEngine, EngineConfig, FlowService, ServiceConfig};
+use flowistry_server::{FlowServer, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source_path = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = 0usize;
+    let mut queue = 256usize;
+    let mut max_conns = 0usize;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str| -> Option<String> {
+            let v = iter.next();
+            if v.is_none() {
+                eprintln!("flow-server: {name} needs a value");
+            }
+            v.cloned()
+        };
+        match arg.as_str() {
+            "--addr" => match flag_value("--addr") {
+                Some(v) => addr = v,
+                None => return usage(),
+            },
+            "--workers" => match flag_value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage(),
+            },
+            "--queue" => match flag_value("--queue").and_then(|v| v.parse().ok()) {
+                Some(v) => queue = v,
+                None => return usage(),
+            },
+            "--max-conns" => match flag_value("--max-conns").and_then(|v| v.parse().ok()) {
+                Some(v) => max_conns = v,
+                None => return usage(),
+            },
+            other if source_path.is_none() && !other.starts_with('-') => {
+                source_path = Some(other.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(source_path) = source_path else {
+        return usage();
+    };
+
+    let source = match std::fs::read_to_string(&source_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("flow-server: cannot read {source_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match flowistry_lang::compile(&source) {
+        Ok(p) => p,
+        Err(diag) => {
+            eprintln!(
+                "flow-server: {source_path} does not compile: {}",
+                diag.message
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = AnalysisEngine::new(
+        program,
+        EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM))
+            .with_threads(workers),
+    );
+    let service = FlowService::new(
+        engine,
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(queue),
+    );
+    let server = match FlowServer::bind(
+        service,
+        addr.as_str(),
+        ServerConfig::default().with_max_connections(max_conns),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("flow-server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("flow-server listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("flow-server shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,196 @@
+//! The CI client smoke: connects to a running `flow-server`, pushes a
+//! known program via `update`, and checks a summary + slice + results +
+//! IFC + stats round-trip **bit-for-bit against a local direct analysis**
+//! of the same source. Also pokes the server with garbage and bad ids to
+//! confirm malformed input yields structured errors without killing the
+//! connection.
+//!
+//! ```text
+//! flow-smoke <HOST:PORT> [--shutdown]
+//! ```
+//!
+//! With `--shutdown` the server is asked to stop after the checks (CI uses
+//! this to tear the background server down and assert a clean exit).
+
+use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
+use flowistry_engine::{QueryRequest, QueryResponse};
+use flowistry_ifc::{IfcChecker, IfcPolicy};
+use flowistry_lang::mir::{BasicBlock, Location, Place};
+use flowistry_server::FlowClient;
+use flowistry_slicer::Slicer;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+const SOURCE: &str = "
+    fn read_password(seed: i32) -> i32 { return seed + 41; }
+    fn insecure_print(x: i32) -> i32 { return x; }
+    fn store(p: &mut i32, v: i32) { *p = v; }
+    fn main(v: i32) -> i32 {
+        let password = read_password(v);
+        let mut slot = 0;
+        store(&mut slot, password);
+        return insecure_print(slot);
+    }
+";
+
+fn check(ok: bool, what: &str) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("smoke check failed: {what}"))
+    }
+}
+
+fn run(addr: &str, shutdown: bool) -> Result<(), String> {
+    let fail = |e: std::io::Error| format!("i/o against {addr}: {e}");
+
+    // Phase 1, raw socket: garbage never kills the connection — each bad
+    // line yields a structured `error` response and the line after it is
+    // served normally.
+    {
+        let stream = TcpStream::connect(addr).map_err(fail)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(fail)?);
+        let mut writer = stream;
+        writer
+            .write_all(b"complete garbage\nsummary notanumber\nstats\n")
+            .map_err(fail)?;
+        let mut line = String::new();
+        for expect_error in [true, true, false] {
+            line.clear();
+            reader.read_line(&mut line).map_err(fail)?;
+            let envelope = flowistry_server::codec::decode_envelope(line.trim_end())
+                .map_err(|e| format!("undecodable response {line:?}: {e}"))?;
+            check(
+                matches!(envelope.response, QueryResponse::Error(_)) == expect_error,
+                &format!("garbage-phase response {line:?} (expect_error={expect_error})"),
+            )?;
+        }
+    }
+
+    // Phase 2: push a known program and compare every answer against a
+    // local direct analysis of the same source.
+    let program =
+        flowistry_lang::compile(SOURCE).map_err(|d| format!("bad fixture: {}", d.message))?;
+    let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+    let main = program.func_id("main").expect("fixture has main");
+    let store = program.func_id("store").expect("fixture has store");
+
+    let mut client = FlowClient::connect(addr).map_err(fail)?;
+    let epoch = client.update(SOURCE).map_err(fail)?;
+
+    // Summary: bit-identical to the summary extracted from direct analysis.
+    let direct = analyze(&program, store, &params);
+    let expected_summary =
+        FunctionSummary::from_exit_state(program.body(store), direct.exit_theta());
+    let envelope = client.query(&QueryRequest::Summary(store)).map_err(fail)?;
+    check(
+        envelope.epoch == epoch,
+        "summary answered from the pushed epoch",
+    )?;
+    check(
+        envelope.response == QueryResponse::Summary(Some(expected_summary)),
+        "summary(store) == direct analysis",
+    )?;
+
+    // Results: full per-location states across the wire, still identical.
+    let envelope = client.query(&QueryRequest::Results(main)).map_err(fail)?;
+    let direct_main = analyze(&program, main, &params);
+    match envelope.response {
+        QueryResponse::Results(got) => check(*got == direct_main, "results(main) == direct")?,
+        other => return Err(format!("results(main) answered {other:?}")),
+    }
+
+    // Backward slice of the password variable.
+    let expected_slice =
+        Slicer::new(&program, main, params.clone()).backward_slice_of_var("password");
+    let envelope = client
+        .query(&QueryRequest::BackwardSlice {
+            func: main,
+            var: "password".to_string(),
+        })
+        .map_err(fail)?;
+    check(
+        envelope.response == QueryResponse::BackwardSlice(expected_slice),
+        "slice(main, password) == direct",
+    )?;
+
+    // Raw location-level slice.
+    let place = Place::return_place();
+    let loc = Location {
+        block: BasicBlock(0),
+        statement_index: 0,
+    };
+    let envelope = client
+        .query(&QueryRequest::BackwardSliceAt {
+            func: main,
+            place: place.clone(),
+            loc,
+        })
+        .map_err(fail)?;
+    check(
+        envelope.response
+            == QueryResponse::BackwardSliceAt(direct_main.backward_slice(&place, loc)),
+        "slice-at(main) == direct",
+    )?;
+
+    // IFC: the fixture's password → insecure_print flow must be reported.
+    let policy = IfcPolicy::from_conventions(&program);
+    let expected_reports = IfcChecker::new(&program, policy.clone())
+        .with_params(params.clone())
+        .check_program();
+    check(
+        expected_reports.iter().any(|r| !r.violations.is_empty()),
+        "fixture produces an IFC violation",
+    )?;
+    let envelope = client
+        .query(&QueryRequest::CheckIfc(policy))
+        .map_err(fail)?;
+    check(
+        envelope.response == QueryResponse::CheckIfc(expected_reports),
+        "check-ifc == direct",
+    )?;
+
+    // Bad function id: a structured error, then normal service.
+    let envelope = client
+        .query(&QueryRequest::Summary(flowistry_lang::types::FuncId(999)))
+        .map_err(fail)?;
+    check(
+        matches!(envelope.response, QueryResponse::Error(_)),
+        "unknown function id answers an error",
+    )?;
+
+    // Stats round-trip.
+    let (stats_epoch, stats) = client.stats().map_err(fail)?;
+    check(stats_epoch == epoch, "stats served from the pushed epoch")?;
+    check(stats.epoch == epoch, "stats payload epoch")?;
+    check(stats.served > 0, "served counter advanced")?;
+    check(stats.updates_applied > 0, "update was applied")?;
+
+    if shutdown {
+        client.shutdown_server().map_err(fail)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, shutdown) = match &args[..] {
+        [addr] => (addr.as_str(), false),
+        [addr, flag] if flag == "--shutdown" => (addr.as_str(), true),
+        _ => {
+            eprintln!("usage: flow-smoke <HOST:PORT> [--shutdown]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(addr, shutdown) {
+        Ok(()) => {
+            println!("flow-smoke OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("flow-smoke FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! A blocking TCP client for the [`flow-server`](crate) wire protocol,
+//! mirroring the in-process [`FlowService`] API: `query` for one-shot
+//! round-trips, `submit`/`recv` for pipelining, `update` for server-side
+//! re-analysis.
+//!
+//! [`FlowService`]: flowistry_engine::FlowService
+
+use crate::codec;
+use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, ServiceStats};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a `flow-server`.
+///
+/// Responses arrive in request order, so the pipelined API is two calls:
+/// [`FlowClient::submit`] writes a request without waiting, and
+/// [`FlowClient::recv`] reads the next response. [`FlowClient::query`] is
+/// the blocking composition of the two.
+pub struct FlowClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Submitted-but-unreceived request count (pipelining depth).
+    pending: usize,
+}
+
+impl FlowClient {
+    /// Connects to a running `flow-server`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<FlowClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(FlowClient {
+            reader,
+            writer,
+            pending: 0,
+        })
+    }
+
+    /// Sends `request` without waiting for its answer (pipelining). Pair
+    /// each `submit` with one [`FlowClient::recv`]; responses come back in
+    /// submission order.
+    pub fn submit(&mut self, request: &QueryRequest) -> io::Result<()> {
+        let line = codec::encode_request(request);
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Receives the next pipelined response, in submission order.
+    pub fn recv(&mut self) -> io::Result<QueryEnvelope> {
+        let line = self.read_line()?;
+        self.pending = self.pending.saturating_sub(1);
+        codec::decode_envelope(&line).map_err(invalid_data)
+    }
+
+    /// Submits `request` and blocks for its answer.
+    pub fn query(&mut self, request: &QueryRequest) -> io::Result<QueryEnvelope> {
+        self.submit(request)?;
+        self.recv()
+    }
+
+    /// Number of submitted requests whose responses have not been received
+    /// yet.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Ships `source` to the server, which recompiles it and re-analyzes in
+    /// the background; blocks until the new snapshot serves and returns its
+    /// epoch. A compile error on the server side comes back as an
+    /// [`io::ErrorKind::InvalidData`] error carrying the server's message.
+    ///
+    /// `update` is a pipeline sync point: call it only with no responses
+    /// pending (it fails fast otherwise, rather than misattribute replies).
+    pub fn update(&mut self, source: &str) -> io::Result<u64> {
+        if self.pending > 0 {
+            return Err(invalid_data(format!(
+                "update with {} responses pending; drain with recv() first",
+                self.pending
+            )));
+        }
+        writeln!(self.writer, "{}", codec::encode_update(source.len()))?;
+        self.writer.write_all(source.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if let Ok(epoch) = codec::decode_update_ack(&line) {
+            return Ok(epoch);
+        }
+        // Not an ack: the server answered with an error envelope.
+        match codec::decode_envelope(&line)
+            .map_err(invalid_data)?
+            .response
+        {
+            QueryResponse::Error(msg) => Err(invalid_data(msg)),
+            other => Err(invalid_data(format!(
+                "unexpected response to update: {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: the server's current [`ServiceStats`], with the epoch
+    /// of the envelope that carried them.
+    pub fn stats(&mut self) -> io::Result<(u64, ServiceStats)> {
+        let envelope = self.query(&QueryRequest::Stats)?;
+        match envelope.response {
+            QueryResponse::Stats(stats) => Ok((envelope.epoch, stats)),
+            other => Err(invalid_data(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully and waits for its `bye`.
+    /// Consumes the client: the connection is done after this.
+    pub fn shutdown_server(mut self) -> io::Result<()> {
+        writeln!(self.writer, "{}", codec::SHUTDOWN_LINE)?;
+        self.writer.flush()?;
+        // Drain any pipelined responses still in flight before the ack.
+        loop {
+            let line = self.read_line()?;
+            if line == codec::BYE_LINE {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+}
+
+fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}

@@ -1,0 +1,914 @@
+//! The line-oriented wire codec for the [`FlowService`] protocol.
+//!
+//! Every message is one `\n`-terminated line of ASCII text with
+//! space-separated fields, in the same hand-rolled style as
+//! [`FunctionSummary::encode`] (the build has no serialization crates). One
+//! request line yields exactly one response line, so pipelining is trivial:
+//! responses come back in request order.
+//!
+//! # Requests (client → server)
+//!
+//! ```text
+//! summary <func>                      QueryRequest::Summary
+//! results <func>                      QueryRequest::Results
+//! slice <func> <var>                  QueryRequest::BackwardSlice
+//! slice-at <func> <place> <blk> <st>  QueryRequest::BackwardSliceAt
+//! ifc <sinks> <producers> <params> <locals>   QueryRequest::CheckIfc
+//! stats                               QueryRequest::Stats
+//! update <nbytes>                     (then exactly <nbytes> source bytes + '\n')
+//! shutdown                            stop the whole server
+//! ```
+//!
+//! # Responses (server → client)
+//!
+//! Query responses are [`QueryEnvelope`]s: the tag mirrors the request, the
+//! second field is always the serving snapshot's epoch. `update` answers
+//! `updated <epoch>` once the new snapshot serves — and it is a sync point
+//! for its connection: requests pipelined after an `update` are served from
+//! the acknowledged epoch or later (other connections are unaffected).
+//! `shutdown` answers `bye`, and any malformed or unserveable request
+//! answers `error <epoch> <message>` — the connection keeps serving either
+//! way.
+//!
+//! # Field grammar
+//!
+//! * **strings** (variable names, error messages, …) are percent-escaped:
+//!   bytes outside `[A-Za-z0-9_]` become `%XX`; the empty string encodes as
+//!   a lone `%` (unambiguous, since a real escape is always `%XX`).
+//! * **place**: root local digits + projection path, `*` for a deref and
+//!   `.N` for a field — `1*.0` is `(*_1).0`.
+//! * **location**: `<block>.<statement>` — `2.1` is `bb2[1]`.
+//! * **dependency**: `a<local>` (argument) or `i<block>.<stmt>`
+//!   (instruction); sets join with `+`, the empty set is `~`.
+//! * **Θ (theta)**: `place=depset` pairs joined with `&`, empty `~`; lists
+//!   of thetas join with `|`, per-block lists join with `^`.
+//! * list fields that can be empty use `-` as the empty marker.
+
+use flowistry_core::{FunctionSummary, InfoFlowResults, Theta};
+use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, RunStats, ServiceStats};
+use flowistry_ifc::{IfcPolicy, IfcReport, Violation};
+use flowistry_lang::mir::{BasicBlock, Local, Location, Place};
+use flowistry_lang::types::FuncId;
+use flowistry_slicer::Slice;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[cfg(doc)]
+use flowistry_engine::FlowService;
+
+/// One decoded request line: a service query, an update (whose source
+/// bytes follow the line), or a server shutdown.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// A [`QueryRequest`] to forward to the service.
+    Query(QueryRequest),
+    /// `update <nbytes>`: the next `nbytes` bytes on the stream are the
+    /// new program source, followed by one `\n`.
+    Update {
+        /// Length of the source text in bytes.
+        bytes: usize,
+    },
+    /// `shutdown`: gracefully stop the whole server.
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------------
+// Escaped strings
+
+/// Percent-escapes an arbitrary string into one space-free token.
+fn esc(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverts [`esc`].
+fn unesc(s: &str) -> Result<String, String> {
+    if s == "%" {
+        return Ok(String::new());
+    }
+    let mut bytes = Vec::with_capacity(s.len());
+    let mut iter = s.bytes();
+    while let Some(b) = iter.next() {
+        if b == b'%' {
+            let hi = iter.next().ok_or("truncated %-escape")?;
+            let lo = iter.next().ok_or("truncated %-escape")?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).map_err(|_| "bad %-escape")?;
+            bytes.push(u8::from_str_radix(hex, 16).map_err(|_| format!("bad %-escape %{hex}"))?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| "escaped string is not UTF-8".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Scalars, places, locations, dependency sets
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse::<T>().map_err(|_| format!("bad {what} {s:?}"))
+}
+
+fn encode_place(place: &Place) -> String {
+    // Local digits + the same projection grammar the summary codec uses
+    // (shared with flowistry-core through `flowistry_lang::mir`).
+    format!(
+        "{}{}",
+        place.local.0,
+        flowistry_lang::mir::encode_projection(&place.projection)
+    )
+}
+
+fn decode_place(s: &str) -> Result<Place, String> {
+    let digits: String = s.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return Err(format!("bad place {s:?}: missing local"));
+    }
+    let local = Local(parse_num(&digits, "local")?);
+    let projection = flowistry_lang::mir::parse_projection(&s[digits.len()..])
+        .ok_or_else(|| format!("bad place {s:?}: malformed projection"))?;
+    Ok(Place { local, projection })
+}
+
+fn encode_location(loc: Location) -> String {
+    format!("{}.{}", loc.block.0, loc.statement_index)
+}
+
+fn decode_location(s: &str) -> Result<Location, String> {
+    let (block, stmt) = s
+        .split_once('.')
+        .ok_or_else(|| format!("bad location {s:?}"))?;
+    Ok(Location {
+        block: BasicBlock(parse_num(block, "block")?),
+        statement_index: parse_num(stmt, "statement index")?,
+    })
+}
+
+fn encode_locations(locs: &BTreeSet<Location>) -> String {
+    if locs.is_empty() {
+        return "-".to_string();
+    }
+    locs.iter()
+        .map(|&l| encode_location(l))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+fn decode_locations(s: &str) -> Result<BTreeSet<Location>, String> {
+    if s == "-" {
+        return Ok(BTreeSet::new());
+    }
+    s.split('+').map(decode_location).collect()
+}
+
+fn encode_dep(dep: &flowistry_core::Dep) -> String {
+    match dep {
+        flowistry_core::Dep::Arg(l) => format!("a{}", l.0),
+        flowistry_core::Dep::Instr(loc) => format!("i{}", encode_location(*loc)),
+    }
+}
+
+fn decode_dep(s: &str) -> Result<flowistry_core::Dep, String> {
+    match s.split_at_checked(1) {
+        Some(("a", rest)) => Ok(flowistry_core::Dep::Arg(Local(parse_num(rest, "local")?))),
+        Some(("i", rest)) => Ok(flowistry_core::Dep::Instr(decode_location(rest)?)),
+        _ => Err(format!("bad dependency {s:?}")),
+    }
+}
+
+fn encode_depset(deps: &flowistry_core::DepSet) -> String {
+    if deps.is_empty() {
+        return "~".to_string();
+    }
+    deps.iter().map(encode_dep).collect::<Vec<_>>().join("+")
+}
+
+fn decode_depset(s: &str) -> Result<flowistry_core::DepSet, String> {
+    if s == "~" {
+        return Ok(BTreeSet::new());
+    }
+    s.split('+').map(decode_dep).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Θ and full per-location results
+
+fn encode_theta(theta: &Theta) -> String {
+    if theta.is_empty() {
+        return "~".to_string();
+    }
+    theta
+        .iter()
+        .map(|(place, deps)| format!("{}={}", encode_place(place), encode_depset(deps)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+fn decode_theta(s: &str) -> Result<Theta, String> {
+    if s == "~" {
+        return Ok(Theta::new());
+    }
+    s.split('&')
+        .map(|pair| {
+            let (place, deps) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad theta entry {pair:?}"))?;
+            Ok((decode_place(place)?, decode_depset(deps)?))
+        })
+        .collect()
+}
+
+fn encode_thetas(thetas: &[Theta]) -> String {
+    thetas
+        .iter()
+        .map(encode_theta)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn decode_thetas(s: &str) -> Result<Vec<Theta>, String> {
+    s.split('|').map(decode_theta).collect()
+}
+
+/// Encodes full [`InfoFlowResults`] into the 6 space-separated fields of a
+/// `results` response payload.
+fn encode_results(results: &InfoFlowResults) -> String {
+    let (func, entry, after, exit, hit_boundary, iterations) = results.raw_parts();
+    let after = after
+        .iter()
+        .map(|block| encode_thetas(block))
+        .collect::<Vec<_>>()
+        .join("^");
+    format!(
+        "{} {} {} {} {} {}",
+        func.0,
+        u8::from(hit_boundary),
+        iterations,
+        encode_thetas(entry),
+        after,
+        encode_theta(exit),
+    )
+}
+
+fn decode_results(fields: &[&str]) -> Result<InfoFlowResults, String> {
+    let [func, hit, iters, entry, after, exit] = fields else {
+        return Err(format!(
+            "results payload has {} fields, want 6",
+            fields.len()
+        ));
+    };
+    let func = FuncId(parse_num(func, "function id")?);
+    let hit_boundary = match *hit {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad boundary flag {other:?}")),
+    };
+    let iterations = parse_num(iters, "iteration count")?;
+    let entry_states = decode_thetas(entry)?;
+    let after_states = after
+        .split('^')
+        .map(decode_thetas)
+        .collect::<Result<Vec<_>, _>>()?;
+    let exit_theta = decode_theta(exit)?;
+    Ok(InfoFlowResults::from_raw_parts(
+        func,
+        entry_states,
+        after_states,
+        exit_theta,
+        hit_boundary,
+        iterations,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Slices, IFC policies and reports, stats
+
+fn encode_lines(lines: &BTreeSet<usize>) -> String {
+    if lines.is_empty() {
+        return "-".to_string();
+    }
+    lines
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_lines(s: &str) -> Result<BTreeSet<usize>, String> {
+    if s == "-" {
+        return Ok(BTreeSet::new());
+    }
+    s.split(',').map(|l| parse_num(l, "line")).collect()
+}
+
+/// Encodes a list of escaped names, `,`-joined (`-` when empty).
+fn encode_names(names: &[String]) -> String {
+    if names.is_empty() {
+        return "-".to_string();
+    }
+    names.iter().map(|n| esc(n)).collect::<Vec<_>>().join(",")
+}
+
+fn decode_names(s: &str) -> Result<Vec<String>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(unesc).collect()
+}
+
+/// Encodes a list of `(function, name)` pairs as `f:n`, `,`-joined.
+fn encode_pairs(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return "-".to_string();
+    }
+    pairs
+        .iter()
+        .map(|(f, n)| format!("{}:{}", esc(f), esc(n)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_pairs(s: &str) -> Result<Vec<(String, String)>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            let (f, n) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad name pair {pair:?}"))?;
+            Ok((unesc(f)?, unesc(n)?))
+        })
+        .collect()
+}
+
+fn encode_reports(reports: &[IfcReport]) -> String {
+    if reports.is_empty() {
+        return "-".to_string();
+    }
+    reports
+        .iter()
+        .map(|r| {
+            let violations = if r.violations.is_empty() {
+                "-".to_string()
+            } else {
+                r.violations
+                    .iter()
+                    .map(|v| {
+                        let sources = if v.sources.is_empty() {
+                            "-".to_string()
+                        } else {
+                            v.sources
+                                .iter()
+                                .map(|s| esc(s))
+                                .collect::<Vec<_>>()
+                                .join("+")
+                        };
+                        format!(
+                            "{},{},{},{},{}",
+                            esc(&v.in_function),
+                            esc(&v.sink),
+                            encode_location(v.location),
+                            v.line,
+                            sources
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("^")
+            };
+            format!(
+                "{}:{}:{}",
+                esc(&r.function),
+                r.sink_calls_checked,
+                violations
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn decode_reports(s: &str) -> Result<Vec<IfcReport>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('|')
+        .map(|report| {
+            let mut parts = report.splitn(3, ':');
+            let (function, checked, violations) = (
+                parts.next().ok_or("missing report function")?,
+                parts.next().ok_or("missing report sink count")?,
+                parts.next().ok_or("missing report violations")?,
+            );
+            let violations = if violations == "-" {
+                Vec::new()
+            } else {
+                violations
+                    .split('^')
+                    .map(|v| {
+                        let fields: Vec<&str> = v.split(',').collect();
+                        let [in_function, sink, location, line, sources] = fields[..] else {
+                            return Err(format!("violation has {} fields, want 5", fields.len()));
+                        };
+                        let sources = if sources == "-" {
+                            Vec::new()
+                        } else {
+                            sources.split('+').map(unesc).collect::<Result<_, _>>()?
+                        };
+                        Ok(Violation {
+                            in_function: unesc(in_function)?,
+                            sink: unesc(sink)?,
+                            location: decode_location(location)?,
+                            line: parse_num(line, "line")?,
+                            sources,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?
+            };
+            Ok(IfcReport {
+                function: unesc(function)?,
+                violations,
+                sink_calls_checked: parse_num(checked, "sink call count")?,
+            })
+        })
+        .collect()
+}
+
+fn encode_stats(stats: &ServiceStats) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {}",
+        stats.epoch,
+        stats.queue_depth,
+        stats.workers,
+        stats.served,
+        stats.updates_applied,
+        stats.updates_failed,
+        stats.run.analyzed,
+        stats.run.cache_hits,
+        stats.run.levels,
+        stats.run.threads,
+        stats.run.steals,
+    )
+}
+
+fn decode_stats(fields: &[&str]) -> Result<ServiceStats, String> {
+    let [epoch, queue, workers, served, applied, failed, analyzed, hits, levels, threads, steals] =
+        fields
+    else {
+        return Err(format!(
+            "stats payload has {} fields, want 11",
+            fields.len()
+        ));
+    };
+    Ok(ServiceStats {
+        epoch: parse_num(epoch, "epoch")?,
+        queue_depth: parse_num(queue, "queue depth")?,
+        workers: parse_num(workers, "worker count")?,
+        served: parse_num(served, "served count")?,
+        updates_applied: parse_num(applied, "updates applied")?,
+        updates_failed: parse_num(failed, "updates failed")?,
+        run: RunStats {
+            analyzed: parse_num(analyzed, "analyzed count")?,
+            cache_hits: parse_num(hits, "cache hit count")?,
+            levels: parse_num(levels, "level count")?,
+            threads: parse_num(threads, "thread count")?,
+            steals: parse_num(steals, "steal count")?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+/// Renders a [`QueryRequest`] as one request line (without the trailing
+/// newline).
+pub fn encode_request(request: &QueryRequest) -> String {
+    match request {
+        QueryRequest::Summary(func) => format!("summary {}", func.0),
+        QueryRequest::Results(func) => format!("results {}", func.0),
+        QueryRequest::BackwardSlice { func, var } => format!("slice {} {}", func.0, esc(var)),
+        QueryRequest::BackwardSliceAt { func, place, loc } => format!(
+            "slice-at {} {} {} {}",
+            func.0,
+            encode_place(place),
+            loc.block.0,
+            loc.statement_index
+        ),
+        QueryRequest::CheckIfc(policy) => format!(
+            "ifc {} {} {} {}",
+            encode_names(&policy.insecure_sinks),
+            encode_names(&policy.secure_producers),
+            encode_pairs(&policy.secure_params),
+            encode_pairs(&policy.secure_locals),
+        ),
+        QueryRequest::Stats => "stats".to_string(),
+    }
+}
+
+/// Renders the `update` command line announcing `bytes` source bytes.
+pub fn encode_update(bytes: usize) -> String {
+    format!("update {bytes}")
+}
+
+/// The `shutdown` command line.
+pub const SHUTDOWN_LINE: &str = "shutdown";
+
+/// The acknowledgement line for a `shutdown` command.
+pub const BYE_LINE: &str = "bye";
+
+/// Renders the acknowledgement for an applied `update`.
+pub fn encode_update_ack(epoch: u64) -> String {
+    format!("updated {epoch}")
+}
+
+/// Parses an `updated <epoch>` acknowledgement.
+pub fn decode_update_ack(line: &str) -> Result<u64, String> {
+    match line.split_whitespace().collect::<Vec<_>>()[..] {
+        ["updated", epoch] => parse_num(epoch, "epoch"),
+        _ => Err(format!("bad update acknowledgement {line:?}")),
+    }
+}
+
+/// Parses one request line into a [`Command`]. Never panics: any malformed
+/// input comes back as a descriptive `Err` for the server to answer with an
+/// `error` response.
+pub fn decode_command(line: &str) -> Result<Command, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let request = match fields[..] {
+        ["summary", func] => QueryRequest::Summary(FuncId(parse_num(func, "function id")?)),
+        ["results", func] => QueryRequest::Results(FuncId(parse_num(func, "function id")?)),
+        ["slice", func, var] => QueryRequest::BackwardSlice {
+            func: FuncId(parse_num(func, "function id")?),
+            var: unesc(var)?,
+        },
+        ["slice-at", func, place, block, stmt] => QueryRequest::BackwardSliceAt {
+            func: FuncId(parse_num(func, "function id")?),
+            place: decode_place(place)?,
+            loc: Location {
+                block: BasicBlock(parse_num(block, "block")?),
+                statement_index: parse_num(stmt, "statement index")?,
+            },
+        },
+        ["ifc", sinks, producers, params, locals] => QueryRequest::CheckIfc(IfcPolicy {
+            secure_params: decode_pairs(params)?,
+            secure_locals: decode_pairs(locals)?,
+            secure_producers: decode_names(producers)?,
+            insecure_sinks: decode_names(sinks)?,
+        }),
+        ["stats"] => QueryRequest::Stats,
+        ["update", bytes] => {
+            return Ok(Command::Update {
+                bytes: parse_num(bytes, "byte count")?,
+            })
+        }
+        ["shutdown"] => return Ok(Command::Shutdown),
+        [] => return Err("empty request line".to_string()),
+        [verb, ..] => {
+            // A known verb with the wrong arity deserves a better hint than
+            // "unknown request" — it misdirects anyone debugging over `nc`.
+            const VERBS: [&str; 8] = [
+                "summary", "results", "slice", "slice-at", "ifc", "stats", "update", "shutdown",
+            ];
+            return Err(if VERBS.contains(&verb) {
+                format!("wrong number of arguments for {verb:?}")
+            } else {
+                format!("unknown request {verb:?}")
+            });
+        }
+    };
+    Ok(Command::Query(request))
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes
+
+/// Renders a [`QueryEnvelope`] as one response line (without the trailing
+/// newline).
+pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
+    let epoch = envelope.epoch;
+    match &envelope.response {
+        QueryResponse::Summary(None) => format!("summary {epoch} -"),
+        QueryResponse::Summary(Some(summary)) => format!("summary {epoch} {}", summary.encode()),
+        QueryResponse::Results(results) => format!("results {epoch} {}", encode_results(results)),
+        QueryResponse::BackwardSlice(None) => format!("slice {epoch} -"),
+        QueryResponse::BackwardSlice(Some(slice)) => format!(
+            "slice {epoch} {} {} {}",
+            esc(&slice.criterion),
+            encode_locations(&slice.locations),
+            encode_lines(&slice.lines)
+        ),
+        QueryResponse::BackwardSliceAt(locs) => {
+            format!("slice-at {epoch} {}", encode_locations(locs))
+        }
+        QueryResponse::CheckIfc(reports) => format!("ifc {epoch} {}", encode_reports(reports)),
+        QueryResponse::Stats(stats) => format!("stats {epoch} {}", encode_stats(stats)),
+        QueryResponse::Error(msg) => format!("error {epoch} {}", esc(msg)),
+    }
+}
+
+/// Parses one response line back into a [`QueryEnvelope`]. The decoded
+/// value compares equal to what the server encoded — the loopback stress
+/// test leans on this to check served answers bit-for-bit against direct
+/// analyses.
+pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let [tag, epoch, payload @ ..] = &fields[..] else {
+        return Err(format!("bad response line {line:?}"));
+    };
+    let epoch: u64 = parse_num(epoch, "epoch")?;
+    let one = || -> Result<&str, String> {
+        match payload {
+            [single] => Ok(*single),
+            _ => Err(format!(
+                "{tag} payload has {} fields, want 1",
+                payload.len()
+            )),
+        }
+    };
+    let response = match *tag {
+        "summary" => match one()? {
+            "-" => QueryResponse::Summary(None),
+            enc => QueryResponse::Summary(Some(
+                FunctionSummary::decode(enc).ok_or_else(|| format!("bad summary {enc:?}"))?,
+            )),
+        },
+        "results" => QueryResponse::Results(Arc::new(decode_results(payload)?)),
+        "slice" => match payload {
+            ["-"] => QueryResponse::BackwardSlice(None),
+            [criterion, locations, lines] => QueryResponse::BackwardSlice(Some(Slice {
+                criterion: unesc(criterion)?,
+                locations: decode_locations(locations)?,
+                lines: decode_lines(lines)?,
+            })),
+            _ => {
+                return Err(format!(
+                    "slice payload has {} fields, want 1 or 3",
+                    payload.len()
+                ))
+            }
+        },
+        "slice-at" => QueryResponse::BackwardSliceAt(decode_locations(one()?)?),
+        "ifc" => QueryResponse::CheckIfc(decode_reports(one()?)?),
+        "stats" => QueryResponse::Stats(decode_stats(payload)?),
+        "error" => QueryResponse::Error(unesc(one()?)?),
+        other => return Err(format!("unknown response tag {other:?}")),
+    };
+    Ok(QueryEnvelope { epoch, response })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_core::{analyze, AnalysisParams, Condition, Dep, DepSet};
+    use flowistry_ifc::IfcChecker;
+    use flowistry_lang::mir::PlaceElem;
+    use flowistry_slicer::Slicer;
+
+    fn roundtrip_request(request: QueryRequest) {
+        let line = encode_request(&request);
+        assert!(!line.contains('\n'), "request must be one line: {line:?}");
+        match decode_command(&line) {
+            Ok(Command::Query(decoded)) => assert_eq!(decoded, request, "from {line:?}"),
+            other => panic!("{line:?} decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(QueryRequest::Summary(FuncId(0)));
+        roundtrip_request(QueryRequest::Results(FuncId(42)));
+        roundtrip_request(QueryRequest::BackwardSlice {
+            func: FuncId(1),
+            var: "v".to_string(),
+        });
+        // Nasty variable names survive: spaces, delimiters, unicode, empty.
+        for var in ["a b", "x&y=z|w", "héllo", "", "%", "100%"] {
+            roundtrip_request(QueryRequest::BackwardSlice {
+                func: FuncId(1),
+                var: var.to_string(),
+            });
+        }
+        roundtrip_request(QueryRequest::BackwardSliceAt {
+            func: FuncId(3),
+            place: Place {
+                local: Local(1),
+                projection: vec![PlaceElem::Deref, PlaceElem::Field(0), PlaceElem::Field(12)],
+            },
+            loc: Location {
+                block: BasicBlock(7),
+                statement_index: 2,
+            },
+        });
+        roundtrip_request(QueryRequest::CheckIfc(IfcPolicy::default()));
+        roundtrip_request(QueryRequest::CheckIfc(
+            IfcPolicy::default()
+                .with_sink("insecure_print")
+                .with_secure_producer("read password")
+                .with_secure_param("login", "secret_key"),
+        ));
+        roundtrip_request(QueryRequest::Stats);
+    }
+
+    #[test]
+    fn update_and_shutdown_lines_roundtrip() {
+        assert_eq!(
+            decode_command(&encode_update(1234)),
+            Ok(Command::Update { bytes: 1234 })
+        );
+        assert_eq!(decode_command(SHUTDOWN_LINE), Ok(Command::Shutdown));
+        assert_eq!(decode_update_ack(&encode_update_ack(7)), Ok(7));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected_not_panicked() {
+        for line in [
+            "",
+            "   ",
+            "bogus",
+            "summary",
+            "summary xyz",
+            "summary 1 2",
+            "results -3",
+            "slice 1",
+            "slice-at 1 notaplace 0 0",
+            "slice-at 1 2 0 x",
+            "slice-at 1 2.z 0 0",
+            "ifc a b c",
+            "ifc - - bad_pair -",
+            "update",
+            "update lots",
+            "stats 1",
+            "slice 0 %ZZ",
+        ] {
+            assert!(decode_command(line).is_err(), "{line:?} must be rejected");
+        }
+    }
+
+    fn roundtrip_envelope(envelope: QueryEnvelope) {
+        let line = encode_envelope(&envelope);
+        assert!(!line.contains('\n'), "response must be one line: {line:?}");
+        let decoded = decode_envelope(&line).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        assert_eq!(decoded, envelope, "roundtrip changed {line:?}");
+    }
+
+    /// Round-trips every envelope variant, with payloads produced by real
+    /// analyses so the hard cases (nested thetas, projections, IFC
+    /// violations with spaces in their source descriptions) are covered.
+    #[test]
+    fn every_envelope_variant_roundtrips() {
+        let program = flowistry_lang::compile(
+            "fn read_password(seed: i32) -> i32 { return seed + 1; }
+             fn insecure_print(x: i32) -> i32 { return x; }
+             fn set_first(p: &mut (i32, i32), v: i32) { (*p).0 = v; }
+             fn main(v: i32) -> i32 {
+                 let password = read_password(v);
+                 let mut pair = (0, 0);
+                 set_first(&mut pair, password);
+                 return insecure_print(pair.0);
+             }",
+        )
+        .unwrap();
+        let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+        let main = program.func_id("main").unwrap();
+        let set_first = program.func_id("set_first").unwrap();
+        let results = analyze(&program, main, &params);
+
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            response: QueryResponse::Summary(None),
+        });
+        for func in [main, set_first] {
+            let r = analyze(&program, func, &params);
+            roundtrip_envelope(QueryEnvelope {
+                epoch: 3,
+                response: QueryResponse::Summary(Some(FunctionSummary::from_exit_state(
+                    program.body(func),
+                    r.exit_theta(),
+                ))),
+            });
+            roundtrip_envelope(QueryEnvelope {
+                epoch: 9,
+                response: QueryResponse::Results(Arc::new(r)),
+            });
+        }
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 1,
+            response: QueryResponse::BackwardSlice(None),
+        });
+        let slice = Slicer::new(&program, main, params.clone())
+            .backward_slice_of_var("password")
+            .expect("password is a variable of main");
+        assert!(!slice.locations.is_empty());
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 2,
+            response: QueryResponse::BackwardSlice(Some(slice)),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            response: QueryResponse::BackwardSliceAt(BTreeSet::new()),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            response: QueryResponse::BackwardSliceAt(results.backward_slice(
+                &Place::return_place(),
+                Location {
+                    block: BasicBlock(0),
+                    statement_index: 0,
+                },
+            )),
+        });
+        // A real violation: its source descriptions contain spaces and
+        // backticks ("call to `read_password`"), exercising the escaping.
+        let reports = IfcChecker::new(&program, IfcPolicy::from_conventions(&program))
+            .with_params(params.clone())
+            .check_program();
+        assert!(
+            reports.iter().any(|r| !r.violations.is_empty()),
+            "fixture must produce a violation"
+        );
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 4,
+            response: QueryResponse::CheckIfc(reports),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            response: QueryResponse::CheckIfc(Vec::new()),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 8,
+            response: QueryResponse::Stats(ServiceStats {
+                epoch: 8,
+                queue_depth: 3,
+                workers: 8,
+                served: 12345,
+                updates_applied: 17,
+                updates_failed: 1,
+                run: RunStats {
+                    analyzed: 9,
+                    cache_hits: 21,
+                    levels: 4,
+                    threads: 8,
+                    steals: 33,
+                },
+            }),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 5,
+            response: QueryResponse::Error("place local _999 out of range".to_string()),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 5,
+            response: QueryResponse::Error(String::new()),
+        });
+    }
+
+    #[test]
+    fn depsets_and_thetas_roundtrip_exactly() {
+        let mut theta = Theta::new();
+        theta.insert(Place::from_local(Local(0)), DepSet::new());
+        theta.insert(
+            Place {
+                local: Local(1),
+                projection: vec![PlaceElem::Deref, PlaceElem::Field(2)],
+            },
+            [
+                Dep::Arg(Local(1)),
+                Dep::Instr(Location {
+                    block: BasicBlock(3),
+                    statement_index: 4,
+                }),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let encoded = encode_theta(&theta);
+        assert_eq!(decode_theta(&encoded), Ok(theta));
+        assert_eq!(decode_theta("~"), Ok(Theta::new()));
+    }
+
+    #[test]
+    fn malformed_response_lines_are_rejected() {
+        for line in [
+            "",
+            "summary",
+            "summary x -",
+            "summary 0 nonsense",
+            "results 0 1 2",
+            "slice 0 a b",
+            "slice-at 0 0.z",
+            "ifc 0 f:x:y^",
+            "stats 0 1 2 3",
+            "wat 0 -",
+        ] {
+            assert!(decode_envelope(line).is_err(), "{line:?} must be rejected");
+        }
+    }
+}

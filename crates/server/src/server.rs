@@ -1,0 +1,467 @@
+//! The TCP front: an accept loop feeding per-connection threads that speak
+//! the [`codec`](crate::codec) protocol against one shared [`FlowService`].
+//!
+//! # Connection model
+//!
+//! The accept loop admits at most `max_connections` live connections
+//! (resolved by [`resolve_worker_threads`], the same knob that sizes the
+//! service's query pool); further clients wait in the OS accept backlog.
+//! Each connection runs **two** threads so requests pipeline for real:
+//!
+//! * the *reader* parses request lines and immediately submits each query
+//!   to the service ([`FlowService::submit`] — non-blocking up to the
+//!   service queue's backpressure), pushing the resulting [`Ticket`] into
+//!   an in-order reply channel;
+//! * the *writer* pops tickets in submission order, waits for each answer,
+//!   and writes the encoded envelope back.
+//!
+//! A client that sends ten requests without reading has all ten in flight
+//! across the service's worker pool, yet always receives responses in
+//! request order. Malformed lines never kill the connection: they produce
+//! an `error` response in order, and the reader keeps going.
+//!
+//! `update <nbytes>` reads the new source inline, compiles it server-side,
+//! and routes it through [`FlowService::update`]; the reader then blocks in
+//! [`FlowService::wait_for_epoch`] until the new snapshot serves, making an
+//! update a per-connection sync point — the `updated <epoch>` ack and every
+//! request pipelined after it reflect the pushed epoch (or later), while
+//! other connections keep querying throughout. `shutdown` answers `bye` and
+//! gracefully stops the whole server: the listener closes, live connections
+//! are shut down, and dropping the service drains every outstanding ticket.
+
+use crate::codec::{self, Command};
+use flowistry_engine::scheduler::resolve_worker_threads;
+use flowistry_engine::{FlowService, QueryEnvelope, QueryResponse, Ticket};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`FlowServer`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Maximum live connections. `0` (the default) resolves like every
+    /// other pool in the engine: `FLOWISTRY_ENGINE_THREADS` if set, else
+    /// available parallelism. Further clients wait in the accept backlog.
+    pub max_connections: usize,
+}
+
+impl ServerConfig {
+    /// Sets the live-connection cap (`0` = auto).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max;
+        self
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct ServerShared {
+    service: FlowService,
+    shutdown: AtomicBool,
+    /// Live connection count, gating the accept loop at `max_connections`.
+    active: Mutex<usize>,
+    slot_freed: Condvar,
+    /// One stream clone per live connection (slot-indexed, `None` when the
+    /// connection ended), so shutdown can cut blocked readers loose.
+    conn_streams: Mutex<Vec<Option<TcpStream>>>,
+}
+
+/// Registers a clone of `stream` for shutdown to cut loose; returns the
+/// slot to clear when the connection ends.
+fn register_stream(shared: &ServerShared, stream: &TcpStream) -> Option<usize> {
+    let clone = stream.try_clone().ok()?;
+    let mut streams = shared.conn_streams.lock().expect("conn stream lock");
+    match streams.iter().position(Option::is_none) {
+        Some(i) => {
+            streams[i] = Some(clone);
+            Some(i)
+        }
+        None => {
+            streams.push(Some(clone));
+            Some(streams.len() - 1)
+        }
+    }
+}
+
+fn unregister_stream(shared: &ServerShared, slot: Option<usize>) {
+    if let Some(i) = slot {
+        shared.conn_streams.lock().expect("conn stream lock")[i] = None;
+    }
+}
+
+/// A running TCP front over one [`FlowService`]: see the [module
+/// docs](self).
+pub struct FlowServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl FlowServer {
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts
+    /// accepting connections against `service`.
+    pub fn bind(
+        service: FlowService,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<FlowServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let max_connections = resolve_worker_threads(config.max_connections);
+        let shared = Arc::new(ServerShared {
+            service,
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(0),
+            slot_freed: Condvar::new(),
+            conn_streams: Mutex::new(Vec::new()),
+        });
+        let accept_handle = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("flow-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, max_connections))
+                .expect("spawn accept loop")
+        };
+        Ok(FlowServer {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address the server is listening on (with the real port when
+    /// bound to port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a `shutdown` command (or [`FlowServer::shutdown`]) has been
+    /// received.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has shut down (via the wire `shutdown`
+    /// command or a concurrent [`FlowServer::shutdown`] call) and every
+    /// connection has been answered and closed.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Dropping `self` runs the rest of the teardown (idempotently).
+    }
+
+    /// Initiates a graceful shutdown: stop accepting, cut live connections
+    /// loose, and (on drop) drain every outstanding ticket.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.local_addr);
+    }
+}
+
+impl Drop for FlowServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Wait for every connection thread to finish: they hold the shared
+        // state alive, and their tickets are answered by the service (or by
+        // its drain-on-drop) before the server is considered gone.
+        let mut active = self.shared.active.lock().expect("server active lock");
+        while *active > 0 {
+            active = self
+                .shared
+                .slot_freed
+                .wait(active)
+                .expect("server active lock");
+        }
+    }
+}
+
+/// Flips the shutdown flag and wakes everyone who might be blocked: the
+/// accept loop (via a loopback connect), blocked connection readers (via a
+/// read-side shutdown of their streams — writers keep flushing), and the
+/// slot condvar.
+fn initiate_shutdown(shared: &ServerShared, local_addr: SocketAddr) {
+    let first = !shared.shutdown.swap(true, Ordering::SeqCst);
+    // Wake a (possibly) blocked `accept` with a throwaway connection, on
+    // *every* call: the first attempt can fail under fd pressure (connect
+    // needs a free descriptor), and the retry from a later drop()/wait()
+    // is then what stands between a parked accept thread and a permanent
+    // hang. Extra wakeups are harmless — the accept loop just closes them.
+    // If the listener is already gone the connect simply fails.
+    let _ = TcpStream::connect(local_addr);
+    {
+        let _guard = shared.active.lock().expect("server active lock");
+        shared.slot_freed.notify_all();
+    }
+    if !first {
+        return;
+    }
+    // Cut only the *read* side: parked readers unblock (read_line returns
+    // 0) and stop ingesting new requests, but each connection's writer can
+    // still flush responses for everything already accepted — the
+    // "answered before the listener goes away" guarantee depends on the
+    // write side staying open.
+    let streams = shared.conn_streams.lock().expect("conn stream lock");
+    for stream in streams.iter().flatten() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener, max_connections: usize) {
+    loop {
+        // Admission control: at most `max_connections` live connections.
+        {
+            let mut active = shared.active.lock().expect("server active lock");
+            while *active >= max_connections && !shared.shutdown.load(Ordering::SeqCst) {
+                active = shared.slot_freed.wait(active).expect("server active lock");
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            *active += 1;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                release_slot(shared);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Persistent accept errors (fd exhaustion) must not turn
+                // this thread into a hot spin loop next to the workers.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wakeup connect (or a client racing the shutdown): close
+            // it without serving.
+            release_slot(shared);
+            break;
+        }
+        // Writers must be able to finish flushing during shutdown (the
+        // sweep leaves the write side open for exactly that), so a client
+        // that stops reading cannot be allowed to park a writer forever
+        // and wedge teardown: bound every send.
+        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+        // A connection shutdown() cannot reach must not be served at all:
+        // its reader could block in read_line forever and hang the final
+        // active-count wait. Refuse it instead (try_clone only fails under
+        // fd exhaustion, where shedding load is the right move anyway).
+        let Some(slot) = register_stream(shared, &stream) else {
+            drop(stream);
+            release_slot(shared);
+            continue;
+        };
+        let slot = Some(slot);
+        // Re-check *after* registering: a shutdown that raced in between
+        // may have swept conn_streams before this stream was in it, and the
+        // sweep runs only once — cut the straggler ourselves or its reader
+        // would park forever and wedge the final active-count wait.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            unregister_stream(shared, slot);
+            release_slot(shared);
+            break;
+        }
+        let shared_for_conn = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("flow-conn".to_string())
+            .spawn(move || {
+                handle_connection(&shared_for_conn, stream);
+                unregister_stream(&shared_for_conn, slot);
+                release_slot(&shared_for_conn);
+            });
+        if spawned.is_err() {
+            unregister_stream(shared, slot);
+            release_slot(shared);
+        }
+    }
+    // No more connections will be admitted; dropping the listener (by
+    // returning) closes the socket.
+}
+
+fn release_slot(shared: &ServerShared) {
+    let mut active = shared.active.lock().expect("server active lock");
+    *active -= 1;
+    shared.slot_freed.notify_all();
+}
+
+/// What the reader hands the writer, in request order.
+enum Pending {
+    /// A submitted query: wait on the ticket, encode the envelope.
+    Query(Ticket),
+    /// An accepted update, already applied: the reader waited for the epoch
+    /// swap (the connection's sync point), so the ack just gets written.
+    Update(u64),
+    /// A pre-rendered line (decode errors, `bye`).
+    Line(String),
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<Pending>();
+    let writer_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let writer = std::thread::Builder::new()
+        .name("flow-conn-writer".to_string())
+        .spawn(move || writer_loop(writer_stream, rx));
+    let Ok(writer) = writer else { return };
+
+    let shutdown_requested = reader_loop(shared, reader, &tx);
+
+    // Close the reply channel: the writer drains what is pending (including
+    // the `bye` acknowledging a shutdown command), then exits. Only after
+    // the client has its answers does a requested shutdown start tearing
+    // other connections down.
+    drop(tx);
+    let _ = writer.join();
+    if shutdown_requested {
+        let addr = stream
+            .local_addr()
+            .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)));
+        initiate_shutdown(shared, addr);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads request lines until EOF, error, or `shutdown`, submitting work and
+/// queueing replies in order. Returns whether a server shutdown was
+/// requested.
+fn reader_loop(
+    shared: &Arc<ServerShared>,
+    mut reader: BufReader<TcpStream>,
+    tx: &Sender<Pending>,
+) -> bool {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false, // EOF or a cut connection
+            Ok(_) => {}
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue; // blank keep-alive lines are ignored
+        }
+        let pending = match codec::decode_command(trimmed) {
+            Err(msg) => Pending::Line(codec::encode_envelope(&QueryEnvelope {
+                epoch: shared.service.current_epoch(),
+                response: QueryResponse::Error(format!("malformed request: {msg}")),
+            })),
+            Ok(Command::Query(request)) => Pending::Query(shared.service.submit(request)),
+            Ok(Command::Update { bytes }) => {
+                let mut pending = read_update(shared, &mut reader, bytes);
+                // An update is a sync point for *this connection*: requests
+                // pipelined after it must be served from the new epoch (or a
+                // later one), so don't touch the next line until the swap
+                // happened. Other connections keep querying the old snapshot
+                // throughout — this holds back one reader, not the service.
+                if let Pending::Update(epoch) = &pending {
+                    let epoch = *epoch;
+                    shared.service.wait_for_epoch(epoch);
+                    // The epoch counter advances even when the background
+                    // re-analysis panicked (so waiters never hang) — but
+                    // then the snapshot did NOT change, and acknowledging
+                    // success would be a lie. Tell the client instead.
+                    let serving = shared.service.snapshot().epoch();
+                    if serving < epoch {
+                        pending = Pending::Line(codec::encode_envelope(&QueryEnvelope {
+                            epoch: serving,
+                            response: QueryResponse::Error(format!(
+                                "update {epoch} failed during re-analysis; \
+                                 epoch {serving} still serving"
+                            )),
+                        }));
+                    }
+                }
+                pending
+            }
+            Ok(Command::Shutdown) => {
+                let _ = tx.send(Pending::Line(codec::BYE_LINE.to_string()));
+                return true;
+            }
+        };
+        if tx.send(pending).is_err() {
+            return false; // writer is gone (connection cut)
+        }
+    }
+}
+
+/// Reads the `bytes` source bytes of an `update` command (plus the
+/// terminating newline), compiles, and schedules the swap.
+fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: usize) -> Pending {
+    const MAX_UPDATE_BYTES: usize = 16 << 20;
+    let error = |msg: String| {
+        Pending::Line(codec::encode_envelope(&QueryEnvelope {
+            epoch: shared.service.current_epoch(),
+            response: QueryResponse::Error(msg),
+        }))
+    };
+    if bytes > MAX_UPDATE_BYTES {
+        // Drain the announced body before answering, or the rest of the
+        // connection would parse megabytes of source text as command lines.
+        if io::copy(&mut reader.by_ref().take(bytes as u64), &mut io::sink()).is_err() {
+            return error("update source truncated".to_string());
+        }
+        let _ = consume_newline(reader);
+        return error(format!(
+            "update of {bytes} bytes exceeds {MAX_UPDATE_BYTES}"
+        ));
+    }
+    let mut source = vec![0u8; bytes];
+    if reader.read_exact(&mut source).is_err() {
+        return error("update source truncated".to_string());
+    }
+    if let Err(msg) = consume_newline(reader) {
+        return error(msg);
+    }
+    let source = match String::from_utf8(source) {
+        Ok(s) => s,
+        Err(_) => return error("update source is not UTF-8".to_string()),
+    };
+    match flowistry_lang::compile(&source) {
+        Ok(program) => Pending::Update(shared.service.update(program)),
+        Err(diag) => error(format!("update failed to compile: {}", diag.message)),
+    }
+}
+
+/// Consumes the newline terminating an `update` source block. The newline
+/// is consumed only if it is actually there: blindly eating one byte would
+/// silently desync the line framing when a client miscounts `<nbytes>`
+/// (the next command's first byte would vanish).
+fn consume_newline(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
+    match reader.fill_buf() {
+        Ok(buf) if buf.first() == Some(&b'\n') => {
+            reader.consume(1);
+            Ok(())
+        }
+        Ok([]) => Ok(()), // EOF right after the body; the connection is ending
+        Ok(_) => Err("update source not followed by a newline (check <nbytes>)".to_string()),
+        Err(_) => Err("update source truncated".to_string()),
+    }
+}
+
+/// Writes replies in request order, waiting on each in turn.
+fn writer_loop(stream: TcpStream, rx: Receiver<Pending>) {
+    let mut out = io::BufWriter::new(stream);
+    for pending in rx {
+        let line = match pending {
+            Pending::Query(ticket) => codec::encode_envelope(&ticket.wait()),
+            Pending::Update(epoch) => codec::encode_update_ack(epoch),
+            Pending::Line(line) => line,
+        };
+        if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+            return; // client went away; pending tickets still resolve server-side
+        }
+    }
+}

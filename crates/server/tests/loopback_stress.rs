@@ -1,0 +1,473 @@
+//! End-to-end loopback stress for the TCP front, mirroring the engine's
+//! `service_stress` gauntlet: N concurrent TCP clients issue the mixed
+//! protocol (blocking round-trips and pipelined submit/recv bursts) while
+//! an updater client pushes edited program versions through the wire
+//! `update` command. Every envelope that comes back over TCP is decoded and
+//! checked **bit-for-bit** against a direct (engine-free) analysis of the
+//! program version matching its epoch — a codec bug, an epoch mix-up, or a
+//! half-swapped snapshot all fail the comparison.
+//!
+//! Runs at 1, 2, and 8 service workers, and ends with a graceful wire
+//! `shutdown` that must answer everything already accepted.
+
+use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
+use flowistry_engine::{
+    AnalysisEngine, EngineConfig, FlowService, QueryRequest, QueryResponse, ServiceConfig,
+};
+use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
+use flowistry_lang::types::FuncId;
+use flowistry_lang::CompiledProgram;
+use flowistry_server::{FlowClient, FlowServer, ServerConfig};
+use flowistry_slicer::{Slice, Slicer};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Same layered workload as the engine stress tests: `modules` chains of
+/// `depth` functions; edits below touch bodies only, so `FuncId`s are
+/// stable across every version.
+fn layered_source(modules: usize, depth: usize) -> String {
+    let mut src = String::new();
+    for m in 0..modules {
+        for l in 0..depth {
+            if l == 0 {
+                let _ = writeln!(
+                    src,
+                    "fn m{m}_l0(p: &mut i32, v: i32) -> i32 {{
+                         if v > 0 {{ *p = *p + v; }} else {{ *p = v; }}
+                         let a = v * 2;
+                         let b = a + *p;
+                         return b;
+                     }}"
+                );
+            } else {
+                let prev = l - 1;
+                let _ = writeln!(
+                    src,
+                    "fn m{m}_l{l}(p: &mut i32, v: i32) -> i32 {{
+                         let r1 = m{m}_l{prev}(p, v + 1);
+                         let r2 = m{m}_l{prev}(p, r1);
+                         let mut acc = r1 + r2;
+                         if acc > 10 {{ acc = acc - v; }}
+                         return acc;
+                     }}"
+                );
+            }
+        }
+    }
+    src
+}
+
+/// Everything a response can be checked against, computed directly (no
+/// engine, no server) for one program version.
+struct Expected {
+    results: Vec<flowistry_core::InfoFlowResults>,
+    summaries: Vec<FunctionSummary>,
+    slices: Vec<Option<Slice>>,
+    ifc: Vec<IfcReport>,
+}
+
+fn expected_for(program: &Arc<CompiledProgram>, params: &AnalysisParams) -> Expected {
+    let n = program.bodies.len();
+    let results: Vec<_> = (0..n)
+        .map(|i| analyze(program, FuncId(i as u32), params))
+        .collect();
+    let summaries: Vec<_> = (0..n)
+        .map(|i| {
+            FunctionSummary::from_exit_state(
+                program.body(FuncId(i as u32)),
+                results[i].exit_theta(),
+            )
+        })
+        .collect();
+    let slices: Vec<_> = (0..n)
+        .map(|i| Slicer::new(program, FuncId(i as u32), params.clone()).backward_slice_of_var("v"))
+        .collect();
+    let ifc = IfcChecker::new(program, IfcPolicy::from_conventions(program))
+        .with_params(params.clone())
+        .check_program();
+    Expected {
+        results,
+        summaries,
+        slices,
+        ifc,
+    }
+}
+
+/// The scenario at one service worker count: 8 TCP clients race a TCP
+/// updater; every envelope is checked against the direct analysis of its
+/// own epoch; the run ends with a graceful wire shutdown.
+fn hammer_over_tcp(workers: usize) {
+    let base = layered_source(3, 3);
+    let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+    const VERSIONS: usize = 4;
+
+    // Version k prepends k padding statements to module 0's leaf body: the
+    // function set is unchanged (FuncIds stable), but shifted statement
+    // locations make each version's results pairwise distinct — an epoch
+    // mix-up cannot go unnoticed.
+    let sources: Vec<String> = (0..VERSIONS)
+        .map(|k| {
+            let pad: String = (0..k).map(|j| format!("let zpad{j} = v + 1; ")).collect();
+            base.replacen("let a = v * 2;", &format!("{pad}let a = v * 2;"), 1)
+        })
+        .collect();
+    let programs: Vec<Arc<CompiledProgram>> = sources
+        .iter()
+        .map(|src| Arc::new(flowistry_lang::compile(src).expect("edited version compiles")))
+        .collect();
+    let expected: Vec<Expected> = programs.iter().map(|p| expected_for(p, &params)).collect();
+    let num_funcs = programs[0].bodies.len();
+    for k in 1..VERSIONS {
+        assert_ne!(
+            expected[k - 1].results[0],
+            expected[k].results[0],
+            "versions {} and {k} must be distinguishable",
+            k - 1
+        );
+    }
+    // Every version has the same function names, so one policy serves all.
+    let policy = IfcPolicy::from_conventions(&programs[0]);
+
+    let engine = AnalysisEngine::new(
+        programs[0].clone(),
+        EngineConfig::default().with_params(params.clone()),
+    );
+    let service = FlowService::new(
+        engine,
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(16),
+    );
+    let server = FlowServer::bind(
+        service,
+        "127.0.0.1:0",
+        // 8 query clients + 1 updater + the final checker must never queue
+        // behind each other in the accept backlog.
+        ServerConfig::default().with_max_connections(16),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let check = |epoch: u64, request: &QueryRequest, response: &QueryResponse| {
+        assert!(
+            (epoch as usize) < VERSIONS,
+            "impossible epoch {epoch} in an envelope"
+        );
+        let exp = &expected[epoch as usize];
+        match (request, response) {
+            (QueryRequest::Results(f), QueryResponse::Results(got)) => {
+                assert_eq!(
+                    **got, exp.results[f.0 as usize],
+                    "Results({}) over TCP diverged from direct analyze at epoch {epoch}",
+                    f.0
+                );
+            }
+            (QueryRequest::Summary(f), QueryResponse::Summary(got)) => {
+                assert_eq!(
+                    got.as_ref(),
+                    Some(&exp.summaries[f.0 as usize]),
+                    "Summary({}) over TCP diverged at epoch {epoch}",
+                    f.0
+                );
+            }
+            (QueryRequest::BackwardSlice { func, .. }, QueryResponse::BackwardSlice(got)) => {
+                assert_eq!(
+                    got, &exp.slices[func.0 as usize],
+                    "BackwardSlice({}) over TCP diverged at epoch {epoch}",
+                    func.0
+                );
+            }
+            (QueryRequest::CheckIfc(_), QueryResponse::CheckIfc(got)) => {
+                assert_eq!(got, &exp.ifc, "CheckIfc over TCP diverged at epoch {epoch}");
+            }
+            (QueryRequest::Stats, QueryResponse::Stats(stats)) => {
+                assert_eq!(stats.epoch, epoch);
+                assert_eq!(stats.workers, workers);
+            }
+            (req, QueryResponse::Error(msg)) => {
+                panic!("unexpected error for {req:?} at epoch {epoch}: {msg}")
+            }
+            (req, resp) => panic!("response variant mismatch: {req:?} -> {resp:?}"),
+        }
+    };
+
+    std::thread::scope(|s| {
+        // 8 query clients: even threads do blocking round-trips, odd threads
+        // pipeline bursts of 5 requests before reading any response.
+        for t in 0..8usize {
+            let check = &check;
+            let policy = &policy;
+            s.spawn(move || {
+                let mut client = FlowClient::connect(addr).expect("connect query client");
+                let make_request = |i: usize| {
+                    let func = FuncId(((i + t) % num_funcs) as u32);
+                    match (i + t) % 5 {
+                        0 => QueryRequest::Results(func),
+                        1 => QueryRequest::Summary(func),
+                        2 => QueryRequest::BackwardSlice {
+                            func,
+                            var: "v".to_string(),
+                        },
+                        3 => QueryRequest::CheckIfc(policy.clone()),
+                        _ => QueryRequest::Stats,
+                    }
+                };
+                if t % 2 == 0 {
+                    for i in 0..30usize {
+                        let request = make_request(i);
+                        let envelope = client.query(&request).expect("query round-trip");
+                        check(envelope.epoch, &request, &envelope.response);
+                    }
+                } else {
+                    for burst in 0..6usize {
+                        let requests: Vec<_> =
+                            (0..5).map(|j| make_request(burst * 5 + j)).collect();
+                        for request in &requests {
+                            client.submit(request).expect("pipelined submit");
+                        }
+                        assert_eq!(client.pending(), 5);
+                        for request in &requests {
+                            let envelope = client.recv().expect("pipelined recv");
+                            check(envelope.epoch, request, &envelope.response);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Meanwhile: push every edited version through the wire, in order.
+        let sources = &sources;
+        s.spawn(move || {
+            let mut updater = FlowClient::connect(addr).expect("connect updater");
+            for (k, source) in sources.iter().enumerate().skip(1) {
+                // `update` blocks until the new snapshot serves.
+                let epoch = updater.update(source).expect("wire update");
+                assert_eq!(epoch, k as u64, "updates must apply in order");
+            }
+        });
+    });
+
+    // All clients done, all updates applied: a fresh connection sees the
+    // final version, and the serving stats add up.
+    let mut client = FlowClient::connect(addr).expect("connect final checker");
+    let request = QueryRequest::Results(FuncId(0));
+    let envelope = client.query(&request).expect("final query");
+    assert_eq!(envelope.epoch, (VERSIONS - 1) as u64);
+    check(envelope.epoch, &request, &envelope.response);
+    let (_, stats) = client.stats().expect("final stats");
+    assert_eq!(stats.epoch, (VERSIONS - 1) as u64);
+    assert_eq!(stats.updates_applied, (VERSIONS - 1) as u64);
+    assert!(
+        stats.served >= (8 * 30) as u64,
+        "served only {} requests",
+        stats.served
+    );
+
+    // Graceful wire shutdown: the server acknowledges with `bye`, then
+    // `wait()` returns — nothing accepted goes unanswered, nothing hangs.
+    client.shutdown_server().expect("wire shutdown");
+    server.wait();
+}
+
+#[test]
+fn tcp_stress_one_worker() {
+    hammer_over_tcp(1);
+}
+
+#[test]
+fn tcp_stress_two_workers() {
+    hammer_over_tcp(2);
+}
+
+#[test]
+fn tcp_stress_eight_workers() {
+    hammer_over_tcp(8);
+}
+
+/// Another connection's in-flight responses survive a concurrent wire
+/// `shutdown`: the sweep cuts only the read side of live connections, so
+/// every request the server already accepted still gets its response
+/// flushed before teardown.
+#[test]
+fn shutdown_lets_other_connections_flush_accepted_responses() {
+    let program =
+        Arc::new(flowistry_lang::compile(&layered_source(2, 3)).expect("program compiles"));
+    let params = AnalysisParams::for_condition(Condition::WHOLE_PROGRAM);
+    let policy = IfcPolicy::from_conventions(&program);
+    let engine = AnalysisEngine::new(program, EngineConfig::default().with_params(params.clone()));
+    let service = FlowService::new(engine, ServiceConfig::default().with_workers(1));
+    let server = FlowServer::bind(
+        service,
+        "127.0.0.1:0",
+        ServerConfig::default().with_max_connections(4),
+    )
+    .unwrap();
+
+    let mut pipelined = FlowClient::connect(server.local_addr()).unwrap();
+    for _ in 0..5 {
+        pipelined
+            .submit(&QueryRequest::CheckIfc(policy.clone()))
+            .unwrap();
+    }
+    // Wait until the connection's reader has provably ingested all five
+    // requests (the shutdown sweep stops further reads, not accepted work):
+    // `served + queue_depth` counts every request submitted to the service,
+    // including the stats polls themselves, so once it reaches 5 + polls
+    // the five CheckIfc requests are all in.
+    let mut other = FlowClient::connect(server.local_addr()).unwrap();
+    let mut polls = 0u64;
+    loop {
+        polls += 1;
+        let (_, stats) = other.stats().expect("stats poll");
+        if stats.served + stats.queue_depth as u64 >= 5 + polls {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    other.shutdown_server().expect("wire shutdown");
+
+    for i in 0..5 {
+        let envelope = pipelined
+            .recv()
+            .unwrap_or_else(|e| panic!("response {i} lost in shutdown: {e}"));
+        assert!(
+            matches!(envelope.response, QueryResponse::CheckIfc(_)),
+            "response {i} corrupted by shutdown: {:?}",
+            envelope.response
+        );
+    }
+    server.wait();
+}
+
+/// Requests pipelined *after* an `update` on the same connection must be
+/// served from the acknowledged epoch (or later), never the pre-update
+/// snapshot — even when the whole batch arrives in one write before the
+/// re-analysis finishes.
+#[test]
+fn pipelined_requests_after_update_see_the_new_epoch() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let v0 = "fn f(p: &mut i32, x: i32) -> i32 { *p = x; return x; }";
+    let v1 = "fn f(p: &mut i32, x: i32) -> i32 { let pad = x + 1; *p = pad; return pad; }";
+    let engine = AnalysisEngine::new(
+        Arc::new(flowistry_lang::compile(v0).unwrap()),
+        EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+    );
+    let service = FlowService::new(engine, ServiceConfig::default().with_workers(2));
+    let server = FlowServer::bind(
+        service,
+        "127.0.0.1:0",
+        ServerConfig::default().with_max_connections(4),
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // One write carries the update *and* a follow-up query: the server must
+    // hold the query until the new snapshot serves.
+    let batch = format!("update {}\n{v1}\nresults 0\n", v1.len());
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "updated 1");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let envelope = flowistry_server::codec::decode_envelope(line.trim_end()).unwrap();
+    assert_eq!(
+        envelope.epoch, 1,
+        "post-update pipelined query served from the old snapshot"
+    );
+    let program_v1 = flowistry_lang::compile(v1).unwrap();
+    let direct = analyze(
+        &program_v1,
+        FuncId(0),
+        &AnalysisParams::for_condition(Condition::WHOLE_PROGRAM),
+    );
+    assert_eq!(envelope.response, QueryResponse::Results(Arc::new(direct)));
+}
+
+/// Malformed wire input never kills the server: garbage lines, bad ids,
+/// out-of-range places/locations, truncated updates — each yields a
+/// structured `error` response and the connection keeps serving.
+#[test]
+fn malformed_input_answers_errors_and_keeps_serving() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let program = Arc::new(
+        flowistry_lang::compile("fn f(p: &mut i32, x: i32) -> i32 { *p = x; return x; }").unwrap(),
+    );
+    let engine = AnalysisEngine::new(
+        program,
+        EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+    );
+    let service = FlowService::new(engine, ServiceConfig::default().with_workers(2));
+    let server = FlowServer::bind(
+        service,
+        "127.0.0.1:0",
+        ServerConfig::default().with_max_connections(4),
+    )
+    .unwrap();
+
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    fn ask(
+        writer: &mut std::net::TcpStream,
+        reader: &mut BufReader<std::net::TcpStream>,
+        line: &str,
+    ) -> QueryResponse {
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        flowistry_server::codec::decode_envelope(response.trim_end())
+            .unwrap_or_else(|e| panic!("undecodable response {response:?}: {e}"))
+            .response
+    }
+
+    for bad in [
+        "total garbage",
+        "summary",
+        "summary -1",
+        "summary 999",
+        "results 999",
+        "slice 0",
+        "slice-at 0 99 0 0", // out-of-range place local
+        "slice-at 0 1 99 0", // out-of-range block
+        "slice-at 0 1 0 99", // out-of-range statement index
+        "slice-at 0 zz 0 0", // unparseable place
+        "update notanumber",
+        "ifc nonsense",
+    ] {
+        let response = ask(&mut writer, &mut reader, bad);
+        assert!(
+            matches!(response, QueryResponse::Error(_)),
+            "{bad:?} must answer an error, got {response:?}"
+        );
+    }
+
+    // A bad update *body* (valid framing, uncompilable source).
+    let broken = "fn broken(";
+    writeln!(writer, "update {}", broken.len()).unwrap();
+    writer.write_all(broken.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let envelope = flowistry_server::codec::decode_envelope(response.trim_end()).unwrap();
+    match envelope.response {
+        QueryResponse::Error(msg) => {
+            assert!(msg.contains("compile"), "unhelpful update error: {msg}")
+        }
+        other => panic!("uncompilable update answered {other:?}"),
+    }
+
+    // After all of that, the same connection still serves real queries.
+    let response = ask(&mut writer, &mut reader, "summary 0");
+    assert!(
+        matches!(response, QueryResponse::Summary(Some(_))),
+        "connection died after malformed input: {response:?}"
+    );
+}

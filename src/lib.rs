@@ -52,6 +52,7 @@ pub mod prelude {
     pub use flowistry_ifc::{IfcChecker, IfcPolicy};
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
+    pub use flowistry_server::{FlowClient, FlowServer, ServerConfig};
     pub use flowistry_slicer::Slicer;
 }
 
