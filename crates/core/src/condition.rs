@@ -108,11 +108,33 @@ impl fmt::Display for Condition {
     }
 }
 
+/// Which state representation the information flow fixpoint iterates over.
+///
+/// Both representations compute bit-for-bit identical results (the
+/// equivalence suite asserts it on the whole corpus); they differ only in
+/// speed. The indexed domain interns every place and dependency a body can
+/// mention into dense `u32`s up front and runs the fixpoint on bitset
+/// matrices with copy-on-write rows; the tree domain is the original
+/// `BTreeMap<Place, BTreeSet<Dep>>` Θ, kept for one release as an escape
+/// hatch and as the oracle the indexed path is tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DomainKind {
+    /// Interned places/deps, bitset rows, copy-on-write snapshots (default).
+    #[default]
+    Indexed,
+    /// The original tree-map Θ (`BTreeMap<Place, BTreeSet<Dep>>`).
+    Tree,
+}
+
 /// Parameters controlling one run of the analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisParams {
     /// Which condition to run under.
     pub condition: Condition,
+    /// Which state representation the fixpoint runs on. Purely a
+    /// performance knob: results are identical for both kinds, so caches
+    /// and summary keys ignore it.
+    pub domain: DomainKind,
     /// Function ids whose bodies are "in the current crate" and therefore
     /// available to the Whole-program condition. `None` means every body is
     /// available; functions outside the set are treated like pre-compiled
@@ -133,6 +155,7 @@ impl Default for AnalysisParams {
     fn default() -> Self {
         AnalysisParams {
             condition: Condition::MODULAR,
+            domain: DomainKind::default(),
             available_bodies: None,
             memoize_summaries: false,
             max_recursion_depth: 32,
@@ -215,5 +238,12 @@ mod tests {
         assert_eq!(p.condition, Condition::MUT_BLIND);
         assert!(!p.memoize_summaries);
         assert_eq!(p.max_recursion_depth, 32);
+    }
+
+    #[test]
+    fn indexed_domain_is_the_default() {
+        assert_eq!(AnalysisParams::default().domain, DomainKind::Indexed);
+        assert_eq!(DomainKind::default(), DomainKind::Indexed);
+        assert_ne!(DomainKind::Indexed, DomainKind::Tree);
     }
 }

@@ -14,8 +14,9 @@
 //!   fixpoint.
 
 use crate::aliases::{AliasAnalysis, AliasMode};
-use crate::condition::AnalysisParams;
+use crate::condition::{AnalysisParams, DomainKind};
 use crate::deps::{Dep, DepSet, Theta, ThetaExt};
+use crate::indexed::{DomainTables, IndexedTheta};
 use crate::places::{interior_places_with_derefs, readable_places, transitive_refs};
 use crate::summary::FunctionSummary;
 use flowistry_dataflow::engine::{iterate_to_fixpoint, Analysis};
@@ -27,6 +28,7 @@ use flowistry_lang::types::{FnSig, FuncId, Ty};
 use flowistry_lang::CompiledProgram;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 /// A CFG adapter exposing a MIR [`Body`] to the dataflow crate.
 pub struct BodyGraph<'a> {
@@ -82,8 +84,10 @@ impl Graph for BodyGraph<'_> {
 /// and the incremental engine's content-addressed cache).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CachedSummary {
-    /// The callee's caller-visible effects.
-    pub summary: FunctionSummary,
+    /// The callee's caller-visible effects. `Arc`'d so cloning a cached
+    /// entry — which happens for every seed lookup the analysis makes — is
+    /// a refcount bump, not a deep copy of the mutation list.
+    pub summary: Arc<FunctionSummary>,
     /// Whether computing the summary crossed a crate boundary (§5.4.2);
     /// propagated into every analysis that consumes the cached entry so
     /// [`InfoFlowResults::hit_boundary`] matches a from-scratch run.
@@ -114,30 +118,188 @@ impl SummaryStore for HashMap<FuncId, CachedSummary> {
 ///
 /// `seeds` is the caller-provided summary store (borrowed, so seeding is
 /// O(1) no matter how many functions the engine has cached); `memo` is the
-/// per-run memo table filled when `memoize_summaries` is on.
+/// per-run memo table filled when `memoize_summaries` is on. Shared between
+/// the tree and indexed analysis paths (both recurse through
+/// [`resolve_callee_summary`]).
 #[derive(Default)]
-struct SharedCtx<'s> {
-    stack: Vec<FuncId>,
-    seeds: Option<&'s dyn SummaryStore>,
-    memo: HashMap<FuncId, CachedSummary>,
+pub(crate) struct SharedCtx<'s> {
+    pub(crate) stack: Vec<FuncId>,
+    pub(crate) seeds: Option<&'s dyn SummaryStore>,
+    pub(crate) memo: HashMap<FuncId, CachedSummary>,
 }
 
 /// The results of analyzing one function under one condition.
 ///
-/// `PartialEq`/`Eq` compare every per-location dependency context, so the
-/// engine's "identical to a from-scratch `analyze`" guarantee can be tested
-/// exactly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Internally the per-location states are stored in whichever
+/// representation the analysis ran on ([`DomainKind`]): tree-map Θ, or the
+/// indexed bitset form, which decodes to [`Theta`] views lazily on first
+/// access (computing results stays cheap; only queried functions pay the
+/// conversion, once). `PartialEq`/`Eq` compare every per-location
+/// dependency context *semantically* — representation never matters — so
+/// the engine's "identical to a from-scratch `analyze`" guarantee can be
+/// tested exactly, across domains.
+#[derive(Debug, Clone)]
 pub struct InfoFlowResults {
     func: FuncId,
-    entry_states: Vec<Theta>,
-    after_states: Vec<Vec<Theta>>,
-    exit_theta: Theta,
     hit_boundary: bool,
     iterations: usize,
+    repr: Repr,
 }
 
+#[derive(Debug, Clone)]
+enum Repr {
+    Tree {
+        entry_states: Vec<Theta>,
+        after_states: Vec<Vec<Theta>>,
+        exit_theta: Theta,
+    },
+    Indexed(Box<IndexedStates>),
+}
+
+/// Indexed states plus their lazily decoded tree views.
+#[derive(Debug)]
+struct IndexedStates {
+    tables: Arc<DomainTables>,
+    entry: Vec<IndexedTheta>,
+    after: Vec<Vec<IndexedTheta>>,
+    exit: IndexedTheta,
+    decoded_entry: OnceLock<Vec<Theta>>,
+    decoded_after: OnceLock<Vec<Vec<Theta>>>,
+    decoded_exit: OnceLock<Theta>,
+}
+
+impl IndexedStates {
+    fn decoded_entry(&self) -> &[Theta] {
+        self.decoded_entry.get_or_init(|| {
+            self.entry
+                .iter()
+                .map(|s| s.to_theta(&self.tables))
+                .collect()
+        })
+    }
+
+    fn decoded_after(&self) -> &[Vec<Theta>] {
+        self.decoded_after.get_or_init(|| {
+            self.after
+                .iter()
+                .map(|block| block.iter().map(|s| s.to_theta(&self.tables)).collect())
+                .collect()
+        })
+    }
+
+    fn decoded_exit(&self) -> &Theta {
+        self.decoded_exit
+            .get_or_init(|| self.exit.to_theta(&self.tables))
+    }
+}
+
+impl Clone for IndexedStates {
+    fn clone(&self) -> Self {
+        fn clone_lock<T: Clone>(lock: &OnceLock<T>) -> OnceLock<T> {
+            let out = OnceLock::new();
+            if let Some(value) = lock.get() {
+                let _ = out.set(value.clone());
+            }
+            out
+        }
+        IndexedStates {
+            tables: self.tables.clone(),
+            entry: self.entry.clone(),
+            after: self.after.clone(),
+            exit: self.exit.clone(),
+            decoded_entry: clone_lock(&self.decoded_entry),
+            decoded_after: clone_lock(&self.decoded_after),
+            decoded_exit: clone_lock(&self.decoded_exit),
+        }
+    }
+}
+
+impl PartialEq for InfoFlowResults {
+    fn eq(&self, other: &Self) -> bool {
+        if self.func != other.func
+            || self.hit_boundary != other.hit_boundary
+            || self.iterations != other.iterations
+        {
+            return false;
+        }
+        // Fast path: two indexed results over the same interning compare
+        // index-for-index, no decoding. Deterministic compilation means two
+        // runs of the same function produce identical tables.
+        if let (Repr::Indexed(a), Repr::Indexed(b)) = (&self.repr, &other.repr) {
+            if Arc::ptr_eq(&a.tables, &b.tables) || a.tables == b.tables {
+                return a.entry == b.entry && a.after == b.after && a.exit == b.exit;
+            }
+        }
+        self.entry_states() == other.entry_states()
+            && self.after_states() == other.after_states()
+            && self.exit_theta() == other.exit_theta()
+    }
+}
+
+impl Eq for InfoFlowResults {}
+
 impl InfoFlowResults {
+    pub(crate) fn from_tree(
+        func: FuncId,
+        entry_states: Vec<Theta>,
+        after_states: Vec<Vec<Theta>>,
+        exit_theta: Theta,
+        hit_boundary: bool,
+        iterations: usize,
+    ) -> InfoFlowResults {
+        InfoFlowResults {
+            func,
+            hit_boundary,
+            iterations,
+            repr: Repr::Tree {
+                entry_states,
+                after_states,
+                exit_theta,
+            },
+        }
+    }
+
+    pub(crate) fn from_indexed(
+        func: FuncId,
+        tables: Arc<DomainTables>,
+        entry: Vec<IndexedTheta>,
+        after: Vec<Vec<IndexedTheta>>,
+        exit: IndexedTheta,
+        hit_boundary: bool,
+        iterations: usize,
+    ) -> InfoFlowResults {
+        InfoFlowResults {
+            func,
+            hit_boundary,
+            iterations,
+            repr: Repr::Indexed(Box::new(IndexedStates {
+                tables,
+                entry,
+                after,
+                exit,
+                decoded_entry: OnceLock::new(),
+                decoded_after: OnceLock::new(),
+                decoded_exit: OnceLock::new(),
+            })),
+        }
+    }
+
+    /// Tree views of all block entry states (decoding on first use).
+    fn entry_states(&self) -> &[Theta] {
+        match &self.repr {
+            Repr::Tree { entry_states, .. } => entry_states,
+            Repr::Indexed(ix) => ix.decoded_entry(),
+        }
+    }
+
+    /// Tree views of all per-statement after states (decoding on first use).
+    fn after_states(&self) -> &[Vec<Theta>] {
+        match &self.repr {
+            Repr::Tree { after_states, .. } => after_states,
+            Repr::Indexed(ix) => ix.decoded_after(),
+        }
+    }
+
     /// The analyzed function.
     pub fn func(&self) -> FuncId {
         self.func
@@ -145,27 +307,30 @@ impl InfoFlowResults {
 
     /// The dependency context at the entry of a basic block.
     pub fn entry_state(&self, block: BasicBlock) -> &Theta {
-        &self.entry_states[block.index()]
+        &self.entry_states()[block.index()]
     }
 
     /// The dependency context immediately *before* the instruction at `loc`.
     pub fn state_before(&self, loc: Location) -> &Theta {
         if loc.statement_index == 0 {
-            &self.entry_states[loc.block.index()]
+            &self.entry_states()[loc.block.index()]
         } else {
-            &self.after_states[loc.block.index()][loc.statement_index - 1]
+            &self.after_states()[loc.block.index()][loc.statement_index - 1]
         }
     }
 
     /// The dependency context immediately *after* the instruction at `loc`.
     pub fn state_after(&self, loc: Location) -> &Theta {
-        &self.after_states[loc.block.index()][loc.statement_index]
+        &self.after_states()[loc.block.index()][loc.statement_index]
     }
 
     /// The join of Θ over all return locations — the "exit of the CFG" used
     /// by the paper's evaluation metric.
     pub fn exit_theta(&self) -> &Theta {
-        &self.exit_theta
+        match &self.repr {
+            Repr::Tree { exit_theta, .. } => exit_theta,
+            Repr::Indexed(ix) => ix.decoded_exit(),
+        }
     }
 
     /// Dependencies of `place` observable just before `loc`.
@@ -176,7 +341,7 @@ impl InfoFlowResults {
     /// Dependencies of a local variable at function exit (the size of this
     /// set is the paper's per-variable metric).
     pub fn exit_deps_of_local(&self, local: Local) -> DepSet {
-        self.exit_theta.read_conflicts(&Place::from_local(local))
+        self.exit_theta().read_conflicts(&Place::from_local(local))
     }
 
     /// `(local, dependency set)` for every user-visible variable (named
@@ -213,18 +378,18 @@ impl InfoFlowResults {
             .collect()
     }
 
-    /// Decomposes the results into their raw fields, in the order
+    /// Decomposes the results into their raw tree-view fields, in the order
     /// [`InfoFlowResults::from_raw_parts`] accepts them. This is the hook a
-    /// wire codec needs: `PartialEq` compares exactly these fields, so
+    /// wire codec needs: `PartialEq` compares exactly these views, so
     /// encoding them and rebuilding via `from_raw_parts` round-trips to an
-    /// equal value.
+    /// equal value. Indexed results decode fully (once, cached) here.
     #[allow(clippy::type_complexity)]
     pub fn raw_parts(&self) -> (FuncId, &[Theta], &[Vec<Theta>], &Theta, bool, usize) {
         (
             self.func,
-            &self.entry_states,
-            &self.after_states,
-            &self.exit_theta,
+            self.entry_states(),
+            self.after_states(),
+            self.exit_theta(),
             self.hit_boundary,
             self.iterations,
         )
@@ -243,14 +408,14 @@ impl InfoFlowResults {
         hit_boundary: bool,
         iterations: usize,
     ) -> InfoFlowResults {
-        InfoFlowResults {
+        InfoFlowResults::from_tree(
             func,
             entry_states,
             after_states,
             exit_theta,
             hit_boundary,
             iterations,
-        }
+        )
     }
 }
 
@@ -275,7 +440,23 @@ pub fn analyze(
     params: &AnalysisParams,
 ) -> InfoFlowResults {
     let ctx = RefCell::new(SharedCtx::default());
-    analyze_inner(program, func, params, &ctx)
+    analyze_dispatch(program, func, params, &ctx)
+}
+
+/// Runs the analysis on whichever state representation
+/// [`AnalysisParams::domain`] selects. Both paths share the recursion
+/// context, so whole-program recursion stays on one representation all the
+/// way down.
+pub(crate) fn analyze_dispatch(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+    ctx: &RefCell<SharedCtx<'_>>,
+) -> InfoFlowResults {
+    match params.domain {
+        DomainKind::Indexed => crate::indexed::analyze_indexed_inner(program, func, params, ctx),
+        DomainKind::Tree => analyze_inner(program, func, params, ctx),
+    }
 }
 
 /// Like [`analyze`], but seeds the callee-summary cache with precomputed
@@ -300,7 +481,7 @@ pub fn analyze_with_summaries(
         seeds: Some(summaries),
         memo: HashMap::new(),
     });
-    analyze_inner(program, func, params, &ctx)
+    analyze_dispatch(program, func, params, &ctx)
 }
 
 /// Computes just the [`FunctionSummary`] of `func` (plus its boundary flag),
@@ -327,10 +508,63 @@ pub fn compute_summary_with_results(
 ) -> (CachedSummary, InfoFlowResults) {
     let results = analyze_with_summaries(program, func, params, summaries);
     let entry = CachedSummary {
-        summary: FunctionSummary::from_exit_state(program.body(func), results.exit_theta()),
+        summary: Arc::new(FunctionSummary::from_exit_state(
+            program.body(func),
+            results.exit_theta(),
+        )),
         hit_boundary: results.hit_boundary(),
     };
     (entry, results)
+}
+
+/// Computes (or fetches) the summary of callee `func`, shared by the tree
+/// and indexed transfer functions. Seeded summaries are consulted first,
+/// then the per-run memo table; a miss recursively analyzes the callee's
+/// body on the current [`DomainKind`]. Returns `None` on recursion cycles
+/// or when the depth limit is hit (callers fall back to the modular rule).
+/// Boundary flags of cached and recursive results propagate into
+/// `hit_boundary`.
+pub(crate) fn resolve_callee_summary(
+    program: &CompiledProgram,
+    func: FuncId,
+    params: &AnalysisParams,
+    ctx: &RefCell<SharedCtx<'_>>,
+    hit_boundary: &Cell<bool>,
+) -> Option<Arc<FunctionSummary>> {
+    {
+        let ctx_ref = ctx.borrow();
+        let cached = ctx_ref
+            .seeds
+            .and_then(|seeds| seeds.lookup(func))
+            .or_else(|| ctx_ref.memo.get(&func).cloned());
+        if let Some(cached) = cached {
+            if cached.hit_boundary {
+                hit_boundary.set(true);
+            }
+            return Some(cached.summary);
+        }
+        if ctx_ref.stack.contains(&func) || ctx_ref.stack.len() >= params.max_recursion_depth {
+            return None;
+        }
+    }
+    let callee_results = analyze_dispatch(program, func, params, ctx);
+    let summary = Arc::new(FunctionSummary::from_exit_state(
+        program.body(func),
+        callee_results.exit_theta(),
+    ));
+    if callee_results.hit_boundary() {
+        hit_boundary.set(true);
+    }
+    if params.memoize_summaries {
+        ctx.borrow_mut().memo.insert(
+            func,
+            CachedSummary {
+                summary: summary.clone(),
+                hit_boundary: callee_results.hit_boundary(),
+            },
+        );
+    }
+    Some(summary)
 }
 
 fn analyze_inner(
@@ -397,14 +631,14 @@ fn analyze_inner(
 
     ctx.borrow_mut().stack.pop();
 
-    InfoFlowResults {
+    InfoFlowResults::from_tree(
         func,
         entry_states,
         after_states,
         exit_theta,
-        hit_boundary: analysis.hit_boundary.get(),
-        iterations: fixpoint.iterations(),
-    }
+        analysis.hit_boundary.get(),
+        fixpoint.iterations(),
+    )
 }
 
 struct FlowAnalysis<'a, 's> {
@@ -690,44 +924,15 @@ impl FlowAnalysis<'_, '_> {
 
     /// Computes (or fetches) the callee's summary, re-analyzing its body.
     /// Returns `None` on recursion cycles or when the depth limit is hit.
-    ///
-    /// Seeded summaries ([`analyze_with_summaries`]) are consulted first,
-    /// then the per-run memo table (filled only when `memoize_summaries`
-    /// is set). Plain [`analyze`] without memoization has neither, so its
-    /// naive-recursion behavior is unchanged.
-    fn callee_summary(&self, func: FuncId) -> Option<FunctionSummary> {
-        {
-            let ctx = self.ctx.borrow();
-            let cached = ctx
-                .seeds
-                .and_then(|seeds| seeds.lookup(func))
-                .or_else(|| ctx.memo.get(&func).cloned());
-            if let Some(cached) = cached {
-                if cached.hit_boundary {
-                    self.hit_boundary.set(true);
-                }
-                return Some(cached.summary);
-            }
-            if ctx.stack.contains(&func) || ctx.stack.len() >= self.params.max_recursion_depth {
-                return None;
-            }
-        }
-        let callee_results = analyze_inner(self.program, func, self.params, self.ctx);
-        let summary =
-            FunctionSummary::from_exit_state(self.program.body(func), callee_results.exit_theta());
-        if callee_results.hit_boundary() {
-            self.hit_boundary.set(true);
-        }
-        if self.params.memoize_summaries {
-            self.ctx.borrow_mut().memo.insert(
-                func,
-                CachedSummary {
-                    summary: summary.clone(),
-                    hit_boundary: callee_results.hit_boundary(),
-                },
-            );
-        }
-        Some(summary)
+    /// Shared with the indexed path — see [`resolve_callee_summary`].
+    fn callee_summary(&self, func: FuncId) -> Option<Arc<FunctionSummary>> {
+        resolve_callee_summary(
+            self.program,
+            func,
+            self.params,
+            self.ctx,
+            &self.hit_boundary,
+        )
     }
 }
 

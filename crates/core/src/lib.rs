@@ -19,6 +19,13 @@
 //! * [`infoflow`] — the forward dataflow pass tying it all together (§4.1),
 //!   including control dependence.
 //!
+//! The fixpoint runs, by default, on an *indexed* state representation:
+//! places and dependencies are interned into dense `u32`s per body, the
+//! state is a bitset matrix with copy-on-write rows, and every transfer
+//! function is compiled to an index-level plan before iteration starts.
+//! The original tree-map Θ is kept behind [`DomainKind::Tree`] as an escape
+//! hatch; both produce bit-for-bit identical [`InfoFlowResults`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -46,12 +53,13 @@
 pub mod aliases;
 pub mod condition;
 pub mod deps;
+mod indexed;
 pub mod infoflow;
 pub mod places;
 pub mod summary;
 
 pub use aliases::{AliasAnalysis, AliasMode};
-pub use condition::{AnalysisParams, Condition};
+pub use condition::{AnalysisParams, Condition, DomainKind};
 pub use deps::{Dep, DepSet, Theta, ThetaExt};
 pub use infoflow::{
     analyze, analyze_with_summaries, compute_summary, compute_summary_with_results, BodyGraph,

@@ -25,13 +25,13 @@ impl JoinSemiLattice for bool {
 
 impl<T: Ord + Clone> JoinSemiLattice for std::collections::BTreeSet<T> {
     fn join(&mut self, other: &Self) -> bool {
-        let before = self.len();
+        let mut changed = false;
         for item in other {
-            if !self.contains(item) {
-                self.insert(item.clone());
-            }
+            // `insert` already reports whether the value was new — no
+            // `contains` pre-check, no second tree descent.
+            changed |= self.insert(item.clone());
         }
-        self.len() != before
+        changed
     }
 }
 

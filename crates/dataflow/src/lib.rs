@@ -9,7 +9,10 @@
 //! * [`dominators`] — dominator and post-dominator trees via the
 //!   Cooper–Harvey–Kennedy "simple, fast dominance" algorithm;
 //! * [`control_deps`] — control dependence via post-dominance frontiers
-//!   (Ferrante et al. / Cytron et al.).
+//!   (Ferrante et al. / Cytron et al.);
+//! * [`indexed`] — interned domains, hybrid bitsets and copy-on-write
+//!   bit-matrices, the dense state representation the information flow
+//!   fixpoint runs on.
 //!
 //! The crate is deliberately generic: graphs are just `usize`-indexed nodes
 //! with successor/predecessor functions, so the engine is reusable for any
@@ -21,8 +24,10 @@ pub mod control_deps;
 pub mod dominators;
 pub mod engine;
 pub mod graph;
+pub mod indexed;
 
 pub use control_deps::ControlDependencies;
 pub use dominators::{DominatorTree, PostDominatorTree};
 pub use engine::{Analysis, AnalysisResults, JoinSemiLattice};
 pub use graph::{Graph, VecGraph};
+pub use indexed::{BitSet, IndexMatrix, IndexedDomain};

@@ -354,7 +354,7 @@ fn parse_line(line: &str) -> Option<(SummaryKey, CachedSummary)> {
     Some((
         SummaryKey(key),
         CachedSummary {
-            summary,
+            summary: std::sync::Arc::new(summary),
             hit_boundary,
         },
     ))
@@ -392,14 +392,14 @@ mod tests {
 
     fn sample_entry() -> CachedSummary {
         CachedSummary {
-            summary: FunctionSummary {
+            summary: std::sync::Arc::new(FunctionSummary {
                 mutations: vec![SummaryMutation {
                     param: Local(1),
                     projection: vec![PlaceElem::Deref, PlaceElem::Field(2)],
                     sources: [Local(2), Local(3)].into_iter().collect(),
                 }],
                 return_sources: [Local(1)].into_iter().collect(),
-            },
+            }),
             hit_boundary: true,
         }
     }
@@ -418,7 +418,10 @@ mod tests {
     fn summary_codec_roundtrips() {
         let entry = sample_entry();
         let encoded = entry.summary.encode();
-        assert_eq!(FunctionSummary::decode(&encoded), Some(entry.summary));
+        assert_eq!(
+            FunctionSummary::decode(&encoded).map(std::sync::Arc::new),
+            Some(entry.summary)
+        );
         // Inert summary too.
         let inert = FunctionSummary::default();
         assert_eq!(FunctionSummary::decode(&inert.encode()), Some(inert));
@@ -456,7 +459,7 @@ mod tests {
         cache.insert(
             SummaryKey(0xBEEF),
             CachedSummary {
-                summary: FunctionSummary::default(),
+                summary: std::sync::Arc::default(),
                 hit_boundary: false,
             },
         );

@@ -155,7 +155,7 @@ impl AnalysisSnapshot {
     /// The published summary of `func`, if the run produced one (external
     /// functions have none).
     pub fn summary(&self, func: FuncId) -> Option<&FunctionSummary> {
-        self.inner.summaries.get(&func).map(|e| &e.summary)
+        self.inner.summaries.get(&func).map(|e| e.summary.as_ref())
     }
 
     /// The full per-location analysis results for `func`, served from the

@@ -44,7 +44,9 @@ pub use flowistry_slicer as slicer;
 
 /// The most commonly used items, for `use flowistry::prelude::*`.
 pub mod prelude {
-    pub use flowistry_core::{analyze, AnalysisParams, Condition, Dep, DepSet, Theta, ThetaExt};
+    pub use flowistry_core::{
+        analyze, AnalysisParams, Condition, Dep, DepSet, DomainKind, Theta, ThetaExt,
+    };
     pub use flowistry_engine::{
         AnalysisEngine, AnalysisSnapshot, EngineConfig, FlowService, QueryRequest, QueryResponse,
         ServiceConfig,

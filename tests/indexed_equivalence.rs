@@ -1,0 +1,211 @@
+//! Bit-equality of the indexed dataflow domain against the tree domain.
+//!
+//! The indexed representation (`DomainKind::Indexed`, the default) must be
+//! a pure performance change: for every program, function and condition it
+//! has to produce `InfoFlowResults` that compare equal to the tree-map Θ
+//! path (`DomainKind::Tree`), and therefore identical function summaries
+//! and backward slices. This suite asserts exactly that over
+//!
+//! * the full generated corpus (all ten profile crates), and
+//! * proptest-style randomly generated programs exercising branches,
+//!   loops, references, aggregates and calls.
+
+use flowistry::prelude::*;
+use flowistry_core::FunctionSummary;
+use flowistry_corpus::{generate_corpus, DEFAULT_SEED};
+use flowistry_lang::mir::Place;
+use flowistry_lang::types::FuncId;
+use proptest::prelude::*;
+
+fn params(condition: Condition, domain: DomainKind) -> AnalysisParams {
+    AnalysisParams {
+        condition,
+        domain,
+        ..AnalysisParams::default()
+    }
+}
+
+/// Analyzes `func` under both domains and asserts every observable output
+/// is identical: the full per-location results, the extracted summary, and
+/// the backward slice of the return place at every return location.
+fn assert_equivalent(
+    program: &CompiledProgram,
+    func: FuncId,
+    base: &AnalysisParams,
+    context: &str,
+) {
+    let tree = analyze(
+        program,
+        func,
+        &AnalysisParams {
+            domain: DomainKind::Tree,
+            ..base.clone()
+        },
+    );
+    let indexed = analyze(
+        program,
+        func,
+        &AnalysisParams {
+            domain: DomainKind::Indexed,
+            ..base.clone()
+        },
+    );
+    let body = program.body(func);
+    assert_eq!(
+        tree, indexed,
+        "results differ for `{}` under {} ({context})",
+        body.name, base.condition
+    );
+    assert_eq!(
+        tree.iterations(),
+        indexed.iterations(),
+        "iteration counts differ for `{}` ({context})",
+        body.name
+    );
+    assert_eq!(tree.hit_boundary(), indexed.hit_boundary());
+
+    let tree_summary = FunctionSummary::from_exit_state(body, tree.exit_theta());
+    let indexed_summary = FunctionSummary::from_exit_state(body, indexed.exit_theta());
+    assert_eq!(
+        tree_summary, indexed_summary,
+        "summaries differ for `{}` ({context})",
+        body.name
+    );
+
+    for loc in body.return_locations() {
+        assert_eq!(
+            tree.backward_slice(&Place::return_place(), loc),
+            indexed.backward_slice(&Place::return_place(), loc),
+            "backward slices at {loc} differ for `{}` ({context})",
+            body.name
+        );
+    }
+}
+
+/// Every function of every corpus crate, under the modular condition (the
+/// paper's headline analysis and the hot path of every layer above).
+#[test]
+fn corpus_modular_results_are_bit_identical() {
+    let mut checked = 0usize;
+    for krate in generate_corpus(DEFAULT_SEED) {
+        let base = params(Condition::MODULAR, DomainKind::Indexed);
+        for &func in &krate.crate_funcs {
+            assert_equivalent(&krate.program, func, &base, &krate.name);
+            checked += 1;
+        }
+    }
+    assert!(checked > 300, "corpus shrank: only {checked} functions");
+}
+
+/// The remaining headline conditions (whole-program, mut-blind, ref-blind)
+/// on two representative crates: `rayon` (reference-light) and `sccache`
+/// (call- and boundary-heavy). The modular condition is covered corpus-wide
+/// above. Whole-program runs with summary memoization to keep the
+/// naive-recursion cost bounded; the naive path is covered by the
+/// random-program suite below and by the core unit tests.
+#[test]
+fn corpus_headline_conditions_are_bit_identical() {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    for krate in [&corpus[0], &corpus[3]] {
+        for condition in Condition::headline_four() {
+            if condition == Condition::MODULAR {
+                continue;
+            }
+            let base = AnalysisParams {
+                condition,
+                available_bodies: Some(krate.available_bodies()),
+                memoize_summaries: condition.whole_program,
+                ..AnalysisParams::default()
+            };
+            for &func in &krate.crate_funcs {
+                assert_equivalent(&krate.program, func, &base, &krate.name);
+            }
+        }
+    }
+}
+
+/// Seeded summary stores must behave identically too: computing every
+/// summary bottom-up (the engine's unit of work) and re-serving analyses
+/// from the seeds yields the same summaries on both domains.
+#[test]
+fn corpus_seeded_summaries_are_bit_identical() {
+    use flowistry_core::{compute_summary, CachedSummary};
+    use std::collections::HashMap;
+
+    let krate = &generate_corpus(DEFAULT_SEED)[1];
+    let mut by_domain = Vec::new();
+    for domain in [DomainKind::Tree, DomainKind::Indexed] {
+        let base = AnalysisParams {
+            condition: Condition::WHOLE_PROGRAM,
+            domain,
+            available_bodies: Some(krate.available_bodies()),
+            ..AnalysisParams::default()
+        };
+        let mut store: HashMap<FuncId, CachedSummary> = HashMap::new();
+        // Positional order is good enough for seeding here: a missing callee
+        // summary just means the analysis recurses, which must also match.
+        for &func in &krate.crate_funcs {
+            let entry = compute_summary(&krate.program, func, &base, &store);
+            store.insert(func, entry);
+        }
+        by_domain.push(store);
+    }
+    assert_eq!(by_domain[0].len(), by_domain[1].len());
+    for (func, tree_entry) in &by_domain[0] {
+        assert_eq!(
+            Some(tree_entry),
+            by_domain[1].get(func),
+            "seeded summary differs for {func:?}"
+        );
+    }
+}
+
+/// Builds a small function from a random recipe of statements over four
+/// mutable scalars, two helpers (one mutating through `&mut`, one reading
+/// through `&`), branches and a loop — enough to exercise every transfer
+/// rule of the analysis.
+fn program_from_recipe(ops: &[(u8, usize, usize)]) -> String {
+    let mut body = String::from(
+        "fn bump(p: &mut i32, v: i32) { *p = *p + v; }\n\
+         fn read_pair(a: &i32, b: i32) -> i32 { return *a + b; }\n\
+         fn f(a: i32, b: i32, c: i32, d: i32) -> i32 {\n",
+    );
+    body.push_str(
+        "    let mut v0 = a;\n    let mut v1 = b;\n    let mut v2 = c;\n    let mut v3 = d;\n    let mut t = (a, b);\n",
+    );
+    for (kind, x, y) in ops {
+        let x = x % 4;
+        let y = y % 4;
+        match kind % 8 {
+            0 => body.push_str(&format!("    v{x} = v{x} + v{y};\n")),
+            1 => body.push_str(&format!("    v{x} = v{y} * 2;\n")),
+            2 => body.push_str(&format!("    if v{y} > 0 {{ v{x} = v{x} + 1; }}\n")),
+            3 => body.push_str(&format!("    while v{x} > v{y} {{ v{x} = v{x} - 1; }}\n")),
+            4 => body.push_str(&format!("    bump(&mut v{x}, v{y});\n")),
+            5 => body.push_str(&format!("    v{x} = read_pair(&v{y}, v{x});\n")),
+            6 => body.push_str(&format!("    t = (v{x}, v{y});\n")),
+            _ => body.push_str(&format!("    t.{} = v{y};\n", x % 2)),
+        }
+    }
+    body.push_str("    return v0 + v1 + t.0;\n}\n");
+    body
+}
+
+proptest! {
+    /// Random programs: the two domains agree on every function, under the
+    /// four headline conditions, including naive (unmemoized) whole-program
+    /// recursion.
+    #[test]
+    fn random_programs_are_bit_identical(
+        ops in prop::collection::vec((0u8..8, 0usize..4, 0usize..4), 1..10),
+    ) {
+        let src = program_from_recipe(&ops);
+        let program = compile(&src).expect("generated program compiles");
+        for condition in Condition::headline_four() {
+            let base = params(condition, DomainKind::Indexed);
+            for i in 0..program.bodies.len() {
+                assert_equivalent(&program, FuncId(i as u32), &base, "random");
+            }
+        }
+    }
+}
