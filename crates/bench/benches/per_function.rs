@@ -15,6 +15,7 @@ use flowistry_core::{analyze, AnalysisParams, DomainKind};
 use flowistry_corpus::{generate_crate, paper_profiles, DEFAULT_SEED};
 use flowistry_eval::json::Json;
 use flowistry_lang::compile;
+use flowistry_obs::{Registry, Span};
 use std::time::Instant;
 
 /// Minimum speedup of the indexed domain over the tree domain on the
@@ -140,5 +141,90 @@ fn speedup_gate(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_per_function, speedup_gate);
+/// Maximum tolerated slowdown of the telemetry-instrumented sweep over
+/// the plain sweep. Telemetry sits at per-function granularity (one span
+/// plus one histogram observation per summary computation — the fixpoint
+/// inner loop is deliberately uninstrumented), so its cost must vanish
+/// next to the analysis itself.
+const MAX_TELEMETRY_OVERHEAD: f64 = 1.05;
+
+/// Like [`timed_sweep`], but wrapping each per-function analysis in
+/// exactly the telemetry the engine's scheduler adds: an RAII span feeding
+/// a latency histogram, plus a functions-analyzed counter increment.
+fn instrumented_sweep(krate: &flowistry_corpus::GeneratedCrate, registry: &Registry) -> f64 {
+    let params = params_for(DomainKind::Indexed);
+    let histogram = registry.histogram(
+        "bench_summary_compute_seconds",
+        "per-function analysis latency (overhead gate)",
+    );
+    let analyzed = registry.counter(
+        "bench_functions_analyzed_total",
+        "functions analyzed (overhead gate)",
+    );
+    let start = Instant::now();
+    for &func in &krate.crate_funcs {
+        let _span = Span::enter_with("summary_compute", krate.program.body(func).name.as_str())
+            .with_histogram(histogram.clone());
+        let results = analyze(&krate.program, func, &params);
+        assert!(results.iterations() > 0);
+        analyzed.inc();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The telemetry overhead gate: on the large-body profile, the
+/// instrumented sweep must stay within [`MAX_TELEMETRY_OVERHEAD`] of the
+/// plain sweep. Min-of-3, interleaved, so one scheduling hiccup cannot
+/// decide either side.
+fn telemetry_overhead_gate(_c: &mut Criterion) {
+    // Events off, as in a production server without FLOWISTRY_LOG: the
+    // gate measures the always-on metrics path (span timing + histogram
+    // observation), not stderr formatting.
+    flowistry_obs::set_max_level(flowistry_obs::Level::Off);
+    let profile = paper_profiles()
+        .into_iter()
+        .find(|p| p.name == "rav1e")
+        .expect("rav1e profile exists");
+    let krate = generate_crate(&profile, DEFAULT_SEED);
+    let registry = Registry::new();
+
+    // Warm-up, untimed.
+    let _ = timed_sweep(&krate, DomainKind::Indexed);
+
+    let (mut plain, mut instrumented) = (f64::MAX, f64::MAX);
+    for _ in 0..3 {
+        let (secs, _, _) = timed_sweep(&krate, DomainKind::Indexed);
+        plain = plain.min(secs);
+        instrumented = instrumented.min(instrumented_sweep(&krate, &registry));
+    }
+    let ratio = instrumented / plain.max(1e-12);
+    println!(
+        "per_function/telemetry_overhead ({}): plain {:.1} ms vs instrumented {:.1} ms => {:.3}x",
+        krate.name,
+        plain * 1e3,
+        instrumented * 1e3,
+        ratio
+    );
+    assert_eq!(
+        registry
+            .counter("bench_functions_analyzed_total", "")
+            .value() as usize,
+        3 * krate.crate_funcs.len(),
+        "instrumentation must have recorded every function"
+    );
+    assert!(
+        ratio <= MAX_TELEMETRY_OVERHEAD,
+        "per-function telemetry costs {:.1}% (> {:.0}% budget): \
+         plain {plain:.4}s vs instrumented {instrumented:.4}s",
+        (ratio - 1.0) * 100.0,
+        (MAX_TELEMETRY_OVERHEAD - 1.0) * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_per_function,
+    speedup_gate,
+    telemetry_overhead_gate
+);
 criterion_main!(benches);

@@ -190,15 +190,18 @@ impl SummaryCache {
 
     /// Closes one engine run: advances the generation and evicts every
     /// entry that has not been touched for more than `max_age` runs.
-    pub fn end_generation(&self, max_age: u64) {
+    /// Returns how many entries were evicted.
+    pub fn end_generation(&self, max_age: u64) -> usize {
         let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         let cutoff = generation.saturating_sub(max_age);
+        let mut evicted = 0usize;
         for shard in &self.shards {
-            shard
-                .lock()
-                .expect("cache shard lock")
-                .retain(|_, e| e.last_seen >= cutoff);
+            let mut guard = shard.lock().expect("cache shard lock");
+            let before = guard.len();
+            guard.retain(|_, e| e.last_seen >= cutoff);
+            evicted += before - guard.len();
         }
+        evicted
     }
 
     /// Drops every entry.
@@ -299,7 +302,10 @@ impl SummaryCache {
     /// ever held entries (loaded non-empty, or inserted into) is always
     /// written, even when empty now — that is how this process's evictions
     /// reach disk.
-    pub fn save(&self, base: &Path) -> io::Result<()> {
+    ///
+    /// Returns how many entries were written across all shard files.
+    pub fn save(&self, base: &Path) -> io::Result<usize> {
+        let mut written = 0usize;
         for (index, shard) in self.shards.iter().enumerate() {
             let guard = shard.lock().expect("cache shard lock");
             if guard.is_empty() && !self.ever_nonempty[index].load(Ordering::Relaxed) {
@@ -312,6 +318,7 @@ impl SummaryCache {
                 writeln!(out, "{HEADER_V2}")?;
                 let mut keys: Vec<&SummaryKey> = guard.keys().collect();
                 keys.sort();
+                written += keys.len();
                 for key in keys {
                     let entry = &guard[key].value;
                     writeln!(
@@ -335,7 +342,7 @@ impl SummaryCache {
         if self.loaded_legacy.load(Ordering::Relaxed) {
             remove_legacy_file(base);
         }
-        Ok(())
+        Ok(written)
     }
 }
 

@@ -94,6 +94,7 @@ use flowistry_core::{
 };
 use flowistry_lang::types::FuncId;
 use flowistry_lang::{function_content_hash, CallGraph, CompiledProgram, StableHasher};
+use flowistry_obs::{Counter, Histogram, Registry, Span};
 use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -126,6 +127,11 @@ pub struct EngineConfig {
     /// snapshot; eviction is invisible to callers — recomputed answers are
     /// bit-identical.
     pub results_capacity: usize,
+    /// Metrics registry the engine (and any [`FlowService`] built on it)
+    /// records into. `None` (the default) uses the process-wide
+    /// [`Registry::global`]; tests that assert exact tallies pass their own
+    /// registry so parallel tests stay isolated.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +143,7 @@ impl Default for EngineConfig {
             cache_path: None,
             cache_retention: 8,
             results_capacity: 4096,
+            metrics: None,
         }
     }
 }
@@ -176,6 +183,65 @@ impl EngineConfig {
     pub fn with_results_capacity(mut self, capacity: usize) -> Self {
         self.results_capacity = capacity.max(1);
         self
+    }
+
+    /// Records metrics into `registry` instead of the process-wide
+    /// [`Registry::global`].
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+}
+
+/// The engine's pre-resolved metric handles: looked up once at
+/// construction so the hot paths (per-function summary computation, run
+/// accounting) never touch the registry's lock.
+#[derive(Clone)]
+pub(crate) struct EngineMetrics {
+    /// Wall-clock of each fresh summary computation. Callee summaries are
+    /// computed under their own spans (or come from the cache/store), so
+    /// this is per-function self-time.
+    pub summary_compute: Arc<Histogram>,
+    pub functions_analyzed: Arc<Counter>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
+    pub steals: Arc<Counter>,
+    pub cache_evictions: Arc<Counter>,
+    pub cache_persisted: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            summary_compute: registry.histogram(
+                "flow_engine_summary_compute_seconds",
+                "Wall-clock self-time of each freshly computed function summary",
+            ),
+            functions_analyzed: registry.counter(
+                "flow_engine_functions_analyzed_total",
+                "Function summaries computed by running the analysis",
+            ),
+            cache_hits: registry.counter(
+                "flow_engine_cache_hits_total",
+                "Function summaries served from the summary cache",
+            ),
+            cache_misses: registry.counter(
+                "flow_engine_cache_misses_total",
+                "Summary cache lookups that required a fresh analysis",
+            ),
+            steals: registry.counter(
+                "flow_engine_steals_total",
+                "Successful deque steals in the work-stealing scheduler",
+            ),
+            cache_evictions: registry.counter(
+                "flow_engine_cache_evictions_total",
+                "Summary cache entries evicted by generation retention",
+            ),
+            cache_persisted: registry.counter(
+                "flow_engine_cache_persisted_entries_total",
+                "Summary cache entries written to disk",
+            ),
+        }
     }
 }
 
@@ -232,6 +298,10 @@ pub struct AnalysisEngine {
     cache: SummaryCache,
     epoch: u64,
     current: Option<AnalysisSnapshot>,
+    /// The registry metrics record into (configured or the global one).
+    registry: Arc<Registry>,
+    /// Handles pre-resolved from `registry` at construction.
+    metrics: EngineMetrics,
 }
 
 impl AnalysisEngine {
@@ -245,6 +315,11 @@ impl AnalysisEngine {
         };
         let call_graph = Arc::new(CallGraph::extract(&program));
         let keys = Arc::new(compute_keys(&program, &call_graph, &config.params));
+        let registry = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Registry::global().clone());
+        let metrics = EngineMetrics::new(&registry);
         AnalysisEngine {
             program,
             config,
@@ -253,7 +328,16 @@ impl AnalysisEngine {
             cache,
             epoch: 0,
             current: None,
+            registry,
+            metrics,
         }
+    }
+
+    /// The metrics registry this engine records into — the configured one,
+    /// or [`Registry::global`] by default. A [`FlowService`] built on this
+    /// engine inherits it.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The program currently served (shared, not borrowed).
@@ -348,11 +432,18 @@ impl AnalysisEngine {
         // fresh inserts alike) and evict entries idle for too many runs.
         let used: Vec<SummaryKey> = summaries.keys().map(|&f| self.key(f)).collect();
         self.cache.touch(used);
-        self.cache.end_generation(self.config.cache_retention);
+        let evicted = self.cache.end_generation(self.config.cache_retention);
+
+        self.metrics.functions_analyzed.add(stats.analyzed as u64);
+        self.metrics.cache_hits.add(stats.cache_hits as u64);
+        self.metrics.cache_misses.add(stats.analyzed as u64);
+        self.metrics.steals.add(stats.steals as u64);
+        self.metrics.cache_evictions.add(evicted as u64);
 
         if let Some(path) = &self.config.cache_path {
-            if let Err(e) = self.cache.save(path) {
-                eprintln!("warning: could not persist summary cache: {e}");
+            match self.cache.save(path) {
+                Ok(persisted) => self.metrics.cache_persisted.add(persisted as u64),
+                Err(e) => flowistry_obs::warn!("could not persist summary cache: {e}"),
             }
         }
 
@@ -431,6 +522,7 @@ impl AnalysisEngine {
             &self.cache,
             threads,
             self.config.results_capacity,
+            &self.metrics,
         );
         let stats = RunStats {
             analyzed: outcome.analyzed,
@@ -517,6 +609,9 @@ impl AnalysisEngine {
             .map(|&func| match self.cache.get(self.key(func)) {
                 Some(entry) => (func, entry, None),
                 None => {
+                    let _span =
+                        Span::enter_with("summary_compute", self.program.body(func).name.as_str())
+                            .with_histogram(self.metrics.summary_compute.clone());
                     let (entry, full) = compute_summary_with_results(
                         &self.program,
                         func,

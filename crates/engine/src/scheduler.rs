@@ -29,7 +29,7 @@
 //! observe each other's freshly computed summaries.
 
 use crate::cache::SummaryCache;
-use crate::SummaryKey;
+use crate::{EngineMetrics, SummaryKey};
 use flowistry_core::{
     compute_summary_with_results, AnalysisParams, CachedSummary, InfoFlowResults, SummaryStore,
 };
@@ -88,8 +88,8 @@ fn parse_thread_env(raw: &str) -> Option<usize> {
         Ok(n) => Some(n),
         Err(_) => {
             if !WARNED_MALFORMED_THREADS.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "warning: ignoring malformed FLOWISTRY_ENGINE_THREADS value {raw:?}; \
+                flowistry_obs::warn!(
+                    "ignoring malformed FLOWISTRY_ENGINE_THREADS value {raw:?}; \
                      using available parallelism"
                 );
             }
@@ -176,7 +176,10 @@ pub(crate) struct WorkStealingOutcome {
 
 /// Runs summary computation over the condensation with `workers` work-
 /// stealing workers, resolving each function against `cache` and seeding
-/// analyses from the concurrent store.
+/// analyses from the concurrent store. Each fresh summary computation runs
+/// under a `summary_compute` span feeding `metrics.summary_compute` — the
+/// fixpoint inner loop itself stays uninstrumented.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_work_stealing(
     program: &CompiledProgram,
     call_graph: &CallGraph,
@@ -185,6 +188,7 @@ pub(crate) fn run_work_stealing(
     cache: &SummaryCache,
     workers: usize,
     results_capacity: usize,
+    metrics: &EngineMetrics,
 ) -> WorkStealingOutcome {
     let num_sccs = call_graph.sccs().len();
     let workers = workers.clamp(1, num_sccs.max(1));
@@ -269,6 +273,11 @@ pub(crate) fn run_work_stealing(
                     match cache.get(key) {
                         Some(entry) => produced.push((func, entry, None)),
                         None => {
+                            let _span = flowistry_obs::Span::enter_with(
+                                "summary_compute",
+                                program.body(func).name.as_str(),
+                            )
+                            .with_histogram(metrics.summary_compute.clone());
                             let (entry, full) =
                                 compute_summary_with_results(program, func, params, &store);
                             cache.insert(key, entry.clone());
@@ -434,6 +443,16 @@ mod tests {
         let cache = SummaryCache::new();
         // An empty key table makes the first component's key lookup panic
         // inside a worker.
-        run_work_stealing(&program, &call_graph, &params, &[], &cache, 2, 4096);
+        let metrics = crate::EngineMetrics::new(&flowistry_obs::Registry::new());
+        run_work_stealing(
+            &program,
+            &call_graph,
+            &params,
+            &[],
+            &cache,
+            2,
+            4096,
+            &metrics,
+        );
     }
 }

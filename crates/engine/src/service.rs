@@ -55,10 +55,12 @@ use flowistry_ifc::{IfcPolicy, IfcReport};
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
+use flowistry_obs::{Counter, Gauge, Histogram, Registry, Span, TraceIdGuard};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`FlowService`].
 #[derive(Debug, Clone)]
@@ -127,6 +129,36 @@ pub enum QueryRequest {
     CheckIfc(IfcPolicy),
     /// Service health: current epoch, queue depth, counters.
     Stats,
+    /// A Prometheus-style text snapshot of the metrics registry the
+    /// service records into.
+    Metrics,
+}
+
+impl QueryRequest {
+    /// The request-kind labels, in [`QueryRequest::kind_index`] order —
+    /// what the per-kind metric series (`flow_service_requests_total{kind=…}`
+    /// and friends) are labeled with.
+    pub const KINDS: [&'static str; 7] = [
+        "summary", "results", "slice", "slice_at", "ifc", "stats", "metrics",
+    ];
+
+    /// Index of this request's kind into [`QueryRequest::KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            QueryRequest::Summary(_) => 0,
+            QueryRequest::Results(_) => 1,
+            QueryRequest::BackwardSlice { .. } => 2,
+            QueryRequest::BackwardSliceAt { .. } => 3,
+            QueryRequest::CheckIfc(_) => 4,
+            QueryRequest::Stats => 5,
+            QueryRequest::Metrics => 6,
+        }
+    }
+
+    /// The request-kind label (`"summary"`, `"slice_at"`, …).
+    pub fn kind_str(&self) -> &'static str {
+        QueryRequest::KINDS[self.kind_index()]
+    }
 }
 
 /// The answer to one [`QueryRequest`], variant-matched to the request.
@@ -145,6 +177,9 @@ pub enum QueryResponse {
     CheckIfc(Vec<IfcReport>),
     /// Answer to [`QueryRequest::Stats`].
     Stats(ServiceStats),
+    /// Answer to [`QueryRequest::Metrics`]: the registry rendered as
+    /// Prometheus text exposition.
+    Metrics(String),
     /// The request could not be served: unknown function id, out-of-range
     /// place or location, or the query panicked (the message then carries
     /// the panic payload). The service itself stays up.
@@ -161,6 +196,11 @@ pub struct QueryEnvelope {
     pub epoch: u64,
     /// The answer itself.
     pub response: QueryResponse,
+    /// The caller-supplied trace id of the request this answers, echoed
+    /// back verbatim (see [`FlowService::submit_traced`]). `None` for
+    /// untraced requests — the wire format then omits it, which is also
+    /// what pre-trace-id peers produce and expect.
+    pub trace_id: Option<String>,
 }
 
 /// Service health counters, served by [`QueryRequest::Stats`].
@@ -223,6 +263,75 @@ impl ResponseSlot {
 struct Job {
     request: QueryRequest,
     slot: Arc<ResponseSlot>,
+    /// Caller-supplied trace id, echoed in the envelope and installed on
+    /// the serving worker for the duration of the request.
+    trace_id: Option<String>,
+    /// When the job entered the queue — queue-wait and total latency are
+    /// measured from here.
+    submitted: Instant,
+}
+
+/// Per-request-kind metric handles, indexed by
+/// [`QueryRequest::kind_index`].
+struct KindMetrics {
+    requests: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    compute: Arc<Histogram>,
+    total: Arc<Histogram>,
+}
+
+/// The service's pre-resolved metric handles.
+struct ServiceMetrics {
+    kinds: Vec<KindMetrics>,
+    queue_depth: Arc<Gauge>,
+    update_swap: Arc<Histogram>,
+    updates_applied: Arc<Counter>,
+    updates_failed: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &Registry) -> ServiceMetrics {
+        let kinds = QueryRequest::KINDS
+            .iter()
+            .map(|kind| KindMetrics {
+                requests: registry.counter(
+                    &format!("flow_service_requests_total{{kind=\"{kind}\"}}"),
+                    "Requests served by the FlowService worker pool",
+                ),
+                queue_wait: registry.histogram(
+                    &format!("flow_service_request_queue_seconds{{kind=\"{kind}\"}}"),
+                    "Time a request waited in the service queue before a worker picked it up",
+                ),
+                compute: registry.histogram(
+                    &format!("flow_service_request_compute_seconds{{kind=\"{kind}\"}}"),
+                    "Time a worker spent computing a request's answer",
+                ),
+                total: registry.histogram(
+                    &format!("flow_service_request_seconds{{kind=\"{kind}\"}}"),
+                    "Total submit-to-answer latency of a request",
+                ),
+            })
+            .collect();
+        ServiceMetrics {
+            kinds,
+            queue_depth: registry.gauge(
+                "flow_service_queue_depth",
+                "Requests currently waiting in the service queue",
+            ),
+            update_swap: registry.histogram(
+                "flow_service_update_swap_seconds",
+                "Background re-analysis duration, from picking up an update to swapping its snapshot in",
+            ),
+            updates_applied: registry.counter(
+                "flow_service_updates_applied_total",
+                "Background updates whose snapshot was swapped in",
+            ),
+            updates_failed: registry.counter(
+                "flow_service_updates_failed_total",
+                "Background updates whose re-analysis panicked",
+            ),
+        }
+    }
 }
 
 struct ServiceShared {
@@ -241,6 +350,10 @@ struct ServiceShared {
     served: AtomicU64,
     updates_applied: AtomicU64,
     updates_failed: AtomicU64,
+    /// The registry this service records into (inherited from the engine);
+    /// also what [`QueryRequest::Metrics`] renders.
+    registry: Arc<Registry>,
+    metrics: ServiceMetrics,
 }
 
 /// A long-lived query service over one evolving program: see the [module
@@ -265,6 +378,8 @@ impl FlowService {
         let snapshot = engine.snapshot();
         let base_epoch = snapshot.epoch();
         let workers = resolve_worker_threads(config.workers);
+        let registry = engine.metrics_registry().clone();
+        let metrics = ServiceMetrics::new(&registry);
         let shared = Arc::new(ServiceShared {
             queue: Mutex::new(VecDeque::new()),
             queue_capacity: config.queue_capacity.max(1),
@@ -281,6 +396,8 @@ impl FlowService {
             served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
             updates_failed: AtomicU64::new(0),
+            registry,
+            metrics,
         });
 
         let worker_handles = (0..workers)
@@ -312,6 +429,15 @@ impl FlowService {
     /// Enqueues a request and returns a [`Ticket`] to poll or wait on.
     /// Blocks while the queue is at capacity (backpressure).
     pub fn submit(&self, request: QueryRequest) -> Ticket {
+        self.submit_traced(request, None)
+    }
+
+    /// Like [`FlowService::submit`], but tags the request with a caller
+    /// trace id: it is echoed in the answer's
+    /// [`QueryEnvelope::trace_id`] and installed on the serving worker
+    /// thread while the request runs, so every span and log event the
+    /// request touches carries it.
+    pub fn submit_traced(&self, request: QueryRequest, trace_id: Option<String>) -> Ticket {
         let slot = Arc::new(ResponseSlot {
             filled: Mutex::new(None),
             ready: Condvar::new(),
@@ -319,6 +445,8 @@ impl FlowService {
         let job = Job {
             request,
             slot: slot.clone(),
+            trace_id,
+            submitted: Instant::now(),
         };
         let mut queue = self.shared.queue.lock().expect("service queue lock");
         while queue.len() >= self.shared.queue_capacity {
@@ -329,6 +457,7 @@ impl FlowService {
                 .expect("service queue lock");
         }
         queue.push_back(job);
+        self.shared.metrics.queue_depth.add(1);
         drop(queue);
         self.shared.not_empty.notify_one();
         Ticket { slot }
@@ -390,6 +519,13 @@ impl FlowService {
         let snapshot = self.snapshot();
         stats_from(&self.shared, &snapshot)
     }
+
+    /// The metrics registry this service (and its engine) records into —
+    /// what a [`QueryRequest::Metrics`] answer renders. Servers in front
+    /// of the service register their own wire-level metrics here.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
 }
 
 impl Drop for FlowService {
@@ -429,6 +565,7 @@ impl Drop for FlowService {
         if !leftovers.is_empty() {
             let snapshot = self.shared.snapshot.read().expect("snapshot lock").clone();
             for job in leftovers {
+                self.shared.metrics.queue_depth.sub(1);
                 self.shared.served.fetch_add(1, Ordering::Relaxed);
                 serve_job(&self.shared, &snapshot, job);
             }
@@ -495,6 +632,7 @@ fn serve(
         }
         QueryRequest::CheckIfc(policy) => QueryResponse::CheckIfc(snapshot.check_ifc(policy)),
         QueryRequest::Stats => QueryResponse::Stats(stats_from(shared, snapshot)),
+        QueryRequest::Metrics => QueryResponse::Metrics(shared.registry.render_prometheus()),
     }
 }
 
@@ -561,14 +699,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Serves `job` against `snapshot` and fills its ticket, converting a panic
 /// into a [`QueryResponse::Error`] carrying the panic message.
+///
+/// This is also where the per-kind request accounting happens: the
+/// requests counter, the queue-wait observation (submit → here), the
+/// compute span, and the total latency observation — so requests answered
+/// by the shutdown drain are tallied exactly like worker-served ones.
 fn serve_job(shared: &ServiceShared, snapshot: &AnalysisSnapshot, job: Job) {
-    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        serve(shared, snapshot, job.request)
-    }))
-    .unwrap_or_else(|payload| QueryResponse::Error(panic_message(payload.as_ref())));
-    job.slot.fill(QueryEnvelope {
+    let Job {
+        request,
+        slot,
+        trace_id,
+        submitted,
+    } = job;
+    let kind = &shared.metrics.kinds[request.kind_index()];
+    kind.requests.inc();
+    kind.queue_wait.observe(submitted.elapsed());
+    let _trace = TraceIdGuard::install(trace_id.clone());
+    let response = {
+        let _span = Span::enter_with("serve_request", request.kind_str())
+            .with_histogram(kind.compute.clone());
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(shared, snapshot, request)
+        }))
+        .unwrap_or_else(|payload| QueryResponse::Error(panic_message(payload.as_ref())))
+    };
+    kind.total.observe(submitted.elapsed());
+    slot.fill(QueryEnvelope {
         epoch: snapshot.epoch(),
         response,
+        trace_id,
     });
 }
 
@@ -587,6 +746,7 @@ fn worker_loop(shared: &ServiceShared) {
             }
         };
         let Some(job) = job else { break };
+        shared.metrics.queue_depth.sub(1);
         shared.not_full.notify_one();
 
         // Pin the epoch for this whole request: the clone is two Arc bumps,
@@ -617,6 +777,7 @@ fn updater_loop(shared: &ServiceShared) {
             }
         };
         let Some(program) = program else { break };
+        let swap_started = Instant::now();
 
         // Re-analyze on this thread — warm from the engine's summary cache,
         // parallel via the work-stealing scheduler — while queries keep
@@ -641,12 +802,15 @@ fn updater_loop(shared: &ServiceShared) {
                 // see the new one.
                 *shared.snapshot.write().expect("snapshot lock") = snapshot;
                 shared.updates_applied.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.updates_applied.inc();
+                shared.metrics.update_swap.observe(swap_started.elapsed());
                 epoch
             }
             Err(payload) => {
                 shared.updates_failed.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "warning: FlowService background re-analysis panicked{}; \
+                shared.metrics.updates_failed.inc();
+                flowistry_obs::warn!(
+                    "FlowService background re-analysis panicked{}; \
                      keeping the previous snapshot",
                     panic_detail(payload.as_ref())
                         .map(|msg| format!(" ({msg})"))

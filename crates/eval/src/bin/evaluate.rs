@@ -42,6 +42,7 @@ struct Scale {
     noninterference_funcs: usize,
     noninterference_trials: usize,
     slowdown_depth: usize,
+    service_requests: usize,
 }
 
 impl Scale {
@@ -54,6 +55,7 @@ impl Scale {
             noninterference_funcs: 30,
             noninterference_trials: 8,
             slowdown_depth: 6,
+            service_requests: 50,
         }
     }
 
@@ -66,6 +68,7 @@ impl Scale {
             noninterference_funcs: 5,
             noninterference_trials: 2,
             slowdown_depth: 4,
+            service_requests: 12,
         }
     }
 }
@@ -119,6 +122,7 @@ fn main() {
         }
         "perf" => run_perf(seed, scale, out_dir),
         "engine" => run_engine(seed, scale, out_dir),
+        "service-latency" => run_service_latency(seed, scale, out_dir),
         "noninterference" => run_noninterference(seed, scale),
         cmd => {
             // Everything else needs the corpus measured under the four
@@ -255,6 +259,24 @@ fn run_engine(seed: u64, scale: Scale, out_dir: &Path) {
     let report = flowistry_eval::measure_incremental(scale.engine_profile, seed);
     println!("{}", flowistry_eval::render_incremental(&report));
     write_json(out_dir.join("engine.json"), &report);
+}
+
+fn run_service_latency(seed: u64, scale: Scale, out_dir: &Path) {
+    eprintln!("measuring loopback service latency (8 traced TCP clients)...");
+    let report = flowistry_eval::measure_service_latency(
+        scale.engine_profile,
+        seed,
+        8,
+        scale.service_requests,
+    );
+    println!("{}", flowistry_eval::render_service_latency(&report));
+    write_json(out_dir.join("service_latency.json"), &report);
+    // The repo-root benchmark artifact CI parses and the README links.
+    let bench = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_service_latency.json"
+    );
+    write_json(std::path::PathBuf::from(bench), &report);
 }
 
 fn run_noninterference(seed: u64, scale: Scale) {

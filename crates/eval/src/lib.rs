@@ -25,6 +25,7 @@ pub mod json;
 pub mod measure;
 pub mod perf;
 pub mod report;
+pub mod service_latency;
 
 pub use engine_perf::{measure_incremental, render_incremental, IncrementalReport};
 pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, DiffStats};
@@ -34,3 +35,6 @@ pub use measure::{
     measure_crate_engine_only, CrateMeasurements, VariableRecord,
 };
 pub use perf::{measure_slowdown, stress_source, SlowdownReport};
+pub use service_latency::{
+    measure_service_latency, render_service_latency, KindLatency, ServiceLatencyReport,
+};

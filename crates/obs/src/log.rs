@@ -1,0 +1,429 @@
+//! The event/span side of the observability layer: leveled structured
+//! logging with an environment filter, a pluggable sink, RAII span timers,
+//! and a thread-local trace id stamped on everything a request touches.
+//!
+//! The level filter is read once from `FLOWISTRY_LOG`
+//! (`off|error|warn|info|debug`, default `warn`) and cached in an atomic,
+//! so the per-call-site cost of a disabled [`debug!`] is one relaxed load
+//! — arguments are not even formatted. [`set_max_level`] overrides the
+//! environment (tests, `--stats-interval` style flags).
+//!
+//! [`Span`] is the timing primitive: it notes an [`Instant`] on creation
+//! and, on drop, logs its elapsed time at debug level and (optionally)
+//! feeds it into a [`Histogram`]. Spans and events both carry the current
+//! thread's trace id, installed scoped via [`TraceIdGuard`].
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Log verbosity, ordered so `level <= max_level()` is the enabled check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing, not even errors — `FLOWISTRY_LOG=off`.
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by `FLOWISTRY_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses one `FLOWISTRY_LOG` value. Case-insensitive; surrounding
+/// whitespace tolerated; anything unrecognized is `None` (the caller falls
+/// back to the default rather than guessing).
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(Level::Off),
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Default level when `FLOWISTRY_LOG` is unset or unparseable: warnings
+/// stay visible (matching the previous ad-hoc `eprintln!` behavior) but
+/// info/debug are quiet.
+pub const DEFAULT_LEVEL: Level = Level::Warn;
+
+/// Sentinel meaning "not yet read from the environment".
+const LEVEL_UNINIT: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+fn level_from_u8(v: u8) -> Level {
+    match v {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// The current maximum level. First call reads `FLOWISTRY_LOG`; later
+/// calls are one relaxed atomic load.
+pub fn max_level() -> Level {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNINIT {
+        return level_from_u8(v);
+    }
+    let level = std::env::var("FLOWISTRY_LOG")
+        .ok()
+        .and_then(|s| parse_level(&s))
+        .unwrap_or(DEFAULT_LEVEL);
+    // A racing set_max_level wins: only replace the uninit sentinel.
+    let _ = MAX_LEVEL.compare_exchange(
+        LEVEL_UNINIT,
+        level as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    level_from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Overrides the level filter, taking precedence over `FLOWISTRY_LOG`.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `level` currently pass the filter.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && level <= max_level()
+}
+
+/// One log event, as handed to the sink.
+#[derive(Debug)]
+pub struct Record<'a> {
+    pub level: Level,
+    /// Module/component that emitted it (`module_path!` in the macros).
+    pub target: &'a str,
+    pub message: &'a str,
+    /// Trace id of the request being served, when one is installed.
+    pub trace_id: Option<&'a str>,
+}
+
+type Sink = Box<dyn Fn(&Record<'_>) + Send + Sync>;
+
+fn sink_slot() -> &'static RwLock<Option<Arc<Sink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<Sink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Replaces the global sink. `None`-like reset is not provided: pass a
+/// closure. The default (no sink installed) writes one line per record to
+/// stderr.
+pub fn set_sink(sink: impl Fn(&Record<'_>) + Send + Sync + 'static) {
+    *sink_slot().write().expect("log sink lock") = Some(Arc::new(Box::new(sink)));
+}
+
+/// Routes one record to the sink (or stderr). Called by the macros after
+/// the level check; callable directly when the message is preformatted.
+pub fn emit(level: Level, target: &str, message: &str) {
+    if !enabled(level) {
+        return;
+    }
+    with_trace_id(|trace_id| {
+        let record = Record {
+            level,
+            target,
+            message,
+            trace_id,
+        };
+        let sink = sink_slot().read().expect("log sink lock").clone();
+        match sink {
+            Some(sink) => sink(&record),
+            None => {
+                let tid = match record.trace_id {
+                    Some(t) => format!(" [{t}]"),
+                    None => String::new(),
+                };
+                eprintln!(
+                    "[{}] {}{tid}: {}",
+                    record.level.as_str(),
+                    record.target,
+                    record.message
+                );
+            }
+        }
+    });
+}
+
+/// Logs at error level. Arguments are formatted only when the level is
+/// enabled.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Error) {
+            $crate::emit($crate::Level::Error, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Warn) {
+            $crate::emit($crate::Level::Warn, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at info level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Info) {
+            $crate::emit($crate::Level::Info, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at debug level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Debug) {
+            $crate::emit($crate::Level::Debug, module_path!(), &format!($($arg)*));
+        }
+    };
+}
+
+thread_local! {
+    static TRACE_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current thread's trace id (if any).
+pub fn with_trace_id<R>(f: impl FnOnce(Option<&str>) -> R) -> R {
+    TRACE_ID.with(|slot| f(slot.borrow().as_deref()))
+}
+
+/// The current thread's trace id, cloned.
+pub fn current_trace_id() -> Option<String> {
+    TRACE_ID.with(|slot| slot.borrow().clone())
+}
+
+/// Installs a trace id on the current thread for a scope; restores the
+/// previous one (usually `None`) on drop, so worker threads serving many
+/// requests never leak an id across requests.
+pub struct TraceIdGuard {
+    previous: Option<String>,
+}
+
+impl TraceIdGuard {
+    /// Installs `trace_id` (a `None` installs "no id", still restoring the
+    /// previous value on drop).
+    pub fn install(trace_id: Option<String>) -> TraceIdGuard {
+        let previous = TRACE_ID.with(|slot| slot.replace(trace_id));
+        TraceIdGuard { previous }
+    }
+}
+
+impl Drop for TraceIdGuard {
+    fn drop(&mut self) {
+        TRACE_ID.with(|slot| {
+            *slot.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// An RAII timer: records its elapsed time on drop, as a debug event and
+/// (optionally) a [`Histogram`] observation. The current trace id is
+/// captured by the drop-time event like any other.
+///
+/// The histogram observation happens regardless of log level — metrics
+/// and events are filtered independently.
+pub struct Span {
+    name: &'static str,
+    /// Free-form detail appended to the drop event (function name, request
+    /// kind); empty when unused.
+    detail: String,
+    start: Instant,
+    histogram: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    /// Starts a span.
+    pub fn enter(name: &'static str) -> Span {
+        Span {
+            name,
+            detail: String::new(),
+            start: Instant::now(),
+            histogram: None,
+        }
+    }
+
+    /// Starts a span with a detail string (e.g. the function under
+    /// analysis).
+    pub fn enter_with(name: &'static str, detail: impl Into<String>) -> Span {
+        let mut span = Span::enter(name);
+        span.detail = detail.into();
+        span
+    }
+
+    /// Also feed the elapsed time into `histogram` on drop.
+    pub fn with_histogram(mut self, histogram: Arc<Histogram>) -> Span {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Elapsed time so far (the drop records the final value).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        if let Some(h) = &self.histogram {
+            h.observe(elapsed);
+        }
+        if enabled(Level::Debug) {
+            let detail = if self.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", self.detail)
+            };
+            emit(
+                Level::Debug,
+                "flowistry_obs::span",
+                &format!(
+                    "{}{detail}: {:.1}us",
+                    self.name,
+                    elapsed.as_nanos() as f64 / 1e3
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn parse_level_accepts_documented_values() {
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("warn"), Some(Level::Warn));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level("info"), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("  DEBUG "), Some(Level::Debug));
+        assert_eq!(parse_level("Off"), Some(Level::Off));
+        assert_eq!(parse_level(""), None);
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level("2"), None);
+    }
+
+    #[test]
+    fn levels_order_off_lowest() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    /// The filter, sink, and trace-id plumbing share process-global state,
+    /// so one test exercises them in sequence rather than racing parallel
+    /// tests against `set_max_level`.
+    #[test]
+    fn filter_sink_and_trace_ids_work_end_to_end() {
+        static SEEN: Mutex<Vec<(Level, Option<String>, String)>> = Mutex::new(Vec::new());
+        static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+        if INSTALLED.fetch_add(1, Ordering::SeqCst) == 0 {
+            set_sink(|record| {
+                SEEN.lock().unwrap().push((
+                    record.level,
+                    record.trace_id.map(str::to_string),
+                    record.message.to_string(),
+                ));
+            });
+        }
+
+        // `off` silences everything, even errors.
+        set_max_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        crate::error!("must not appear");
+        assert!(SEEN.lock().unwrap().is_empty());
+
+        // `warn` (the default) passes warn and error, drops info/debug.
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        crate::warn!("w{}", 1);
+        crate::info!("must not appear");
+        {
+            let seen = SEEN.lock().unwrap();
+            assert_eq!(seen.len(), 1);
+            assert_eq!(seen[0].0, Level::Warn);
+            assert_eq!(seen[0].1, None);
+            assert_eq!(seen[0].2, "w1");
+        }
+
+        // Trace ids are scoped: present inside the guard, restored after.
+        set_max_level(Level::Debug);
+        {
+            let _guard = TraceIdGuard::install(Some("req-7".into()));
+            assert_eq!(current_trace_id().as_deref(), Some("req-7"));
+            {
+                let _inner = TraceIdGuard::install(Some("req-8".into()));
+                assert_eq!(current_trace_id().as_deref(), Some("req-8"));
+            }
+            assert_eq!(current_trace_id().as_deref(), Some("req-7"));
+            crate::debug!("traced");
+        }
+        assert_eq!(current_trace_id(), None);
+        {
+            let seen = SEEN.lock().unwrap();
+            let last = seen.last().unwrap();
+            assert_eq!(last.1.as_deref(), Some("req-7"));
+            assert_eq!(last.2, "traced");
+        }
+
+        // Spans observe their histogram even when logging is off, and log
+        // a debug record when it is on.
+        let h = Arc::new(Histogram::new());
+        set_max_level(Level::Off);
+        {
+            let _span = Span::enter("quiet").with_histogram(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        let silent_events = SEEN.lock().unwrap().len();
+        set_max_level(Level::Debug);
+        {
+            let _span = Span::enter_with("loud", "fn main").with_histogram(h.clone());
+        }
+        assert_eq!(h.count(), 2);
+        {
+            let seen = SEEN.lock().unwrap();
+            assert_eq!(seen.len(), silent_events + 1);
+            assert!(seen.last().unwrap().2.starts_with("loud fn main:"));
+        }
+
+        set_max_level(DEFAULT_LEVEL);
+    }
+}

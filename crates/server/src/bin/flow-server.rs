@@ -4,13 +4,16 @@
 //!
 //! ```text
 //! flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+//!             [--stats-interval SECS]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
 //! address is printed as `flow-server listening on <addr>` so scripts can
 //! scrape it. `--workers` sizes the service's query pool and `--max-conns`
 //! the live-connection cap (`0` = `FLOWISTRY_ENGINE_THREADS` or available
-//! parallelism, like every engine pool).
+//! parallelism, like every engine pool). `--stats-interval SECS` (default
+//! off) logs a one-line traffic summary at info level every `SECS` seconds
+//! — visible with `FLOWISTRY_LOG=info`.
 
 use flowistry_core::{AnalysisParams, Condition};
 use flowistry_engine::{AnalysisEngine, EngineConfig, FlowService, ServiceConfig};
@@ -20,9 +23,38 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]"
+        "usage: flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--max-conns N] [--stats-interval SECS]"
     );
     ExitCode::from(2)
+}
+
+/// Spawns the detached `--stats-interval` logger: one info-level line per
+/// tick, read straight off the shared metrics registry. The thread never
+/// joins — the process exits out from under it when the server stops.
+fn spawn_stats_logger(registry: std::sync::Arc<flowistry_obs::Registry>, secs: u64) {
+    let connections = registry.counter("flow_server_connections_total", "");
+    let requests = registry.counter("flow_server_requests_total", "");
+    let decode_errors = registry.counter("flow_server_decode_errors_total", "");
+    let bytes_read = registry.counter("flow_server_bytes_read_total", "");
+    let bytes_written = registry.counter("flow_server_bytes_written_total", "");
+    let queue_depth = registry.gauge("flow_service_queue_depth", "");
+    std::thread::Builder::new()
+        .name("flow-stats".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            flowistry_obs::info!(
+                "stats: connections={} requests={} decode_errors={} \
+                 bytes_read={} bytes_written={} queue_depth={}",
+                connections.value(),
+                requests.value(),
+                decode_errors.value(),
+                bytes_read.value(),
+                bytes_written.value(),
+                queue_depth.value(),
+            );
+        })
+        .expect("spawn stats logger");
 }
 
 fn main() -> ExitCode {
@@ -32,6 +64,7 @@ fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut queue = 256usize;
     let mut max_conns = 0usize;
+    let mut stats_interval = 0u64;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -59,6 +92,12 @@ fn main() -> ExitCode {
                 Some(v) => max_conns = v,
                 None => return usage(),
             },
+            "--stats-interval" => {
+                match flag_value("--stats-interval").and_then(|v| v.parse().ok()) {
+                    Some(v) => stats_interval = v,
+                    None => return usage(),
+                }
+            }
             other if source_path.is_none() && !other.starts_with('-') => {
                 source_path = Some(other.to_string());
             }
@@ -72,17 +111,14 @@ fn main() -> ExitCode {
     let source = match std::fs::read_to_string(&source_path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("flow-server: cannot read {source_path}: {e}");
+            flowistry_obs::error!("cannot read {source_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
     let program = match flowistry_lang::compile(&source) {
         Ok(p) => p,
         Err(diag) => {
-            eprintln!(
-                "flow-server: {source_path} does not compile: {}",
-                diag.message
-            );
+            flowistry_obs::error!("{source_path} does not compile: {}", diag.message);
             return ExitCode::FAILURE;
         }
     };
@@ -106,14 +142,19 @@ fn main() -> ExitCode {
     ) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("flow-server: cannot bind {addr}: {e}");
+            flowistry_obs::error!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if stats_interval > 0 {
+        spawn_stats_logger(server.metrics_registry().clone(), stats_interval);
+    }
 
+    // Stays on stdout (not the logger): scripts scrape this line for the
+    // bound port, whatever FLOWISTRY_LOG is set to.
     println!("flow-server listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
     server.wait();
-    println!("flow-server shut down");
+    flowistry_obs::info!("flow-server shut down");
     ExitCode::SUCCESS
 }

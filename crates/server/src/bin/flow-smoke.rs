@@ -6,10 +6,13 @@
 //! connection.
 //!
 //! ```text
-//! flow-smoke <HOST:PORT> [--shutdown]
+//! flow-smoke <HOST:PORT> [--metrics] [--shutdown]
 //! ```
 //!
-//! With `--shutdown` the server is asked to stop after the checks (CI uses
+//! With `--metrics` the server's Prometheus snapshot is scraped twice
+//! (around one extra request), checked for the required series and for
+//! monotonically advancing counters, and echoed to stdout. With
+//! `--shutdown` the server is asked to stop after the checks (CI uses
 //! this to tear the background server down and assert a clean exit).
 
 use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
@@ -42,7 +45,62 @@ fn check(ok: bool, what: &str) -> Result<(), String> {
     }
 }
 
-fn run(addr: &str, shutdown: bool) -> Result<(), String> {
+/// The value of the first sample whose series name starts with `prefix`,
+/// from Prometheus exposition text.
+fn sample_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Scrapes metrics twice around one extra request and checks the required
+/// series are present with monotonically advancing counters.
+fn check_metrics(
+    client: &mut FlowClient,
+    fail: impl Fn(std::io::Error) -> String,
+) -> Result<(), String> {
+    let first = client.metrics().map_err(&fail)?;
+    for series in [
+        "flow_engine_functions_analyzed_total",
+        "flow_engine_cache_hits_total",
+        "flow_service_requests_total{kind=\"summary\"}",
+        "flow_service_request_seconds_count{kind=\"metrics\"}",
+        "flow_service_queue_depth",
+        "flow_server_connections_total",
+        "flow_server_requests_total",
+        "flow_server_bytes_read_total",
+        "flow_server_bytes_written_total",
+        "flow_server_request_wire_seconds_count{kind=\"stats\"}",
+    ] {
+        check(
+            sample_value(&first, series).is_some(),
+            &format!("metrics scrape contains {series}"),
+        )?;
+    }
+    // One more request in between: every wire/service counter it touches
+    // must advance by the second scrape.
+    client.stats().map_err(&fail)?;
+    let second = client.metrics().map_err(&fail)?;
+    for series in [
+        "flow_server_requests_total",
+        "flow_server_bytes_read_total",
+        "flow_server_bytes_written_total",
+        "flow_service_requests_total{kind=\"stats\"}",
+    ] {
+        let a = sample_value(&first, series).unwrap_or(0.0);
+        let b = sample_value(&second, series).unwrap_or(0.0);
+        check(
+            b > a,
+            &format!("{series} advanced across scrapes ({a} -> {b})"),
+        )?;
+    }
+    print!("{second}");
+    Ok(())
+}
+
+fn run(addr: &str, metrics: bool, shutdown: bool) -> Result<(), String> {
     let fail = |e: std::io::Error| format!("i/o against {addr}: {e}");
 
     // Phase 1, raw socket: garbage never kills the connection — each bad
@@ -167,6 +225,10 @@ fn run(addr: &str, shutdown: bool) -> Result<(), String> {
     check(stats.served > 0, "served counter advanced")?;
     check(stats.updates_applied > 0, "update was applied")?;
 
+    if metrics {
+        check_metrics(&mut client, fail)?;
+    }
+
     if shutdown {
         client.shutdown_server().map_err(fail)?;
     }
@@ -175,15 +237,23 @@ fn run(addr: &str, shutdown: bool) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (addr, shutdown) = match &args[..] {
-        [addr] => (addr.as_str(), false),
-        [addr, flag] if flag == "--shutdown" => (addr.as_str(), true),
-        _ => {
-            eprintln!("usage: flow-smoke <HOST:PORT> [--shutdown]");
-            return ExitCode::from(2);
-        }
+    let usage = || {
+        eprintln!("usage: flow-smoke <HOST:PORT> [--metrics] [--shutdown]");
+        ExitCode::from(2)
     };
-    match run(addr, shutdown) {
+    let mut addr = None;
+    let mut metrics = false;
+    let mut shutdown = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            "--shutdown" => shutdown = true,
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else { return usage() };
+    match run(addr, metrics, shutdown) {
         Ok(()) => {
             println!("flow-smoke OK");
             ExitCode::SUCCESS

@@ -40,7 +40,19 @@ impl FlowClient {
     /// each `submit` with one [`FlowClient::recv`]; responses come back in
     /// submission order.
     pub fn submit(&mut self, request: &QueryRequest) -> io::Result<()> {
-        let line = codec::encode_request(request);
+        self.submit_traced(request, None)
+    }
+
+    /// Like [`FlowClient::submit`], tagging the request with a client trace
+    /// id. The server echoes the id verbatim on the matching response
+    /// envelope and stamps it on its internal spans, so one request can be
+    /// followed through logs on both sides of the wire.
+    pub fn submit_traced(
+        &mut self,
+        request: &QueryRequest,
+        trace_id: Option<&str>,
+    ) -> io::Result<()> {
+        let line = codec::encode_request_traced(request, trace_id);
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         self.pending += 1;
@@ -107,6 +119,17 @@ impl FlowClient {
         match envelope.response {
             QueryResponse::Stats(stats) => Ok((envelope.epoch, stats)),
             other => Err(invalid_data(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Convenience: the server's metrics snapshot in Prometheus text
+    /// exposition format (every counter, gauge, and histogram the engine,
+    /// service, and wire layer report).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let envelope = self.query(&QueryRequest::Metrics)?;
+        match envelope.response {
+            QueryResponse::Metrics(text) => Ok(text),
+            other => Err(invalid_data(format!("expected metrics, got {other:?}"))),
         }
     }
 

@@ -15,6 +15,7 @@
 //! slice-at <func> <place> <blk> <st>  QueryRequest::BackwardSliceAt
 //! ifc <sinks> <producers> <params> <locals>   QueryRequest::CheckIfc
 //! stats                               QueryRequest::Stats
+//! metrics                             QueryRequest::Metrics
 //! update <nbytes>                     (then exactly <nbytes> source bytes + '\n')
 //! shutdown                            stop the whole server
 //! ```
@@ -43,6 +44,22 @@
 //! * **Θ (theta)**: `place=depset` pairs joined with `&`, empty `~`; lists
 //!   of thetas join with `|`, per-block lists join with `^`.
 //! * list fields that can be empty use `-` as the empty marker.
+//!
+//! # Trailing attributes (backward-compatible extension point)
+//!
+//! Request and response lines may carry trailing `key=value` tokens after
+//! their payload, where `key` matches `[a-z][a-z0-9_]*` and `value` is a
+//! percent-escaped string. Decoders strip them from the right before the
+//! arity check, recognize the keys they know, and ignore the rest — so new
+//! attributes never break old peers, and lines without any decode exactly
+//! as before. No payload token can be mistaken for an attribute: escaped
+//! strings never contain a bare `=` (it escapes to `%3D`), and the only
+//! payload tokens containing `=` are theta entries, whose key position is
+//! a place starting with a digit.
+//!
+//! The one attribute currently defined is `tid=<escaped trace id>`: a
+//! client stamps it on a request, and the server echoes it verbatim on
+//! that request's response envelope (see [`QueryEnvelope::trace_id`]).
 
 use flowistry_core::{FunctionSummary, InfoFlowResults, Theta};
 use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, RunStats, ServiceStats};
@@ -61,7 +78,13 @@ use flowistry_engine::FlowService;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// A [`QueryRequest`] to forward to the service.
-    Query(QueryRequest),
+    Query {
+        /// The decoded request.
+        request: QueryRequest,
+        /// The request's `tid=` attribute, if the client sent one — to be
+        /// echoed on the response envelope.
+        trace_id: Option<String>,
+    },
     /// `update <nbytes>`: the next `nbytes` bytes on the stream are the
     /// new program source, followed by one `\n`.
     Update {
@@ -109,6 +132,56 @@ fn unesc(s: &str) -> Result<String, String> {
         }
     }
     String::from_utf8(bytes).map_err(|_| "escaped string is not UTF-8".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Trailing attributes
+
+/// Whether `key` is a valid attribute key (`[a-z][a-z0-9_]*`) — the shape
+/// no payload token's prefix-before-`=` can take (see the module docs).
+fn is_attr_key(key: &str) -> bool {
+    let mut chars = key.chars();
+    matches!(chars.next(), Some('a'..='z'))
+        && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+}
+
+/// Splits trailing `key=value` attribute tokens off a field list, from the
+/// right, stopping at the first token that is not one. Returns the payload
+/// prefix and the attributes in line order.
+fn split_attrs<'a>(fields: &'a [&'a str]) -> (&'a [&'a str], Vec<(&'a str, &'a str)>) {
+    let mut split = fields.len();
+    while split > 0 {
+        match fields[split - 1].split_once('=') {
+            Some((key, _)) if is_attr_key(key) => split -= 1,
+            _ => break,
+        }
+    }
+    let attrs = fields[split..]
+        .iter()
+        .map(|token| token.split_once('=').expect("attr token has '='"))
+        .collect();
+    (&fields[..split], attrs)
+}
+
+/// Extracts the `tid` attribute (unescaped), ignoring unknown keys —
+/// that's the forward-compatibility contract: attributes this peer does
+/// not know about must not break decoding.
+fn trace_id_from_attrs(attrs: &[(&str, &str)]) -> Result<Option<String>, String> {
+    for (key, value) in attrs {
+        if *key == "tid" {
+            return unesc(value).map(Some);
+        }
+    }
+    Ok(None)
+}
+
+/// Appends ` tid=<escaped>` to `line` when a trace id is present.
+fn append_trace_id(mut line: String, trace_id: Option<&str>) -> String {
+    if let Some(tid) = trace_id {
+        line.push_str(" tid=");
+        line.push_str(&esc(tid));
+    }
+    line
 }
 
 // ---------------------------------------------------------------------------
@@ -510,7 +583,14 @@ pub fn encode_request(request: &QueryRequest) -> String {
             encode_pairs(&policy.secure_locals),
         ),
         QueryRequest::Stats => "stats".to_string(),
+        QueryRequest::Metrics => "metrics".to_string(),
     }
+}
+
+/// Like [`encode_request`], with a `tid=` attribute carrying `trace_id`
+/// for the server to echo on the response envelope.
+pub fn encode_request_traced(request: &QueryRequest, trace_id: Option<&str>) -> String {
+    append_trace_id(encode_request(request), trace_id)
 }
 
 /// Renders the `update` command line announcing `bytes` source bytes.
@@ -541,7 +621,9 @@ pub fn decode_update_ack(line: &str) -> Result<u64, String> {
 /// input comes back as a descriptive `Err` for the server to answer with an
 /// `error` response.
 pub fn decode_command(line: &str) -> Result<Command, String> {
-    let fields: Vec<&str> = line.split_whitespace().collect();
+    let all_fields: Vec<&str> = line.split_whitespace().collect();
+    let (fields, attrs) = split_attrs(&all_fields);
+    let trace_id = trace_id_from_attrs(&attrs)?;
     let request = match fields[..] {
         ["summary", func] => QueryRequest::Summary(FuncId(parse_num(func, "function id")?)),
         ["results", func] => QueryRequest::Results(FuncId(parse_num(func, "function id")?)),
@@ -564,6 +646,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
             insecure_sinks: decode_names(sinks)?,
         }),
         ["stats"] => QueryRequest::Stats,
+        ["metrics"] => QueryRequest::Metrics,
         ["update", bytes] => {
             return Ok(Command::Update {
                 bytes: parse_num(bytes, "byte count")?,
@@ -574,8 +657,9 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
         [verb, ..] => {
             // A known verb with the wrong arity deserves a better hint than
             // "unknown request" — it misdirects anyone debugging over `nc`.
-            const VERBS: [&str; 8] = [
-                "summary", "results", "slice", "slice-at", "ifc", "stats", "update", "shutdown",
+            const VERBS: [&str; 9] = [
+                "summary", "results", "slice", "slice-at", "ifc", "stats", "metrics", "update",
+                "shutdown",
             ];
             return Err(if VERBS.contains(&verb) {
                 format!("wrong number of arguments for {verb:?}")
@@ -584,7 +668,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
             });
         }
     };
-    Ok(Command::Query(request))
+    Ok(Command::Query { request, trace_id })
 }
 
 // ---------------------------------------------------------------------------
@@ -594,7 +678,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
 /// newline).
 pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
     let epoch = envelope.epoch;
-    match &envelope.response {
+    let line = match &envelope.response {
         QueryResponse::Summary(None) => format!("summary {epoch} -"),
         QueryResponse::Summary(Some(summary)) => format!("summary {epoch} {}", summary.encode()),
         QueryResponse::Results(results) => format!("results {epoch} {}", encode_results(results)),
@@ -610,8 +694,10 @@ pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
         }
         QueryResponse::CheckIfc(reports) => format!("ifc {epoch} {}", encode_reports(reports)),
         QueryResponse::Stats(stats) => format!("stats {epoch} {}", encode_stats(stats)),
+        QueryResponse::Metrics(text) => format!("metrics {epoch} {}", esc(text)),
         QueryResponse::Error(msg) => format!("error {epoch} {}", esc(msg)),
-    }
+    };
+    append_trace_id(line, envelope.trace_id.as_deref())
 }
 
 /// Parses one response line back into a [`QueryEnvelope`]. The decoded
@@ -619,8 +705,10 @@ pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
 /// test leans on this to check served answers bit-for-bit against direct
 /// analyses.
 pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
-    let fields: Vec<&str> = line.split_whitespace().collect();
-    let [tag, epoch, payload @ ..] = &fields[..] else {
+    let all_fields: Vec<&str> = line.split_whitespace().collect();
+    let (fields, attrs) = split_attrs(&all_fields);
+    let trace_id = trace_id_from_attrs(&attrs)?;
+    let [tag, epoch, payload @ ..] = fields else {
         return Err(format!("bad response line {line:?}"));
     };
     let epoch: u64 = parse_num(epoch, "epoch")?;
@@ -658,10 +746,15 @@ pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
         "slice-at" => QueryResponse::BackwardSliceAt(decode_locations(one()?)?),
         "ifc" => QueryResponse::CheckIfc(decode_reports(one()?)?),
         "stats" => QueryResponse::Stats(decode_stats(payload)?),
+        "metrics" => QueryResponse::Metrics(unesc(one()?)?),
         "error" => QueryResponse::Error(unesc(one()?)?),
         other => return Err(format!("unknown response tag {other:?}")),
     };
-    Ok(QueryEnvelope { epoch, response })
+    Ok(QueryEnvelope {
+        epoch,
+        response,
+        trace_id,
+    })
 }
 
 #[cfg(test)]
@@ -676,7 +769,10 @@ mod tests {
         let line = encode_request(&request);
         assert!(!line.contains('\n'), "request must be one line: {line:?}");
         match decode_command(&line) {
-            Ok(Command::Query(decoded)) => assert_eq!(decoded, request, "from {line:?}"),
+            Ok(Command::Query {
+                request: decoded,
+                trace_id: None,
+            }) => assert_eq!(decoded, request, "from {line:?}"),
             other => panic!("{line:?} decoded to {other:?}"),
         }
     }
@@ -783,12 +879,14 @@ mod tests {
 
         roundtrip_envelope(QueryEnvelope {
             epoch: 0,
+            trace_id: None,
             response: QueryResponse::Summary(None),
         });
         for func in [main, set_first] {
             let r = analyze(&program, func, &params);
             roundtrip_envelope(QueryEnvelope {
                 epoch: 3,
+                trace_id: None,
                 response: QueryResponse::Summary(Some(FunctionSummary::from_exit_state(
                     program.body(func),
                     r.exit_theta(),
@@ -796,11 +894,13 @@ mod tests {
             });
             roundtrip_envelope(QueryEnvelope {
                 epoch: 9,
+                trace_id: None,
                 response: QueryResponse::Results(Arc::new(r)),
             });
         }
         roundtrip_envelope(QueryEnvelope {
             epoch: 1,
+            trace_id: None,
             response: QueryResponse::BackwardSlice(None),
         });
         let slice = Slicer::new(&program, main, params.clone())
@@ -809,14 +909,17 @@ mod tests {
         assert!(!slice.locations.is_empty());
         roundtrip_envelope(QueryEnvelope {
             epoch: 2,
+            trace_id: None,
             response: QueryResponse::BackwardSlice(Some(slice)),
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 0,
+            trace_id: None,
             response: QueryResponse::BackwardSliceAt(BTreeSet::new()),
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 0,
+            trace_id: None,
             response: QueryResponse::BackwardSliceAt(results.backward_slice(
                 &Place::return_place(),
                 Location {
@@ -836,14 +939,17 @@ mod tests {
         );
         roundtrip_envelope(QueryEnvelope {
             epoch: 4,
+            trace_id: None,
             response: QueryResponse::CheckIfc(reports),
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 0,
+            trace_id: None,
             response: QueryResponse::CheckIfc(Vec::new()),
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 8,
+            trace_id: None,
             response: QueryResponse::Stats(ServiceStats {
                 epoch: 8,
                 queue_depth: 3,
@@ -862,10 +968,12 @@ mod tests {
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 5,
+            trace_id: None,
             response: QueryResponse::Error("place local _999 out of range".to_string()),
         });
         roundtrip_envelope(QueryEnvelope {
             epoch: 5,
+            trace_id: None,
             response: QueryResponse::Error(String::new()),
         });
     }
@@ -909,6 +1017,135 @@ mod tests {
             "wat 0 -",
         ] {
             assert!(decode_envelope(line).is_err(), "{line:?} must be rejected");
+        }
+    }
+
+    /// Backward compat: lines exactly as an old peer would write them —
+    /// no trailing attributes — decode to `trace_id: None`, and encoding
+    /// an untraced message reproduces the old line byte-for-byte.
+    #[test]
+    fn untraced_lines_decode_and_encode_exactly_as_before() {
+        assert_eq!(
+            decode_command("summary 7"),
+            Ok(Command::Query {
+                request: QueryRequest::Summary(FuncId(7)),
+                trace_id: None,
+            })
+        );
+        assert_eq!(
+            encode_request(&QueryRequest::Summary(FuncId(7))),
+            "summary 7"
+        );
+        assert_eq!(
+            encode_request_traced(&QueryRequest::Summary(FuncId(7)), None),
+            "summary 7",
+        );
+        let envelope = decode_envelope("slice 3 -").unwrap();
+        assert_eq!(envelope.trace_id, None);
+        assert_eq!(encode_envelope(&envelope), "slice 3 -");
+    }
+
+    /// Forward compat: unknown trailing `key=value` attributes are
+    /// stripped and ignored on every line shape, including `update` and
+    /// `shutdown`.
+    #[test]
+    fn unknown_trailing_attributes_are_tolerated() {
+        assert_eq!(
+            decode_command("summary 7 xfuture=1 zz9=abc"),
+            Ok(Command::Query {
+                request: QueryRequest::Summary(FuncId(7)),
+                trace_id: None,
+            })
+        );
+        assert_eq!(
+            decode_command("stats tid=abc xfuture=%"),
+            Ok(Command::Query {
+                request: QueryRequest::Stats,
+                trace_id: Some("abc".to_string()),
+            })
+        );
+        assert_eq!(
+            decode_command("update 99 deadline=5s"),
+            Ok(Command::Update { bytes: 99 })
+        );
+        assert_eq!(
+            decode_command("shutdown reason=test"),
+            Ok(Command::Shutdown)
+        );
+        let envelope = decode_envelope("summary 4 - xnew=1 tid=req%2D1").unwrap();
+        assert_eq!(envelope.trace_id.as_deref(), Some("req-1"));
+        // A token that merely *contains* '=' but whose prefix is not a
+        // valid attribute key (here: starts with a digit) stays payload.
+        assert_eq!(
+            decode_command("slice 1 2=x"),
+            Ok(Command::Query {
+                request: QueryRequest::BackwardSlice {
+                    func: FuncId(1),
+                    var: "2=x".to_string(),
+                },
+                trace_id: None,
+            })
+        );
+    }
+
+    /// Trace ids round-trip through requests and envelopes, including ids
+    /// that need `%XX` escaping and the empty id (a lone `%`).
+    #[test]
+    fn trace_ids_roundtrip_on_requests_and_envelopes() {
+        for tid in ["client-3", "a b=c|d", "héllo", ""] {
+            let line = encode_request_traced(&QueryRequest::Stats, Some(tid));
+            assert_eq!(
+                decode_command(&line),
+                Ok(Command::Query {
+                    request: QueryRequest::Stats,
+                    trace_id: Some(tid.to_string()),
+                }),
+                "from {line:?}"
+            );
+            roundtrip_envelope(QueryEnvelope {
+                epoch: 11,
+                trace_id: Some(tid.to_string()),
+                response: QueryResponse::Summary(None),
+            });
+        }
+        assert_eq!(
+            encode_request_traced(&QueryRequest::Stats, Some("")),
+            "stats tid=%",
+        );
+    }
+
+    /// The `metrics` command and its multi-line Prometheus payload
+    /// round-trip bit-exactly through the `%XX` escaping.
+    #[test]
+    fn metrics_command_and_payload_roundtrip_bit_exactly() {
+        assert_eq!(
+            decode_command("metrics"),
+            Ok(Command::Query {
+                request: QueryRequest::Metrics,
+                trace_id: None,
+            })
+        );
+        assert_eq!(encode_request(&QueryRequest::Metrics), "metrics");
+        // Real exposition-format text: newlines, braces, quotes, +Inf, and
+        // a deliberately hostile help string.
+        let text = "# HELP flow_service_requests_total Queries served 100% = yes\n\
+                    # TYPE flow_service_requests_total counter\n\
+                    flow_service_requests_total{kind=\"slice\"} 42\n\
+                    flow_service_request_seconds_bucket{kind=\"slice\",le=\"+Inf\"} 42\n";
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 2,
+            trace_id: Some("scrape-1".to_string()),
+            response: QueryResponse::Metrics(text.to_string()),
+        });
+        let line = encode_envelope(&QueryEnvelope {
+            epoch: 2,
+            trace_id: None,
+            response: QueryResponse::Metrics(text.to_string()),
+        });
+        assert!(!line.contains('\n'), "metrics payload must stay one line");
+        match decode_envelope(&line).unwrap().response {
+            QueryResponse::Metrics(decoded) => assert_eq!(decoded, text),
+            other => panic!("expected metrics, got {other:?}"),
         }
     }
 }

@@ -31,13 +31,15 @@
 
 use crate::codec::{self, Command};
 use flowistry_engine::scheduler::resolve_worker_threads;
-use flowistry_engine::{FlowService, QueryEnvelope, QueryResponse, Ticket};
+use flowistry_engine::{FlowService, QueryEnvelope, QueryRequest, QueryResponse, Ticket};
+use flowistry_obs::{Counter, Histogram, Registry};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`FlowServer`].
 #[derive(Debug, Clone, Default)]
@@ -56,9 +58,60 @@ impl ServerConfig {
     }
 }
 
+/// Wire-level counters and latency histograms, registered on the same
+/// [`Registry`] the service and engine report into so one `metrics` scrape
+/// covers the whole stack.
+struct ServerMetrics {
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    /// Decode-to-flush wire latency, one histogram per request kind
+    /// (indexed by [`QueryRequest::kind_index`]).
+    request_wire: Vec<Arc<Histogram>>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            connections: registry.counter(
+                "flow_server_connections_total",
+                "TCP connections accepted and served",
+            ),
+            requests: registry.counter(
+                "flow_server_requests_total",
+                "Wire command lines successfully decoded",
+            ),
+            decode_errors: registry.counter(
+                "flow_server_decode_errors_total",
+                "Wire command lines rejected by the codec",
+            ),
+            bytes_read: registry.counter(
+                "flow_server_bytes_read_total",
+                "Bytes read from clients (command lines and update bodies)",
+            ),
+            bytes_written: registry.counter(
+                "flow_server_bytes_written_total",
+                "Bytes written to clients (response lines)",
+            ),
+            request_wire: QueryRequest::KINDS
+                .iter()
+                .map(|kind| {
+                    registry.histogram(
+                        &format!("flow_server_request_wire_seconds{{kind=\"{kind}\"}}"),
+                        "Wire latency from request decode to response flush",
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// State shared by the accept loop and every connection thread.
 struct ServerShared {
     service: FlowService,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
     /// Live connection count, gating the accept loop at `max_connections`.
     active: Mutex<usize>,
@@ -110,8 +163,10 @@ impl FlowServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let max_connections = resolve_worker_threads(config.max_connections);
+        let metrics = ServerMetrics::new(service.metrics_registry());
         let shared = Arc::new(ServerShared {
             service,
+            metrics,
             shutdown: AtomicBool::new(false),
             active: Mutex::new(0),
             slot_freed: Condvar::new(),
@@ -135,6 +190,13 @@ impl FlowServer {
     /// bound to port `0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The metrics registry the whole stack (engine, service, and this
+    /// server's wire layer) reports into — what the wire `metrics` command
+    /// renders.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        self.shared.service.metrics_registry()
     }
 
     /// Whether a `shutdown` command (or [`FlowServer::shutdown`]) has been
@@ -293,8 +355,10 @@ fn release_slot(shared: &ServerShared) {
 
 /// What the reader hands the writer, in request order.
 enum Pending {
-    /// A submitted query: wait on the ticket, encode the envelope.
-    Query(Ticket),
+    /// A submitted query: wait on the ticket, encode the envelope. Carries
+    /// the decode timestamp and request-kind index so the writer can
+    /// observe decode-to-flush wire latency.
+    Query(Ticket, Instant, usize),
     /// An accepted update, already applied: the reader waited for the epoch
     /// swap (the connection's sync point), so the ack just gets written.
     Update(u64),
@@ -312,9 +376,11 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         Ok(clone) => clone,
         Err(_) => return,
     };
+    shared.metrics.connections.inc();
+    let shared_for_writer = shared.clone();
     let writer = std::thread::Builder::new()
         .name("flow-conn-writer".to_string())
-        .spawn(move || writer_loop(writer_stream, rx));
+        .spawn(move || writer_loop(&shared_for_writer, writer_stream, rx));
     let Ok(writer) = writer else { return };
 
     let shutdown_requested = reader_loop(shared, reader, &tx);
@@ -347,19 +413,33 @@ fn reader_loop(
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => return false, // EOF or a cut connection
-            Ok(_) => {}
+            Ok(n) => shared.metrics.bytes_read.add(n as u64),
         }
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             continue; // blank keep-alive lines are ignored
         }
+        let decoded_at = Instant::now();
         let pending = match codec::decode_command(trimmed) {
-            Err(msg) => Pending::Line(codec::encode_envelope(&QueryEnvelope {
-                epoch: shared.service.current_epoch(),
-                response: QueryResponse::Error(format!("malformed request: {msg}")),
-            })),
-            Ok(Command::Query(request)) => Pending::Query(shared.service.submit(request)),
+            Err(msg) => {
+                shared.metrics.decode_errors.inc();
+                Pending::Line(codec::encode_envelope(&QueryEnvelope {
+                    epoch: shared.service.current_epoch(),
+                    response: QueryResponse::Error(format!("malformed request: {msg}")),
+                    trace_id: None,
+                }))
+            }
+            Ok(Command::Query { request, trace_id }) => {
+                shared.metrics.requests.inc();
+                let kind = request.kind_index();
+                Pending::Query(
+                    shared.service.submit_traced(request, trace_id),
+                    decoded_at,
+                    kind,
+                )
+            }
             Ok(Command::Update { bytes }) => {
+                shared.metrics.requests.inc();
                 let mut pending = read_update(shared, &mut reader, bytes);
                 // An update is a sync point for *this connection*: requests
                 // pipelined after it must be served from the new epoch (or a
@@ -381,12 +461,14 @@ fn reader_loop(
                                 "update {epoch} failed during re-analysis; \
                                  epoch {serving} still serving"
                             )),
+                            trace_id: None,
                         }));
                     }
                 }
                 pending
             }
             Ok(Command::Shutdown) => {
+                shared.metrics.requests.inc();
                 let _ = tx.send(Pending::Line(codec::BYE_LINE.to_string()));
                 return true;
             }
@@ -405,6 +487,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
         Pending::Line(codec::encode_envelope(&QueryEnvelope {
             epoch: shared.service.current_epoch(),
             response: QueryResponse::Error(msg),
+            trace_id: None,
         }))
     };
     if bytes > MAX_UPDATE_BYTES {
@@ -413,6 +496,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
         if io::copy(&mut reader.by_ref().take(bytes as u64), &mut io::sink()).is_err() {
             return error("update source truncated".to_string());
         }
+        shared.metrics.bytes_read.add(bytes as u64);
         let _ = consume_newline(reader);
         return error(format!(
             "update of {bytes} bytes exceeds {MAX_UPDATE_BYTES}"
@@ -422,6 +506,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
     if reader.read_exact(&mut source).is_err() {
         return error("update source truncated".to_string());
     }
+    shared.metrics.bytes_read.add(bytes as u64);
     if let Err(msg) = consume_newline(reader) {
         return error(msg);
     }
@@ -452,16 +537,24 @@ fn consume_newline(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
 }
 
 /// Writes replies in request order, waiting on each in turn.
-fn writer_loop(stream: TcpStream, rx: Receiver<Pending>) {
+fn writer_loop(shared: &ServerShared, stream: TcpStream, rx: Receiver<Pending>) {
     let mut out = io::BufWriter::new(stream);
     for pending in rx {
+        let mut wire = None;
         let line = match pending {
-            Pending::Query(ticket) => codec::encode_envelope(&ticket.wait()),
+            Pending::Query(ticket, decoded_at, kind) => {
+                wire = Some((decoded_at, kind));
+                codec::encode_envelope(&ticket.wait())
+            }
             Pending::Update(epoch) => codec::encode_update_ack(epoch),
             Pending::Line(line) => line,
         };
         if writeln!(out, "{line}").is_err() || out.flush().is_err() {
             return; // client went away; pending tickets still resolve server-side
+        }
+        shared.metrics.bytes_written.add(line.len() as u64 + 1);
+        if let Some((decoded_at, kind)) = wire {
+            shared.metrics.request_wire[kind].observe(decoded_at.elapsed());
         }
     }
 }

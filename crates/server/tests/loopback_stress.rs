@@ -9,6 +9,12 @@
 //!
 //! Runs at 1, 2, and 8 service workers, and ends with a graceful wire
 //! `shutdown` that must answer everything already accepted.
+//!
+//! Telemetry rides along end to end: every client stamps its requests with
+//! a distinct trace id and asserts the echo on each envelope, and a
+//! post-run `metrics` scrape must agree exactly with the deterministic
+//! client-side request tallies (each run gets its own [`Registry`] so the
+//! three worker counts can run concurrently in one process).
 
 use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
 use flowistry_engine::{
@@ -17,10 +23,24 @@ use flowistry_engine::{
 use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
+use flowistry_obs::Registry;
 use flowistry_server::{FlowClient, FlowServer, ServerConfig};
 use flowistry_slicer::{Slice, Slicer};
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// The value of the series named exactly `series` in Prometheus text.
+fn sample(text: &str, series: &str) -> f64 {
+    let value = text
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.strip_prefix(' '))
+        })
+        .unwrap_or_else(|| panic!("series {series} missing from scrape"));
+    value.parse().unwrap_or_else(|e| panic!("{series}: {e}"))
+}
 
 /// Same layered workload as the engine stress tests: `modules` chains of
 /// `depth` functions; edits below touch bodies only, so `FuncId`s are
@@ -128,9 +148,14 @@ fn hammer_over_tcp(workers: usize) {
     // Every version has the same function names, so one policy serves all.
     let policy = IfcPolicy::from_conventions(&programs[0]);
 
+    // A private registry per run: the three worker-count tests run
+    // concurrently in this process and must not pool their counters.
+    let registry = Arc::new(Registry::new());
     let engine = AnalysisEngine::new(
         programs[0].clone(),
-        EngineConfig::default().with_params(params.clone()),
+        EngineConfig::default()
+            .with_params(params.clone())
+            .with_metrics(registry.clone()),
     );
     let service = FlowService::new(
         engine,
@@ -212,10 +237,21 @@ fn hammer_over_tcp(workers: usize) {
                         _ => QueryRequest::Stats,
                     }
                 };
+                // Every request carries this client's trace id; every
+                // envelope must echo it back verbatim.
+                let tid = format!("client-{t}");
                 if t % 2 == 0 {
                     for i in 0..30usize {
                         let request = make_request(i);
-                        let envelope = client.query(&request).expect("query round-trip");
+                        client
+                            .submit_traced(&request, Some(&tid))
+                            .expect("traced submit");
+                        let envelope = client.recv().expect("query round-trip");
+                        assert_eq!(
+                            envelope.trace_id.as_deref(),
+                            Some(tid.as_str()),
+                            "trace id not echoed on {request:?}"
+                        );
                         check(envelope.epoch, &request, &envelope.response);
                     }
                 } else {
@@ -223,11 +259,18 @@ fn hammer_over_tcp(workers: usize) {
                         let requests: Vec<_> =
                             (0..5).map(|j| make_request(burst * 5 + j)).collect();
                         for request in &requests {
-                            client.submit(request).expect("pipelined submit");
+                            client
+                                .submit_traced(request, Some(&tid))
+                                .expect("pipelined traced submit");
                         }
                         assert_eq!(client.pending(), 5);
                         for request in &requests {
                             let envelope = client.recv().expect("pipelined recv");
+                            assert_eq!(
+                                envelope.trace_id.as_deref(),
+                                Some(tid.as_str()),
+                                "trace id not echoed on {request:?}"
+                            );
                             check(envelope.epoch, request, &envelope.response);
                         }
                     }
@@ -261,6 +304,88 @@ fn hammer_over_tcp(workers: usize) {
         stats.served >= (8 * 30) as u64,
         "served only {} requests",
         stats.served
+    );
+
+    // The wire `metrics` scrape must agree with the deterministic client
+    // tallies. Each of the 8 clients issued each kind exactly 6 times
+    // ((i + t) % 5 cycles through 5 kinds over 30 requests); the final
+    // checker adds one results + one stats, and the scrape itself is
+    // counted (its request counter increments before the text renders).
+    let scrape = client.metrics().expect("wire metrics scrape");
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"results\"}"),
+        49.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"summary\"}"),
+        48.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"slice\"}"),
+        48.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"ifc\"}"),
+        48.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"stats\"}"),
+        49.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"metrics\"}"),
+        1.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"slice_at\"}"),
+        0.0
+    );
+    assert_eq!(sample(&scrape, "flow_service_updates_applied_total"), 3.0);
+    assert_eq!(sample(&scrape, "flow_service_updates_failed_total"), 0.0);
+    assert_eq!(sample(&scrape, "flow_service_queue_depth"), 0.0);
+    // Per-kind latency histograms: one total-latency observation per
+    // already-answered request (the in-flight scrape itself is not yet
+    // observed at render time).
+    assert_eq!(
+        sample(
+            &scrape,
+            "flow_service_request_seconds_count{kind=\"summary\"}"
+        ),
+        48.0
+    );
+    assert_eq!(
+        sample(
+            &scrape,
+            "flow_service_request_seconds_count{kind=\"results\"}"
+        ),
+        49.0
+    );
+    // Wire layer: 10 connections (8 stress clients, the updater, this
+    // checker); every line decoded cleanly — 240 stress queries, 3
+    // updates, and the checker's results + stats + metrics.
+    assert_eq!(sample(&scrape, "flow_server_connections_total"), 10.0);
+    assert_eq!(sample(&scrape, "flow_server_decode_errors_total"), 0.0);
+    assert_eq!(sample(&scrape, "flow_server_requests_total"), 246.0);
+    assert!(sample(&scrape, "flow_server_bytes_read_total") > 0.0);
+    assert!(sample(&scrape, "flow_server_bytes_written_total") > 0.0);
+    // Wire latency is observed *after* the response bytes flush, so a
+    // connection's last observation can still be in flight when the
+    // scrape renders: allow one lagging request per client per kind.
+    for kind in ["results", "summary", "slice", "ifc", "stats"] {
+        let count = sample(
+            &scrape,
+            &format!("flow_server_request_wire_seconds_count{{kind=\"{kind}\"}}"),
+        );
+        assert!(
+            (40.0..=50.0).contains(&count),
+            "wire latency count for {kind} is {count}, expected ~48"
+        );
+    }
+    // The engine under all of this analyzed every function at least once
+    // per program version pushed.
+    assert!(
+        sample(&scrape, "flow_engine_functions_analyzed_total") >= num_funcs as f64,
+        "engine telemetry missing from the shared registry"
     );
 
     // Graceful wire shutdown: the server acknowledges with `bye`, then

@@ -14,6 +14,8 @@
 //! * [`slicer`] — the program slicer application (Figure 5a);
 //! * [`ifc`] — the information flow control checker (Figure 5b);
 //! * [`corpus`] — the synthetic evaluation dataset generator;
+//! * [`obs`] — the observability layer (metrics registry, leveled
+//!   logging, span timers) threaded through engine, service, and server;
 //! * [`eval`] — the harness regenerating the paper's tables and figures.
 //!
 //! See the `examples/` directory for runnable end-to-end demonstrations and
@@ -40,6 +42,7 @@ pub use flowistry_eval as eval;
 pub use flowistry_ifc as ifc;
 pub use flowistry_interp as interp;
 pub use flowistry_lang as lang;
+pub use flowistry_obs as obs;
 pub use flowistry_slicer as slicer;
 
 /// The most commonly used items, for `use flowistry::prelude::*`.
