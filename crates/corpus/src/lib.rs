@@ -16,7 +16,12 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod labeled;
 pub mod profiles;
 
 pub use generator::{generate_corpus, generate_crate, GeneratedCrate};
+pub use labeled::{
+    differential_corpus, generate_labeled_corpus, generate_labeled_program, labeled_profiles,
+    LabeledDriver, LabeledProfile, LabeledProgram,
+};
 pub use profiles::{paper_profiles, CrateProfile, DEFAULT_SEED};

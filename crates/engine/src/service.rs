@@ -51,7 +51,7 @@
 use crate::scheduler::resolve_worker_threads;
 use crate::{AnalysisEngine, AnalysisSnapshot, RunStats};
 use flowistry_core::{FunctionSummary, InfoFlowResults};
-use flowistry_ifc::{IfcPolicy, IfcReport};
+use flowistry_ifc::{IfcDiagnostic, IfcPolicy, IfcReport, Policy};
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
@@ -127,6 +127,10 @@ pub enum QueryRequest {
     },
     /// Whole-program IFC check ([`AnalysisSnapshot::check_ifc`]).
     CheckIfc(IfcPolicy),
+    /// Lattice-based IFC policy check
+    /// ([`AnalysisSnapshot::check_policy`]): the client ships a [`Policy`]
+    /// and gets structured diagnostics with flow witnesses back.
+    CheckPolicy(Policy),
     /// Service health: current epoch, queue depth, counters.
     Stats,
     /// A Prometheus-style text snapshot of the metrics registry the
@@ -138,8 +142,8 @@ impl QueryRequest {
     /// The request-kind labels, in [`QueryRequest::kind_index`] order —
     /// what the per-kind metric series (`flow_service_requests_total{kind=…}`
     /// and friends) are labeled with.
-    pub const KINDS: [&'static str; 7] = [
-        "summary", "results", "slice", "slice_at", "ifc", "stats", "metrics",
+    pub const KINDS: [&'static str; 8] = [
+        "summary", "results", "slice", "slice_at", "ifc", "policy", "stats", "metrics",
     ];
 
     /// Index of this request's kind into [`QueryRequest::KINDS`].
@@ -150,8 +154,9 @@ impl QueryRequest {
             QueryRequest::BackwardSlice { .. } => 2,
             QueryRequest::BackwardSliceAt { .. } => 3,
             QueryRequest::CheckIfc(_) => 4,
-            QueryRequest::Stats => 5,
-            QueryRequest::Metrics => 6,
+            QueryRequest::CheckPolicy(_) => 5,
+            QueryRequest::Stats => 6,
+            QueryRequest::Metrics => 7,
         }
     }
 
@@ -175,6 +180,10 @@ pub enum QueryResponse {
     BackwardSliceAt(BTreeSet<Location>),
     /// Answer to [`QueryRequest::CheckIfc`]: every report with violations.
     CheckIfc(Vec<IfcReport>),
+    /// Answer to [`QueryRequest::CheckPolicy`]: all diagnostics, with flow
+    /// witnesses. (An invalid policy comes back as
+    /// [`QueryResponse::Error`].)
+    CheckPolicy(Vec<IfcDiagnostic>),
     /// Answer to [`QueryRequest::Stats`].
     Stats(ServiceStats),
     /// Answer to [`QueryRequest::Metrics`]: the registry rendered as
@@ -287,6 +296,10 @@ struct ServiceMetrics {
     update_swap: Arc<Histogram>,
     updates_applied: Arc<Counter>,
     updates_failed: Arc<Counter>,
+    /// Lattice policy checks served (one per `CheckPolicy` request).
+    ifc_policy_checks: Arc<Counter>,
+    /// Violations found across all policy checks.
+    ifc_policy_violations: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -329,6 +342,14 @@ impl ServiceMetrics {
             updates_failed: registry.counter(
                 "flow_service_updates_failed_total",
                 "Background updates whose re-analysis panicked",
+            ),
+            ifc_policy_checks: registry.counter(
+                "flow_ifc_policy_checks_total",
+                "Lattice IFC policy checks served",
+            ),
+            ifc_policy_violations: registry.counter(
+                "flow_ifc_policy_violations_total",
+                "IFC diagnostics reported across all policy checks",
             ),
         }
     }
@@ -631,6 +652,19 @@ fn serve(
             }
         }
         QueryRequest::CheckIfc(policy) => QueryResponse::CheckIfc(snapshot.check_ifc(policy)),
+        QueryRequest::CheckPolicy(policy) => {
+            shared.metrics.ifc_policy_checks.inc();
+            match snapshot.check_policy(policy) {
+                Ok(diagnostics) => {
+                    shared
+                        .metrics
+                        .ifc_policy_violations
+                        .add(diagnostics.len() as u64);
+                    QueryResponse::CheckPolicy(diagnostics)
+                }
+                Err(e) => QueryResponse::Error(format!("invalid policy: {e}")),
+            }
+        }
         QueryRequest::Stats => QueryResponse::Stats(stats_from(shared, snapshot)),
         QueryRequest::Metrics => QueryResponse::Metrics(shared.registry.render_prometheus()),
     }
@@ -930,5 +964,63 @@ mod tests {
         // Exotic payloads still degrade to the bare marker.
         let payload: Box<dyn std::any::Any + Send> = Box::new(7usize);
         assert_eq!(panic_message(payload.as_ref()), "query panicked");
+    }
+
+    /// `CheckPolicy` through the service: a violated policy answers
+    /// diagnostics with a witness, a satisfied one answers an empty list,
+    /// an invalid one answers a descriptive error — and the per-policy
+    /// metrics counters advance.
+    #[test]
+    fn check_policy_serves_diagnostics_and_rejects_bad_policies() {
+        let (_program, service) = service();
+
+        // `caller`'s parameter is Secret and the callee is a Public sink.
+        let violated = Policy::default()
+            .with_param_label("caller", "v", "Secret")
+            .with_sink("store", "Public");
+        let envelope = service.query(QueryRequest::CheckPolicy(violated));
+        match envelope.response {
+            QueryResponse::CheckPolicy(diags) => {
+                assert_eq!(diags.len(), 1, "{diags:?}");
+                assert_eq!(diags[0].sink, "store");
+                assert_eq!(diags[0].incoming_label, "Secret");
+                assert!(!diags[0].witness.is_empty(), "no flow witness");
+            }
+            other => panic!("expected diagnostics, got {other:?}"),
+        }
+
+        // Clearing the sink up to Secret satisfies the policy.
+        let satisfied = Policy::default()
+            .with_param_label("caller", "v", "Secret")
+            .with_sink("store", "Secret");
+        let envelope = service.query(QueryRequest::CheckPolicy(satisfied));
+        assert_eq!(envelope.response, QueryResponse::CheckPolicy(Vec::new()));
+
+        // A policy naming a function that does not exist is rejected with
+        // the offending name, not silently ignored.
+        let invalid = Policy::default().with_fn_label("no_such_fn", "Secret");
+        let envelope = service.query(QueryRequest::CheckPolicy(invalid));
+        match envelope.response {
+            QueryResponse::Error(msg) => {
+                assert!(msg.contains("invalid policy"), "{msg}");
+                assert!(msg.contains("no_such_fn"), "{msg}");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+
+        // Both served checks (the invalid one never reached the checker)
+        // and one violation show up in the metrics rendering.
+        let envelope = service.query(QueryRequest::Metrics);
+        let QueryResponse::Metrics(text) = envelope.response else {
+            panic!("expected metrics");
+        };
+        assert!(
+            text.contains("flow_ifc_policy_checks_total"),
+            "missing counter:\n{text}"
+        );
+        assert!(
+            text.contains("flow_ifc_policy_violations_total"),
+            "missing counter:\n{text}"
+        );
     }
 }

@@ -17,7 +17,9 @@ use crate::{RunStats, SummaryKey};
 use flowistry_core::{
     analyze_with_summaries, AnalysisParams, CachedSummary, FunctionSummary, InfoFlowResults,
 };
-use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
+use flowistry_ifc::{
+    IfcChecker, IfcDiagnostic, IfcPolicy, IfcReport, Policy, PolicyChecker, PolicyError,
+};
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::{CallGraph, CompiledProgram};
@@ -236,6 +238,27 @@ impl AnalysisSnapshot {
             })
             .filter(|r| !r.is_clean())
             .collect()
+    }
+
+    /// Checks every function against a lattice [`Policy`] and returns the
+    /// flattened diagnostics, each carrying its flow witness. The
+    /// snapshot-backed counterpart of
+    /// [`PolicyChecker::check_program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PolicyError`] for the first policy entry that names an
+    /// unknown label, function, parameter or local.
+    pub fn check_policy(&self, policy: Policy) -> Result<Vec<IfcDiagnostic>, PolicyError> {
+        let checker = PolicyChecker::new(&self.inner.program, policy)?;
+        Ok((0..self.inner.program.bodies.len())
+            .flat_map(|i| {
+                let func = FuncId(i as u32);
+                checker
+                    .check_with_results(func, &self.results(func))
+                    .diagnostics
+            })
+            .collect())
     }
 
     /// The set of functions whose summary would have to be recomputed if

@@ -7,8 +7,10 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
-//! `perf`, `noninterference`, `all` (default). Results are printed and also
-//! written as JSON under `results/`.
+//! `perf`, `noninterference`, `ifc`, `all` (default). Results are printed
+//! and also written as JSON under `results/`. `ifc` runs the labeled-corpus
+//! differential (policy checker vs interpreter vs legacy checker) and exits
+//! nonzero on any mismatch.
 //!
 //! Flags:
 //!
@@ -43,6 +45,8 @@ struct Scale {
     noninterference_trials: usize,
     slowdown_depth: usize,
     service_requests: usize,
+    ifc_programs: usize,
+    ifc_trials: usize,
 }
 
 impl Scale {
@@ -56,6 +60,8 @@ impl Scale {
             noninterference_trials: 8,
             slowdown_depth: 6,
             service_requests: 50,
+            ifc_programs: 210,
+            ifc_trials: 4,
         }
     }
 
@@ -69,6 +75,8 @@ impl Scale {
             noninterference_trials: 2,
             slowdown_depth: 4,
             service_requests: 12,
+            ifc_programs: 24,
+            ifc_trials: 2,
         }
     }
 }
@@ -124,6 +132,7 @@ fn main() {
         "engine" => run_engine(seed, scale, out_dir),
         "service-latency" => run_service_latency(seed, scale, out_dir),
         "noninterference" => run_noninterference(seed, scale),
+        "ifc" => run_ifc(seed, scale, out_dir),
         cmd => {
             // Everything else needs the corpus measured under the four
             // headline conditions.
@@ -162,6 +171,7 @@ fn main() {
                         report::render_table2(&flowistry_corpus::paper_profiles(), seed)
                     );
                     run_noninterference(seed, scale);
+                    run_ifc(seed, scale, out_dir);
                 }
             }
         }
@@ -305,4 +315,23 @@ fn run_noninterference(seed: u64, scale: Scale) {
         }
     }
     println!("  checked {checked} functions, {trials} completed trials, {violations} violations\n");
+}
+
+fn run_ifc(seed: u64, scale: Scale, out_dir: &Path) {
+    eprintln!(
+        "running the IFC differential ({} labeled programs, {} trials per secure driver)...",
+        scale.ifc_programs, scale.ifc_trials
+    );
+    let report =
+        flowistry_eval::measure_ifc_differential(seed, scale.ifc_programs, scale.ifc_trials);
+    println!("{}", flowistry_eval::render_ifc_differential(&report));
+    write_json(out_dir.join("ifc.json"), &report);
+    if !report.is_clean() {
+        eprintln!(
+            "IFC differential FAILED: {} interference mismatches, {} legacy mismatches",
+            report.interference_mismatches.len(),
+            report.legacy_mismatches.len()
+        );
+        std::process::exit(1);
+    }
 }

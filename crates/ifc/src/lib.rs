@@ -31,10 +31,34 @@
 
 #![warn(missing_docs)]
 
+pub mod lattice;
+
+pub use lattice::{
+    IfcDiagnostic, Label, LatticeSpec, Policy, PolicyChecker, PolicyError, PolicyReport,
+    SecurityLattice, WitnessStep,
+};
+
 use flowistry_core::{analyze, AnalysisParams, Dep, DepSet, ThetaExt};
 use flowistry_lang::mir::{Local, Location, TerminatorKind};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
+
+/// Whether an identifier names sensitive data under the naming conventions.
+///
+/// The old heuristic used raw substring matching, which flagged `secretary`
+/// and `not_secret_len`. Sensitivity now requires `password` or `secret` to
+/// appear as the **first or last** `_`-separated segment (or the whole
+/// name), or the `secure_` prefix: `read_password`, `secret_key` and
+/// `my_secret` match; `secretary`, `passwords` and `not_secret_len` do not.
+fn is_sensitive_name(name: &str) -> bool {
+    for seg in ["password", "secret"] {
+        if name == seg || name.starts_with(&format!("{seg}_")) || name.ends_with(&format!("_{seg}"))
+        {
+            return true;
+        }
+    }
+    name.starts_with("secure_")
+}
 
 /// What counts as secure data and insecure operations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,26 +76,24 @@ pub struct IfcPolicy {
 impl IfcPolicy {
     /// Builds a policy from naming conventions, the closest analogue of the
     /// paper's `Secure`/`Insecure` traits that Rox supports: functions whose
-    /// name starts with `insecure_` are sinks, functions whose name contains
-    /// `password` or `secret` are secure producers, and variables named
-    /// `password`/`secret` (or prefixed `secure_`) are secure.
+    /// name starts with `insecure_` are sinks, and functions or variables
+    /// whose name has `password`/`secret` as its first or last identifier
+    /// segment (or the `secure_` prefix) are secure. Substrings inside a
+    /// segment do not count: `secretary` and `not_secret_len` are public.
     pub fn from_conventions(program: &CompiledProgram) -> IfcPolicy {
         let mut policy = IfcPolicy::default();
         for sig in &program.signatures {
             if sig.name.starts_with("insecure_") {
                 policy.insecure_sinks.push(sig.name.clone());
             }
-            if sig.name.contains("password") || sig.name.contains("secret") {
+            if is_sensitive_name(&sig.name) {
                 policy.secure_producers.push(sig.name.clone());
             }
         }
         for body in &program.bodies {
             for decl in &body.local_decls {
                 if let Some(name) = &decl.name {
-                    if name.contains("password")
-                        || name.contains("secret")
-                        || name.starts_with("secure_")
-                    {
+                    if is_sensitive_name(name) {
                         policy.secure_locals.push((body.name.clone(), name.clone()));
                     }
                 }
@@ -169,6 +191,22 @@ impl<'a> IfcChecker<'a> {
         self
     }
 
+    /// Validates that every function, parameter and local named by the
+    /// policy actually exists in the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`PolicyError`] for the first name that does
+    /// not resolve — a misspelled policy entry would otherwise be silently
+    /// ignored and the check would pass vacuously.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        lattice::validate_policy(
+            self.program,
+            &Policy::from_legacy(&self.policy),
+            &SecurityLattice::two_point(),
+        )
+    }
+
     /// Checks a single function by name.
     pub fn check_function(&self, name: &str) -> Option<IfcReport> {
         let func = self.program.func_id(name)?;
@@ -182,6 +220,20 @@ impl<'a> IfcChecker<'a> {
             .map(|i| self.check(FuncId(i as u32)))
             .filter(|r| !r.is_clean())
             .collect()
+    }
+
+    /// Like [`IfcChecker::check_program`], but first [`validate`]s the
+    /// policy so that entries naming nonexistent functions, parameters or
+    /// locals are reported instead of silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PolicyError`] from validation.
+    ///
+    /// [`validate`]: IfcChecker::validate
+    pub fn check_program_strict(&self) -> Result<Vec<IfcReport>, PolicyError> {
+        self.validate()?;
+        Ok(self.check_program())
     }
 
     fn check(&self, func: FuncId) -> IfcReport {
@@ -448,6 +500,70 @@ mod tests {
             .secure_locals
             .iter()
             .any(|(f, v)| f == "check" && v == "password"));
+    }
+
+    #[test]
+    fn sensitive_name_matching_is_segment_based() {
+        for name in [
+            "password",
+            "secret",
+            "read_password",
+            "secret_key",
+            "my_secret",
+            "secure_token",
+            "password_hash",
+        ] {
+            assert!(is_sensitive_name(name), "`{name}` should be sensitive");
+        }
+        for name in [
+            "secretary",
+            "not_secret_len",
+            "passwords",
+            "top_secretive",
+            "insecure_print",
+            "unsecure_x",
+        ] {
+            assert!(!is_sensitive_name(name), "`{name}` should not be sensitive");
+        }
+    }
+
+    #[test]
+    fn conventions_do_not_flag_lookalike_names() {
+        let src = "
+            fn secretary() -> i32 { return 1; }
+            fn insecure_print(x: i32) { }
+            fn office() {
+                let not_secret_len = secretary();
+                insecure_print(not_secret_len);
+            }
+        ";
+        let prog = flowistry_lang::compile(src).unwrap();
+        let policy = IfcPolicy::from_conventions(&prog);
+        assert!(policy.secure_producers.is_empty(), "{policy:?}");
+        assert!(policy.secure_locals.is_empty(), "{policy:?}");
+        let reports = IfcChecker::new(&prog, policy).check_program();
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_policy_names() {
+        let prog = flowistry_lang::compile("fn f(x: i32) { }").unwrap();
+        let checker = IfcChecker::new(
+            &prog,
+            IfcPolicy::default().with_secure_producer("read_ghost"),
+        );
+        let err = checker.check_program_strict().unwrap_err();
+        assert!(err.to_string().contains("read_ghost"), "{err}");
+
+        let checker = IfcChecker::new(
+            &prog,
+            IfcPolicy::default().with_secure_param("f", "missing"),
+        );
+        let err = checker.validate().unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        let checker = IfcChecker::new(&prog, IfcPolicy::default().with_sink("f"));
+        assert!(checker.check_program_strict().is_ok());
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod machine;
 pub mod noninterference;
 pub mod value;
 
-pub use machine::{Frame, InterpError, Interpreter, Outcome};
+pub use machine::{CallEvent, Frame, InterpError, Interpreter, Outcome};
 pub use noninterference::{check_function, NoninterferenceReport, Rng};
 pub use value::{Pointer, Value};

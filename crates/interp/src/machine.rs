@@ -63,6 +63,17 @@ impl Frame {
     }
 }
 
+/// One function call observed during execution: what an attacker watching
+/// that callee would see. The noninterference oracle compares traces of
+/// calls to low-clearance sinks across runs that vary only high inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallEvent {
+    /// Name of the called function.
+    pub callee: String,
+    /// The argument values passed.
+    pub args: Vec<Value>,
+}
+
 /// The outcome of executing a function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome {
@@ -75,6 +86,9 @@ pub struct Outcome {
     pub environment: Frame,
     /// Number of MIR steps executed.
     pub steps: usize,
+    /// Every call executed (transitively), in execution order. The entry
+    /// call itself is not recorded.
+    pub calls: Vec<CallEvent>,
 }
 
 /// The interpreter. Construct once per program and call [`Interpreter::run`].
@@ -111,6 +125,7 @@ impl<'a> Interpreter<'a> {
             stack: Vec::new(),
             steps: 0,
             fuel: self.fuel,
+            trace: Vec::new(),
         };
         // Frame 0: an (empty) environment frame so that pointers handed in
         // by run_with_env have somewhere to live.
@@ -122,6 +137,7 @@ impl<'a> Interpreter<'a> {
             final_frame: frame,
             environment,
             steps: machine.steps,
+            calls: machine.trace,
         })
     }
 
@@ -148,6 +164,7 @@ impl<'a> Interpreter<'a> {
             stack: Vec::new(),
             steps: 0,
             fuel: self.fuel,
+            trace: Vec::new(),
         };
         let mut env = Frame::new(func, args.len());
         let mut actual_args = Vec::with_capacity(args.len());
@@ -170,6 +187,7 @@ impl<'a> Interpreter<'a> {
             final_frame: frame,
             environment,
             steps: machine.steps,
+            calls: machine.trace,
         })
     }
 }
@@ -179,6 +197,7 @@ struct Machine<'a> {
     stack: Vec<Frame>,
     steps: usize,
     fuel: usize,
+    trace: Vec<CallEvent>,
 }
 
 impl<'a> Machine<'a> {
@@ -236,6 +255,10 @@ impl<'a> Machine<'a> {
                         .iter()
                         .map(|a| self.eval_operand(frame_idx, a))
                         .collect::<Result<Vec<_>, _>>()?;
+                    self.trace.push(CallEvent {
+                        callee: self.program.signature(*callee).name.clone(),
+                        args: arg_values.clone(),
+                    });
                     let (ret, _) = self.call(*callee, arg_values)?;
                     self.write_place(frame_idx, destination, ret)?;
                     block = *target;
@@ -501,6 +524,32 @@ mod tests {
         .unwrap();
         assert_eq!(out.return_value, Value::Int(10));
         assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn call_trace_records_callees_and_arguments() {
+        let src = "
+            fn inc(x: i32) -> i32 { return x + 1; }
+            fn emit(x: i32) { }
+            fn main_like(n: i32) { let v = inc(n); if v > 3 { emit(v); } }
+        ";
+        let out = run(src, "main_like", vec![Value::Int(3)]).unwrap();
+        assert_eq!(
+            out.calls,
+            vec![
+                CallEvent {
+                    callee: "inc".into(),
+                    args: vec![Value::Int(3)],
+                },
+                CallEvent {
+                    callee: "emit".into(),
+                    args: vec![Value::Int(4)],
+                },
+            ]
+        );
+        // The branch not taken leaves no event.
+        let out = run(src, "main_like", vec![Value::Int(0)]).unwrap();
+        assert_eq!(out.calls.len(), 1);
     }
 
     #[test]

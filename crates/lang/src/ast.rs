@@ -294,7 +294,7 @@ pub struct Stmt {
 /// The different kinds of statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
-    /// `let [mut] x [: T] = e;`
+    /// `[#[declassify]] let [mut] x [: T] = e;`
     Let {
         /// Bound variable name.
         name: String,
@@ -304,6 +304,10 @@ pub enum StmtKind {
         ty: Option<AstTy>,
         /// Initializer.
         init: Expr,
+        /// Whether the binding carries a `#[declassify]` attribute: the
+        /// initializer (a call) is a sanctioned release point whose result
+        /// is relabeled to the lattice bottom.
+        declassify: bool,
     },
     /// `place = e;`
     Assign {
@@ -359,6 +363,8 @@ pub struct Param {
     pub name: String,
     /// Declared type.
     pub ty: AstTy,
+    /// Security label from a `#[label(L)]` parameter attribute.
+    pub label: Option<String>,
     /// Source location.
     pub span: Span,
 }
@@ -378,6 +384,12 @@ pub struct FnDef {
     pub ret_ty: AstTy,
     /// Function body.
     pub body: Block,
+    /// Security label of the data this function produces, from a
+    /// `#[label(L)]` function attribute.
+    pub label: Option<String>,
+    /// Sink clearance — the highest label this function may observe — from
+    /// a `#[sink(L)]` function attribute.
+    pub clearance: Option<String>,
     /// Source location of the whole definition.
     pub span: Span,
 }
@@ -400,6 +412,11 @@ pub struct Program {
     pub structs: Vec<StructDef>,
     /// Function definitions, in source order.
     pub funcs: Vec<FnDef>,
+    /// The security lattice named by a `#![lattice(L)]` inner attribute
+    /// (`two_point`, `multi_level`, `conf_integrity`, …).
+    pub lattice: Option<String>,
+    /// Module-wide default label from `#![default_label(L)]`.
+    pub default_label: Option<String>,
 }
 
 impl Program {
@@ -492,8 +509,12 @@ mod tests {
                     stmts: vec![],
                     span: Span::DUMMY,
                 },
+                label: None,
+                clearance: None,
                 span: Span::DUMMY,
             }],
+            lattice: None,
+            default_label: None,
         };
         assert!(p.func("main").is_some());
         assert!(p.func("missing").is_none());

@@ -104,6 +104,12 @@ pub enum TokenKind {
     Ge,
     /// `!`
     Bang,
+    /// `#` (attribute opener)
+    Pound,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
     /// End of input.
     Eof,
 }
@@ -156,6 +162,9 @@ impl fmt::Display for TokenKind {
             Gt => write!(f, ">"),
             Ge => write!(f, ">="),
             Bang => write!(f, "!"),
+            Pound => write!(f, "#"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
             Eof => write!(f, "<eof>"),
         }
     }
@@ -333,6 +342,9 @@ impl<'a> Lexer<'a> {
             b'{' => TokenKind::LBrace,
             b'}' => TokenKind::RBrace,
             b',' => TokenKind::Comma,
+            b'#' => TokenKind::Pound,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
             b';' => TokenKind::Semi,
             b':' => TokenKind::Colon,
             b'.' => TokenKind::Dot,
@@ -491,7 +503,7 @@ mod tests {
     #[test]
     fn lexes_single_char_operators() {
         assert_eq!(
-            kinds("& * + - / % = < > ! . , ; : ( ) { }"),
+            kinds("& * + - / % = < > ! . , ; : ( ) { } # [ ]"),
             vec![
                 TokenKind::Amp,
                 TokenKind::Star,
@@ -511,6 +523,9 @@ mod tests {
                 TokenKind::RParen,
                 TokenKind::LBrace,
                 TokenKind::RBrace,
+                TokenKind::Pound,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
                 TokenKind::Eof
             ]
         );

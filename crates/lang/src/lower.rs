@@ -39,6 +39,8 @@ pub fn lower_fn(
         current: BasicBlock::START,
         loop_stack: Vec::new(),
         terminated: false,
+        pending_declassify: None,
+        declassified_calls: Vec::new(),
     };
 
     // Universal regions: identity-mapped from the signature.
@@ -109,6 +111,7 @@ pub fn lower_fn(
         basic_blocks: cx.basic_blocks,
         regions: cx.regions,
         outlives: Vec::new(),
+        declassified_calls: cx.declassified_calls,
         span: func.span,
     }
 }
@@ -125,6 +128,12 @@ struct LowerCx<'a> {
     loop_stack: Vec<(BasicBlock, BasicBlock)>,
     /// Whether the current block already has a terminator.
     terminated: bool,
+    /// Initializer expression of a `#[declassify] let`, matched by id in
+    /// [`LowerCx::lower_call`]. An id (not a flag) so that nested calls in
+    /// the initializer's arguments, which lower first, are not marked.
+    pending_declassify: Option<ExprId>,
+    /// Accumulated locations of declassified `Call` terminators.
+    declassified_calls: Vec<Location>,
 }
 
 impl<'a> LowerCx<'a> {
@@ -211,12 +220,17 @@ impl<'a> LowerCx<'a> {
 
     fn lower_stmt(&mut self, stmt: &Stmt) {
         match &stmt.kind {
-            StmtKind::Let { init, .. } => {
+            StmtKind::Let {
+                init, declassify, ..
+            } => {
                 let var = *self
                     .table
                     .let_vars
                     .get(&init.id)
                     .expect("let binding was not type checked");
+                if *declassify {
+                    self.pending_declassify = Some(init.id);
+                }
                 let ty = self.freshen(&self.table.var_tys[var.0 as usize].clone());
                 let name = self.table.var_names[var.0 as usize].clone();
                 let mutable = self.table.var_mut[var.0 as usize];
@@ -467,6 +481,13 @@ impl<'a> LowerCx<'a> {
         let ty = self.freshen(&self.expr_ty(expr));
         let dest = self.new_temp(ty, expr.span);
         let next = self.new_block();
+        if self.pending_declassify == Some(expr.id) {
+            self.pending_declassify = None;
+            self.declassified_calls.push(Location {
+                block: self.current,
+                statement_index: self.basic_blocks[self.current.index()].statements.len(),
+            });
+        }
         self.terminate(
             TerminatorKind::Call {
                 func,

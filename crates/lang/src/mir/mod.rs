@@ -519,6 +519,10 @@ pub struct Body {
     pub regions: Vec<RegionData>,
     /// Outlives constraints collected by the region analysis.
     pub outlives: Vec<OutlivesConstraint>,
+    /// Locations of `Call` terminators whose `let` binding carried a
+    /// `#[declassify]` attribute. The information flow analysis ignores
+    /// these; the IFC policy layer relabels their results to lattice bottom.
+    pub declassified_calls: Vec<Location>,
     /// Span of the whole function.
     pub span: Span,
 }

@@ -3,21 +3,29 @@
 //! The grammar (roughly):
 //!
 //! ```text
-//! program    := (struct_def | fn_def)*
+//! program    := inner_attr* (struct_def | fn_def)*
+//! inner_attr := "#" "!" "[" IDENT "(" IDENT ")" "]"        // lattice, default_label
+//! outer_attr := "#" "[" IDENT ("(" IDENT ")")? "]"         // label, sink, declassify
 //! struct_def := "struct" IDENT "{" (IDENT ":" ty ","?)* "}"
-//! fn_def     := "fn" IDENT lifetimes? "(" params ")" ("->" ty)? where? block
+//! fn_def     := outer_attr* "fn" IDENT lifetimes? "(" params ")" ("->" ty)? where? block
+//! param      := outer_attr* IDENT ":" ty
 //! lifetimes  := "<" LIFETIME ("," LIFETIME)* ">"
 //! where      := "where" LIFETIME ":" LIFETIME ("," LIFETIME ":" LIFETIME)*
 //! ty         := "(" ")" | "i32" | "bool" | "(" ty ("," ty)+ ")" | IDENT
 //!             | "&" LIFETIME? "mut"? ty
 //! block      := "{" stmt* "}"
-//! stmt       := "let" "mut"? IDENT (":" ty)? "=" expr ";"
+//! stmt       := outer_attr? "let" "mut"? IDENT (":" ty)? "=" expr ";"
 //!             | "if" expr block ("else" (block | if_stmt))?
 //!             | "while" expr block | "loop" block
 //!             | "return" expr? ";" | "break" ";" | "continue" ";"
 //!             | expr ("=" expr)? ";"
 //! expr       := or_expr
 //! ```
+//!
+//! The attribute layer carries the IFC policy surface: `#![lattice(L)]` /
+//! `#![default_label(L)]` at module level, `#[label(L)]` on functions and
+//! parameters, `#[sink(L)]` on functions, and `#[declassify]` on a `let`
+//! whose initializer is a call (see `flowistry-ifc`).
 //!
 //! Operator precedence: `||` < `&&` < comparisons < `+ -` < `* / %` < unary.
 
@@ -75,6 +83,10 @@ impl Parser {
 
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
     }
 
     fn peek_span(&self) -> Span {
@@ -153,15 +165,63 @@ impl Parser {
         }
     }
 
+    // ---------------- attributes ----------------
+
+    /// Parses one `#[name]` / `#[name(arg)]` outer attribute.
+    fn outer_attr(&mut self) -> Result<(String, Option<String>, Span), Diagnostic> {
+        let start = self.expect(TokenKind::Pound)?.span;
+        self.expect(TokenKind::LBracket)?;
+        let (name, _) = self.expect_ident()?;
+        let arg = if self.eat(&TokenKind::LParen) {
+            let (a, _) = self.expect_ident()?;
+            self.expect(TokenKind::RParen)?;
+            Some(a)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::RBracket)?.span;
+        Ok((name, arg, start.to(end)))
+    }
+
+    /// Parses one `#![name(arg)]` inner (module-level) attribute.
+    fn inner_attr(&mut self) -> Result<(String, String, Span), Diagnostic> {
+        let start = self.expect(TokenKind::Pound)?.span;
+        self.expect(TokenKind::Bang)?;
+        self.expect(TokenKind::LBracket)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let (arg, _) = self.expect_ident()?;
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::RBracket)?.span;
+        Ok((name, arg, start.to(end)))
+    }
+
     // ---------------- items ----------------
 
     fn program(&mut self) -> Result<Program, Diagnostic> {
         let mut program = Program::default();
+        // Inner attributes may only appear before the first item.
+        while self.check(&TokenKind::Pound) && self.peek2() == Some(&TokenKind::Bang) {
+            let (name, arg, span) = self.inner_attr()?;
+            match name.as_str() {
+                "lattice" => program.lattice = Some(arg),
+                "default_label" => program.default_label = Some(arg),
+                other => {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "unknown module attribute `#![{other}(..)]` \
+                             (expected `lattice` or `default_label`)"
+                        ),
+                        span,
+                    ));
+                }
+            }
+        }
         loop {
             match self.peek() {
                 TokenKind::Eof => break,
                 TokenKind::Struct => program.structs.push(self.struct_def()?),
-                TokenKind::Fn => program.funcs.push(self.fn_def()?),
+                TokenKind::Fn | TokenKind::Pound => program.funcs.push(self.fn_def()?),
                 other => {
                     return Err(Diagnostic::error(
                         format!("expected `fn` or `struct`, found `{other}`"),
@@ -196,6 +256,24 @@ impl Parser {
     }
 
     fn fn_def(&mut self) -> Result<FnDef, Diagnostic> {
+        let mut label = None;
+        let mut clearance = None;
+        while self.check(&TokenKind::Pound) {
+            let (aname, arg, aspan) = self.outer_attr()?;
+            match (aname.as_str(), arg) {
+                ("label", Some(l)) => label = Some(l),
+                ("sink", Some(l)) => clearance = Some(l),
+                _ => {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "unknown function attribute `#[{aname}]` \
+                             (expected `#[label(L)]` or `#[sink(L)]`)"
+                        ),
+                        aspan,
+                    ));
+                }
+            }
+        }
         let start = self.expect(TokenKind::Fn)?.span;
         let (name, _) = self.expect_ident()?;
 
@@ -213,12 +291,29 @@ impl Parser {
         self.expect(TokenKind::LParen)?;
         let mut params = Vec::new();
         while !self.check(&TokenKind::RParen) {
+            let mut plabel = None;
+            while self.check(&TokenKind::Pound) {
+                let (aname, arg, aspan) = self.outer_attr()?;
+                match (aname.as_str(), arg) {
+                    ("label", Some(l)) => plabel = Some(l),
+                    _ => {
+                        return Err(Diagnostic::error(
+                            format!(
+                                "unknown parameter attribute `#[{aname}]` \
+                                 (expected `#[label(L)]`)"
+                            ),
+                            aspan,
+                        ));
+                    }
+                }
+            }
             let (pname, pspan) = self.expect_ident()?;
             self.expect(TokenKind::Colon)?;
             let pty = self.ty()?;
             params.push(Param {
                 name: pname,
                 ty: pty,
+                label: plabel,
                 span: pspan,
             });
             if !self.eat(&TokenKind::Comma) {
@@ -255,6 +350,8 @@ impl Parser {
             params,
             ret_ty,
             body,
+            label,
+            clearance,
             span,
         })
     }
@@ -342,6 +439,54 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
         let start = self.peek_span();
         match self.peek().clone() {
+            TokenKind::Pound => {
+                let (aname, arg, aspan) = self.outer_attr()?;
+                if aname != "declassify" || arg.is_some() {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "unknown statement attribute `#[{aname}]` \
+                             (expected `#[declassify]`)"
+                        ),
+                        aspan,
+                    ));
+                }
+                if !self.check(&TokenKind::Let) {
+                    return Err(Diagnostic::error(
+                        "`#[declassify]` must precede a `let` binding",
+                        aspan,
+                    ));
+                }
+                let inner = self.stmt()?;
+                let inner_span = inner.span;
+                match inner.kind {
+                    StmtKind::Let {
+                        name,
+                        mutable,
+                        ty,
+                        init,
+                        ..
+                    } => {
+                        if !matches!(init.kind, ExprKind::Call { .. }) {
+                            return Err(Diagnostic::error(
+                                "`#[declassify]` requires the initializer to be a \
+                                 function call (the sanctioned release point)",
+                                init.span,
+                            ));
+                        }
+                        Ok(Stmt {
+                            kind: StmtKind::Let {
+                                name,
+                                mutable,
+                                ty,
+                                init,
+                                declassify: true,
+                            },
+                            span: aspan.to(inner_span),
+                        })
+                    }
+                    _ => unreachable!("checked `let` above"),
+                }
+            }
             TokenKind::Let => {
                 self.bump();
                 let mutable = self.eat(&TokenKind::Mut);
@@ -360,6 +505,7 @@ impl Parser {
                         mutable,
                         ty,
                         init,
+                        declassify: false,
                     },
                     span: start.to(end),
                 })
@@ -947,6 +1093,61 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn parses_module_attributes() {
+        let src = "#![lattice(multi_level)]\n#![default_label(Low)]\nfn f() { }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.lattice.as_deref(), Some("multi_level"));
+        assert_eq!(p.default_label.as_deref(), Some("Low"));
+    }
+
+    #[test]
+    fn parses_function_and_param_labels() {
+        let src = "#[label(High)] #[sink(Low)] fn f(#[label(High)] x: i32, y: i32) -> i32 { return x + y; }";
+        let p = parse_program(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.label.as_deref(), Some("High"));
+        assert_eq!(f.clearance.as_deref(), Some("Low"));
+        assert_eq!(f.params[0].label.as_deref(), Some("High"));
+        assert_eq!(f.params[1].label, None);
+    }
+
+    #[test]
+    fn parses_declassify_let() {
+        let src = "fn g() -> i32 { return 1; }
+                   fn f() -> i32 { #[declassify] let x = g(); return x; }";
+        let p = parse_program(src).unwrap();
+        match &p.funcs[1].body.stmts[0].kind {
+            StmtKind::Let { declassify, .. } => assert!(declassify),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.funcs[1].body.stmts[1].kind {
+            StmtKind::Return(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_declassify_of_non_call() {
+        let err = parse_program("fn f() { #[declassify] let x = 1; }").unwrap_err();
+        assert!(err.message.contains("function call"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_declassify_before_non_let() {
+        let err = parse_program("fn f() { #[declassify] return; }").unwrap_err();
+        assert!(err.message.contains("`let`"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_unknown_attributes() {
+        assert!(parse_program("#![frobnicate(x)] fn f() { }").is_err());
+        assert!(parse_program("#[frobnicate] fn f() { }").is_err());
+        assert!(parse_program("fn f(#[sink(Low)] x: i32) { }").is_err());
+        // Inner attributes after the first item are rejected.
+        assert!(parse_program("fn f() { } #![lattice(two_point)]").is_err());
     }
 
     #[test]

@@ -293,6 +293,9 @@ fn build_signatures(program: &Program, structs: &StructTable) -> Result<Vec<FnSi
             region_count: region_names.len() as u32,
             region_names,
             outlives,
+            label: f.label.clone(),
+            clearance: f.clearance.clone(),
+            param_labels: f.params.iter().map(|p| p.label.clone()).collect(),
         });
     }
     Ok(sigs)
@@ -419,6 +422,7 @@ impl<'a> FnChecker<'a> {
                 mutable,
                 ty,
                 init,
+                declassify: _,
             } => {
                 let init_ty = self.check_expr(init)?;
                 let binding_ty = if let Some(ann) = ty {

@@ -279,6 +279,14 @@ pub struct FnSig {
     pub region_names: Vec<Option<String>>,
     /// Declared outlives bounds `(longer, shorter)` between signature regions.
     pub outlives: Vec<(RegionVid, RegionVid)>,
+    /// Security label of the data this function produces (`#[label(L)]`).
+    pub label: Option<String>,
+    /// Clearance of this function as a sink (`#[sink(L)]`): the highest label
+    /// it may observe.
+    pub clearance: Option<String>,
+    /// Per-parameter security labels (`#[label(L)]` on a parameter), indexed
+    /// parallel to [`FnSig::inputs`].
+    pub param_labels: Vec<Option<String>>,
 }
 
 impl FnSig {
@@ -409,6 +417,9 @@ mod tests {
             region_count: 1,
             region_names: vec![Some("a".into())],
             outlives: vec![],
+            label: None,
+            clearance: None,
+            param_labels: vec![None],
         };
         assert!(sig.has_unique_ref_param());
         let sig2 = FnSig {
@@ -418,6 +429,9 @@ mod tests {
             region_count: 1,
             region_names: vec![None],
             outlives: vec![],
+            label: None,
+            clearance: None,
+            param_labels: vec![None],
         };
         assert!(!sig2.has_unique_ref_param());
     }

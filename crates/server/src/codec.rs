@@ -14,6 +14,8 @@
 //! slice <func> <var>                  QueryRequest::BackwardSlice
 //! slice-at <func> <place> <blk> <st>  QueryRequest::BackwardSliceAt
 //! ifc <sinks> <producers> <params> <locals>   QueryRequest::CheckIfc
+//! policy <lattice> <default> <fns> <params> <locals> <sinks> <declassify>
+//!                                     QueryRequest::CheckPolicy
 //! stats                               QueryRequest::Stats
 //! metrics                             QueryRequest::Metrics
 //! update <nbytes>                     (then exactly <nbytes> source bytes + '\n')
@@ -44,6 +46,16 @@
 //! * **Θ (theta)**: `place=depset` pairs joined with `&`, empty `~`; lists
 //!   of thetas join with `|`, per-block lists join with `^`.
 //! * list fields that can be empty use `-` as the empty marker.
+//! * **lattice**: a built-in name (`two_point`, `multi_level`,
+//!   `conf_integrity`) or `linear:<level>:<level>:...` with escaped level
+//!   names, least restrictive first.
+//! * **policy lists**: `,`-joined tuples of escaped names, `:`-separated
+//!   within a tuple — pairs for function labels / sink clearances /
+//!   declassification points, triples for parameter and local labels.
+//! * **diagnostic**: `,`-separated fields (function, sink, location, line,
+//!   incoming label, clearance, sources, witness); sources are escaped
+//!   strings joined with `+`, witness steps are `location:line` joined
+//!   with `+`, diagnostics join with `|`.
 //!
 //! # Trailing attributes (backward-compatible extension point)
 //!
@@ -63,7 +75,9 @@
 
 use flowistry_core::{FunctionSummary, InfoFlowResults, Theta};
 use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, RunStats, ServiceStats};
-use flowistry_ifc::{IfcPolicy, IfcReport, Violation};
+use flowistry_ifc::{
+    IfcDiagnostic, IfcPolicy, IfcReport, LatticeSpec, Policy, Violation, WitnessStep,
+};
 use flowistry_lang::mir::{BasicBlock, Local, Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_slicer::Slice;
@@ -515,6 +529,174 @@ fn decode_reports(s: &str) -> Result<Vec<IfcReport>, String> {
         .collect()
 }
 
+/// Encodes a [`LatticeSpec`]: the built-in name, or `linear:` followed by
+/// the `:`-joined escaped level names.
+fn encode_lattice_spec(spec: &LatticeSpec) -> String {
+    match spec {
+        LatticeSpec::Linear(levels) => {
+            let mut out = "linear".to_string();
+            for level in levels {
+                out.push(':');
+                out.push_str(&esc(level));
+            }
+            out
+        }
+        builtin => builtin.kind_name().to_string(),
+    }
+}
+
+fn decode_lattice_spec(s: &str) -> Result<LatticeSpec, String> {
+    if let Some(levels) = s.strip_prefix("linear:") {
+        let levels: Vec<String> = levels.split(':').map(unesc).collect::<Result<_, _>>()?;
+        return Ok(LatticeSpec::Linear(levels));
+    }
+    LatticeSpec::parse(s).ok_or_else(|| format!("unknown lattice spec {s:?}"))
+}
+
+/// Encodes an optional label: `-` for `None`, the escaped name otherwise
+/// (a literal `-` escapes to `%2D`, so the marker is unambiguous).
+fn encode_opt_name(name: Option<&str>) -> String {
+    match name {
+        None => "-".to_string(),
+        Some(n) => esc(n),
+    }
+}
+
+fn decode_opt_name(s: &str) -> Result<Option<String>, String> {
+    if s == "-" {
+        return Ok(None);
+    }
+    Ok(Some(unesc(s)?))
+}
+
+/// Encodes `(function, name, label)` triples as `f:n:l`, `,`-joined.
+fn encode_triples(triples: &[(String, String, String)]) -> String {
+    if triples.is_empty() {
+        return "-".to_string();
+    }
+    triples
+        .iter()
+        .map(|(f, n, l)| format!("{}:{}:{}", esc(f), esc(n), esc(l)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_triples(s: &str) -> Result<Vec<(String, String, String)>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|triple| {
+            let fields: Vec<&str> = triple.split(':').collect();
+            let [f, n, l] = fields[..] else {
+                return Err(format!("bad name triple {triple:?}"));
+            };
+            Ok((unesc(f)?, unesc(n)?, unesc(l)?))
+        })
+        .collect()
+}
+
+fn decode_policy(fields: &[&str; 7]) -> Result<Policy, String> {
+    let [lattice, default, fns, params, locals, sinks, declassify] = fields;
+    Ok(Policy {
+        lattice: decode_lattice_spec(lattice)?,
+        default_label: decode_opt_name(default)?,
+        fn_labels: decode_pairs(fns)?,
+        param_labels: decode_triples(params)?,
+        local_labels: decode_triples(locals)?,
+        sink_clearances: decode_pairs(sinks)?,
+        declassify: decode_pairs(declassify)?,
+    })
+}
+
+fn encode_diagnostics(diags: &[IfcDiagnostic]) -> String {
+    if diags.is_empty() {
+        return "-".to_string();
+    }
+    diags
+        .iter()
+        .map(|d| {
+            let sources = if d.sources.is_empty() {
+                "-".to_string()
+            } else {
+                d.sources
+                    .iter()
+                    .map(|s| esc(s))
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            let witness = if d.witness.is_empty() {
+                "-".to_string()
+            } else {
+                d.witness
+                    .iter()
+                    .map(|w| format!("{}:{}", encode_location(w.location), w.line))
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            format!(
+                "{},{},{},{},{},{},{},{}",
+                esc(&d.in_function),
+                esc(&d.sink),
+                encode_location(d.location),
+                d.line,
+                esc(&d.incoming_label),
+                esc(&d.clearance),
+                sources,
+                witness
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn decode_diagnostics(s: &str) -> Result<Vec<IfcDiagnostic>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('|')
+        .map(|diag| {
+            let fields: Vec<&str> = diag.split(',').collect();
+            let [in_function, sink, location, line, incoming, clearance, sources, witness] =
+                fields[..]
+            else {
+                return Err(format!("diagnostic has {} fields, want 8", fields.len()));
+            };
+            let sources = if sources == "-" {
+                Vec::new()
+            } else {
+                sources.split('+').map(unesc).collect::<Result<_, _>>()?
+            };
+            let witness = if witness == "-" {
+                Vec::new()
+            } else {
+                witness
+                    .split('+')
+                    .map(|step| {
+                        let (loc, line) = step
+                            .rsplit_once(':')
+                            .ok_or_else(|| format!("bad witness step {step:?}"))?;
+                        Ok(WitnessStep {
+                            location: decode_location(loc)?,
+                            line: parse_num(line, "witness line")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?
+            };
+            Ok(IfcDiagnostic {
+                in_function: unesc(in_function)?,
+                sink: unesc(sink)?,
+                location: decode_location(location)?,
+                line: parse_num(line, "line")?,
+                incoming_label: unesc(incoming)?,
+                clearance: unesc(clearance)?,
+                sources,
+                witness,
+            })
+        })
+        .collect()
+}
+
 fn encode_stats(stats: &ServiceStats) -> String {
     format!(
         "{} {} {} {} {} {} {} {} {} {} {}",
@@ -582,6 +764,16 @@ pub fn encode_request(request: &QueryRequest) -> String {
             encode_pairs(&policy.secure_params),
             encode_pairs(&policy.secure_locals),
         ),
+        QueryRequest::CheckPolicy(policy) => format!(
+            "policy {} {} {} {} {} {} {}",
+            encode_lattice_spec(&policy.lattice),
+            encode_opt_name(policy.default_label.as_deref()),
+            encode_pairs(&policy.fn_labels),
+            encode_triples(&policy.param_labels),
+            encode_triples(&policy.local_labels),
+            encode_pairs(&policy.sink_clearances),
+            encode_pairs(&policy.declassify),
+        ),
         QueryRequest::Stats => "stats".to_string(),
         QueryRequest::Metrics => "metrics".to_string(),
     }
@@ -645,6 +837,11 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
             secure_producers: decode_names(producers)?,
             insecure_sinks: decode_names(sinks)?,
         }),
+        ["policy", lattice, default, fns, params, locals, sinks, declassify] => {
+            QueryRequest::CheckPolicy(decode_policy(&[
+                lattice, default, fns, params, locals, sinks, declassify,
+            ])?)
+        }
         ["stats"] => QueryRequest::Stats,
         ["metrics"] => QueryRequest::Metrics,
         ["update", bytes] => {
@@ -657,9 +854,9 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
         [verb, ..] => {
             // A known verb with the wrong arity deserves a better hint than
             // "unknown request" — it misdirects anyone debugging over `nc`.
-            const VERBS: [&str; 9] = [
-                "summary", "results", "slice", "slice-at", "ifc", "stats", "metrics", "update",
-                "shutdown",
+            const VERBS: [&str; 10] = [
+                "summary", "results", "slice", "slice-at", "ifc", "policy", "stats", "metrics",
+                "update", "shutdown",
             ];
             return Err(if VERBS.contains(&verb) {
                 format!("wrong number of arguments for {verb:?}")
@@ -693,6 +890,9 @@ pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
             format!("slice-at {epoch} {}", encode_locations(locs))
         }
         QueryResponse::CheckIfc(reports) => format!("ifc {epoch} {}", encode_reports(reports)),
+        QueryResponse::CheckPolicy(diags) => {
+            format!("policy {epoch} {}", encode_diagnostics(diags))
+        }
         QueryResponse::Stats(stats) => format!("stats {epoch} {}", encode_stats(stats)),
         QueryResponse::Metrics(text) => format!("metrics {epoch} {}", esc(text)),
         QueryResponse::Error(msg) => format!("error {epoch} {}", esc(msg)),
@@ -745,6 +945,7 @@ pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
         },
         "slice-at" => QueryResponse::BackwardSliceAt(decode_locations(one()?)?),
         "ifc" => QueryResponse::CheckIfc(decode_reports(one()?)?),
+        "policy" => QueryResponse::CheckPolicy(decode_diagnostics(one()?)?),
         "stats" => QueryResponse::Stats(decode_stats(payload)?),
         "metrics" => QueryResponse::Metrics(unesc(one()?)?),
         "error" => QueryResponse::Error(unesc(one()?)?),
@@ -761,7 +962,7 @@ pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
 mod tests {
     use super::*;
     use flowistry_core::{analyze, AnalysisParams, Condition, Dep, DepSet};
-    use flowistry_ifc::IfcChecker;
+    use flowistry_ifc::{IfcChecker, PolicyChecker};
     use flowistry_lang::mir::PlaceElem;
     use flowistry_slicer::Slicer;
 
@@ -810,6 +1011,30 @@ mod tests {
                 .with_secure_producer("read password")
                 .with_secure_param("login", "secret_key"),
         ));
+        roundtrip_request(QueryRequest::CheckPolicy(Policy::default()));
+        // Every policy field populated, every built-in lattice, and a
+        // custom chain whose level names need escaping.
+        for lattice in [
+            LatticeSpec::TwoPoint,
+            LatticeSpec::MultiLevel,
+            LatticeSpec::ConfIntegrity,
+            LatticeSpec::Linear(vec![
+                "lo w".to_string(),
+                String::new(),
+                "hïgh|er".to_string(),
+            ]),
+        ] {
+            roundtrip_request(QueryRequest::CheckPolicy(
+                Policy::default()
+                    .with_lattice(lattice)
+                    .with_default_label("Low")
+                    .with_fn_label("read password", "Top Secret")
+                    .with_param_label("login", "secret_key", "High")
+                    .with_local_label("main", "pin code", "High")
+                    .with_sink("print", "Med")
+                    .with_declassify("main", "hash&salt"),
+            ));
+        }
         roundtrip_request(QueryRequest::Stats);
     }
 
@@ -839,6 +1064,13 @@ mod tests {
             "slice-at 1 2.z 0 0",
             "ifc a b c",
             "ifc - - bad_pair -",
+            "policy",
+            "policy two_point - - - - -",
+            "policy bogus_lattice - - - - - -",
+            "policy two_point - lone_name - - - -",
+            "policy two_point - - only:two - - -",
+            "policy two_point - - - - f:L extra_field -",
+            "policy two_point %ZZ - - - - -",
             "update",
             "update lots",
             "stats 1",
@@ -978,6 +1210,84 @@ mod tests {
         });
     }
 
+    /// `policy` envelopes round-trip bit-exactly with payloads from a real
+    /// [`PolicyChecker`] run, so structured diagnostics — labels, sources
+    /// with spaces and backticks, multi-step witness spans — all survive
+    /// the wire.
+    #[test]
+    fn policy_envelopes_roundtrip_with_real_diagnostics() {
+        let program = flowistry_lang::compile(
+            "fn fetch_token(seed: i32) -> i32 { return seed + 1; }
+             fn audit_log(x: i32) -> i32 { return x; }
+             fn main(v: i32) -> i32 {
+                 let token = fetch_token(v);
+                 let copied = token + 0;
+                 return audit_log(copied);
+             }",
+        )
+        .unwrap();
+        let policy = Policy::default()
+            .with_lattice(LatticeSpec::MultiLevel)
+            .with_fn_label("fetch_token", "High")
+            .with_sink("audit_log", "Low");
+        let checker = PolicyChecker::new(&program, policy).unwrap();
+        let diagnostics: Vec<IfcDiagnostic> = checker
+            .check_program()
+            .into_iter()
+            .flat_map(|r| r.diagnostics)
+            .collect();
+        let diag = diagnostics
+            .first()
+            .expect("fixture must produce a violation");
+        assert!(
+            diag.witness.len() >= 2,
+            "fixture witness must span multiple steps: {diag:?}"
+        );
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 6,
+            trace_id: None,
+            response: QueryResponse::CheckPolicy(diagnostics),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            trace_id: Some("policy-probe".to_string()),
+            response: QueryResponse::CheckPolicy(Vec::new()),
+        });
+        // Hand-built worst case: every escapable field exercised at once.
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 1,
+            trace_id: None,
+            response: QueryResponse::CheckPolicy(vec![IfcDiagnostic {
+                in_function: "fn with space".to_string(),
+                sink: String::new(),
+                location: Location {
+                    block: BasicBlock(3),
+                    statement_index: 14,
+                },
+                line: 1,
+                incoming_label: "Secret_Untrusted".to_string(),
+                clearance: "a|b,c".to_string(),
+                sources: vec!["call to `x`".to_string(), "100%".to_string()],
+                witness: vec![
+                    WitnessStep {
+                        location: Location {
+                            block: BasicBlock(0),
+                            statement_index: 0,
+                        },
+                        line: 2,
+                    },
+                    WitnessStep {
+                        location: Location {
+                            block: BasicBlock(3),
+                            statement_index: 14,
+                        },
+                        line: 9,
+                    },
+                ],
+            }]),
+        });
+    }
+
     #[test]
     fn depsets_and_thetas_roundtrip_exactly() {
         let mut theta = Theta::new();
@@ -1013,6 +1323,10 @@ mod tests {
             "slice 0 a b",
             "slice-at 0 0.z",
             "ifc 0 f:x:y^",
+            "policy 0 too,few,fields",
+            "policy 0 f,s,0.0,1,H,L,-,stepless",
+            "policy 0 f,s,0.0,1,H,L,-,0.z:3",
+            "policy 0 f,s,0.0,nine,H,L,-,-",
             "stats 0 1 2 3",
             "wat 0 -",
         ] {

@@ -12,7 +12,9 @@
 //!   content-hashed summary caching, owned `AnalysisSnapshot` query
 //!   surface, and the async `FlowService` query front);
 //! * [`slicer`] — the program slicer application (Figure 5a);
-//! * [`ifc`] — the information flow control checker (Figure 5b);
+//! * [`ifc`] — information flow control (Figure 5b): the lattice policy
+//!   engine with declassification and flow witnesses, plus the legacy
+//!   convention checker;
 //! * [`corpus`] — the synthetic evaluation dataset generator;
 //! * [`obs`] — the observability layer (metrics registry, leveled
 //!   logging, span timers) threaded through engine, service, and server;
@@ -54,7 +56,9 @@ pub mod prelude {
         AnalysisEngine, AnalysisSnapshot, EngineConfig, FlowService, QueryRequest, QueryResponse,
         ServiceConfig,
     };
-    pub use flowistry_ifc::{IfcChecker, IfcPolicy};
+    pub use flowistry_ifc::{
+        IfcChecker, IfcDiagnostic, IfcPolicy, LatticeSpec, Policy, PolicyChecker, SecurityLattice,
+    };
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
     pub use flowistry_server::{FlowClient, FlowServer, ServerConfig};
