@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
-//! `perf`, `noninterference`, `ifc`, `all` (default). Results are printed
+//! `perf`, `engine`, `service-latency`, `fleet`, `noninterference`, `ifc`,
+//! `all` (default). Results are printed
 //! and also written as JSON under `results/`. `ifc` runs the labeled-corpus
 //! differential (policy checker vs interpreter vs legacy checker) and exits
 //! nonzero on any mismatch.
@@ -131,6 +132,7 @@ fn main() {
         "perf" => run_perf(seed, scale, out_dir),
         "engine" => run_engine(seed, scale, out_dir),
         "service-latency" => run_service_latency(seed, scale, out_dir),
+        "fleet" => run_fleet(seed, scale, out_dir),
         "noninterference" => run_noninterference(seed, scale),
         "ifc" => run_ifc(seed, scale, out_dir),
         cmd => {
@@ -286,6 +288,23 @@ fn run_service_latency(seed: u64, scale: Scale, out_dir: &Path) {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_service_latency.json"
     );
+    write_json(std::path::PathBuf::from(bench), &report);
+}
+
+fn run_fleet(seed: u64, scale: Scale, out_dir: &Path) {
+    eprintln!("measuring fleet routing (8 clients, 3 replicas, 1 chaos kill)...");
+    let report = flowistry_eval::measure_fleet(
+        scale.engine_profile,
+        seed,
+        3,
+        8,
+        scale.service_requests,
+        true,
+    );
+    println!("{}", flowistry_eval::render_fleet(&report));
+    write_json(out_dir.join("fleet.json"), &report);
+    // The repo-root benchmark artifact CI parses and the README links.
+    let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     write_json(std::path::PathBuf::from(bench), &report);
 }
 

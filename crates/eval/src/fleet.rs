@@ -1,0 +1,304 @@
+//! End-to-end fleet routing under loopback chaos, measured from the
+//! router's own telemetry registry.
+//!
+//! The experiment stands up the full fleet stack — corpus program →
+//! `N` in-process `flow-server` replicas sharing a summary-cache dir →
+//! [`FlowRouter`] — then runs concurrent clients issuing a mixed request
+//! workload through the front while a wire `update` is broadcast and one
+//! replica is killed out from under the fleet. When the clients finish,
+//! the report is read straight off the router's metrics registry (the same
+//! numbers its wire `metrics` verb returns), so the experiment doubles as
+//! a check that fleet telemetry measures real traffic:
+//!
+//! * per-kind p50/p99 *route* latency (decode to flush, including any
+//!   failover retries) from the `flow_router_route_seconds` histograms;
+//! * failover work: retries, synthesized losses (must be zero — clients
+//!   re-issue and the fleet absorbs them), supervisor respawns;
+//! * broadcast health: quorum acks for every update pushed.
+//!
+//! [`FlowRouter`]: flowistry_router::FlowRouter
+
+use crate::service_latency::KindLatency;
+use flowistry_corpus::generate_crate;
+use flowistry_engine::{QueryRequest, QueryResponse};
+use flowistry_lang::types::FuncId;
+use flowistry_obs::Registry;
+use flowistry_router::{BackendLauncher, FlowRouter, InProcessLauncher, RouterConfig};
+use flowistry_server::{ClientConfig, FlowClient};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Results of the loopback fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Corpus crate the fleet analyzed.
+    pub krate: String,
+    /// Functions in that crate.
+    pub num_functions: usize,
+    /// Replicas behind the router.
+    pub backends: usize,
+    /// Concurrent TCP clients.
+    pub clients: usize,
+    /// Requests each client issued.
+    pub requests_per_client: usize,
+    /// Per-kind route-latency digests (only kinds the workload exercised).
+    pub per_kind: Vec<KindLatency>,
+    /// Command lines the router decoded and served.
+    pub requests_routed: u64,
+    /// Requests retried onto a ring successor after a backend loss.
+    pub retries: u64,
+    /// Requests answered with a synthesized loss error (clients re-issued
+    /// these; the count measures the chaos window, not lost work).
+    pub lost_requests: u64,
+    /// Replicas the supervisor respawned (1 with chaos enabled).
+    pub respawns: u64,
+    /// Update broadcasts that reached quorum (one per update pushed).
+    pub quorum_acks: u64,
+    /// Envelopes whose echoed trace id did not match the client's
+    /// (must be zero).
+    pub trace_mismatches: usize,
+}
+
+/// The kinds the mixed workload cycles through.
+const WORKLOAD_KINDS: [&str; 4] = ["summary", "results", "slice", "stats"];
+
+/// Runs the loopback fleet experiment: `clients` concurrent TCP clients
+/// each issue `requests_per_client` requests through a router fronting
+/// `backends` replicas of the corpus crate from `profile_index` and
+/// `seed`, racing one wire `update` broadcast and (when `chaos`) the
+/// kill-and-respawn of replica 1.
+///
+/// # Panics
+///
+/// Panics if the corpus crate fails to compile, loopback networking is
+/// unavailable, or any client sees a wrong answer — all environment or
+/// routing bugs, not measurements.
+pub fn measure_fleet(
+    profile_index: usize,
+    seed: u64,
+    backends: usize,
+    clients: usize,
+    requests_per_client: usize,
+    chaos: bool,
+) -> FleetReport {
+    let profiles = flowistry_corpus::paper_profiles();
+    let profile = &profiles[profile_index.min(profiles.len() - 1)];
+    let krate = generate_crate(profile, seed);
+    let num_functions = krate.program.bodies.len();
+
+    let cache_dir = std::env::temp_dir().join(format!(
+        "flow-eval-fleet-{}-{profile_index}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&cache_dir).expect("create fleet cache dir");
+    let launchers: Vec<Box<dyn BackendLauncher>> = (0..backends)
+        .map(|_| {
+            Box::new(InProcessLauncher {
+                source: krate.source.clone(),
+                workers: 0,
+                cache_dir: Some(cache_dir.clone()),
+                auth_token: None,
+            }) as Box<dyn BackendLauncher>
+        })
+        .collect();
+
+    // A private registry: the report must reflect this run only.
+    let registry = Arc::new(Registry::new());
+    let config = RouterConfig::default()
+        .with_max_connections(clients + 2)
+        .with_health_interval(Duration::from_millis(40))
+        .with_failure_threshold(2)
+        .with_registry(registry.clone());
+    let router = FlowRouter::start(launchers, "127.0.0.1:0", config).expect("start loopback fleet");
+    let addr = router.local_addr();
+
+    let trace_mismatches = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            let trace_mismatches = &trace_mismatches;
+            s.spawn(move || {
+                let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                    .expect("connect fleet client");
+                let tid = format!("fleet-client-{t}");
+                for i in 0..requests_per_client {
+                    let func = FuncId(((i * clients + t) % num_functions) as u32);
+                    let request = match (i + t) % WORKLOAD_KINDS.len() {
+                        0 => QueryRequest::Summary(func),
+                        1 => QueryRequest::Results(func),
+                        2 => QueryRequest::BackwardSlice {
+                            func,
+                            var: "x0".to_string(),
+                        },
+                        _ => QueryRequest::Stats,
+                    };
+                    // A request the chaos window genuinely lost is
+                    // re-issued; anything else must succeed.
+                    for attempt in 0..32 {
+                        client
+                            .submit_traced(&request, Some(&tid))
+                            .expect("traced submit");
+                        let envelope = client.recv().expect("fleet round-trip");
+                        match &envelope.response {
+                            QueryResponse::Error(msg) if msg.starts_with("router:") => {
+                                assert!(attempt < 31, "{request:?} lost 32 times: {msg}");
+                                continue;
+                            }
+                            QueryResponse::Error(msg) => {
+                                panic!("fleet request {request:?} failed: {msg}")
+                            }
+                            _ => {}
+                        }
+                        if envelope.trace_id.as_deref() != Some(tid.as_str()) {
+                            trace_mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Meanwhile: one broadcast of the same source (a warm re-analysis
+        // on every replica) must reach quorum mid-traffic.
+        let source = &krate.source;
+        s.spawn(move || {
+            let mut updater = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                .expect("connect updater");
+            let epoch = updater.update(source).expect("fleet update broadcast");
+            assert_eq!(epoch, 1, "first broadcast must ack epoch 1");
+        });
+
+        if chaos {
+            let router = &router;
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                router.kill_backend(backends - 1);
+            });
+        }
+    });
+
+    if chaos {
+        // The supervisor must repair the fleet before the run counts.
+        // `backend_healthy` alone is not enough — it stays true until the
+        // probes fail — so wait for the respawn to be *recorded* first.
+        let respawned = || {
+            registry
+                .counter(
+                    &format!(
+                        "flow_router_backend_respawns_total{{backend=\"{}\"}}",
+                        backends - 1
+                    ),
+                    "",
+                )
+                .value()
+                >= 1
+        };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while !(respawned() && router.backend_healthy(backends - 1)) {
+            assert!(
+                Instant::now() < deadline,
+                "killed replica was never respawned"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    // Read the digests off the registry — the handles are the same Arcs
+    // the router recorded into (get-or-insert returns existing metrics).
+    let per_kind = WORKLOAD_KINDS
+        .iter()
+        .map(|kind| {
+            let route =
+                registry.histogram(&format!("flow_router_route_seconds{{kind=\"{kind}\"}}"), "");
+            KindLatency {
+                kind: kind.to_string(),
+                requests: route.count(),
+                p50_seconds: route.quantile(0.5).unwrap_or(0.0),
+                p99_seconds: route.quantile(0.99).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    let sum_over_backends = |base: &str| -> u64 {
+        (0..backends)
+            .map(|i| {
+                registry
+                    .counter(&format!("{base}{{backend=\"{i}\"}}"), "")
+                    .value()
+            })
+            .sum()
+    };
+    let report = FleetReport {
+        krate: krate.name.clone(),
+        num_functions,
+        backends,
+        clients,
+        requests_per_client,
+        per_kind,
+        requests_routed: registry.counter("flow_router_requests_total", "").value(),
+        retries: sum_over_backends("flow_router_backend_retries_total"),
+        lost_requests: registry
+            .counter("flow_router_lost_requests_total", "")
+            .value(),
+        respawns: sum_over_backends("flow_router_backend_respawns_total"),
+        quorum_acks: registry.counter("flow_router_updates_total", "").value(),
+        trace_mismatches: trace_mismatches.into_inner(),
+    };
+    drop(router);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    report
+}
+
+/// Renders the report as a text block for the evaluation output.
+pub fn render_fleet(report: &FleetReport) -> String {
+    let mut out = format!(
+        "Fleet routing over loopback TCP on `{}` ({} functions)\n\
+           {} clients x {} requests through {} replicas\n",
+        report.krate,
+        report.num_functions,
+        report.clients,
+        report.requests_per_client,
+        report.backends,
+    );
+    for k in &report.per_kind {
+        let _ = writeln!(
+            out,
+            "   {:<8} {:>6} reqs   route p50 {:>9.1} us   p99 {:>9.1} us",
+            k.kind,
+            k.requests,
+            k.p50_seconds * 1e6,
+            k.p99_seconds * 1e6,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "   routed {}   retries {}   losses {}   respawns {}   quorum acks {}   trace mismatches {}",
+        report.requests_routed,
+        report.retries,
+        report.lost_requests,
+        report.respawns,
+        report.quorum_acks,
+        report.trace_mismatches,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowistry_corpus::DEFAULT_SEED;
+
+    #[test]
+    fn fleet_experiment_routes_and_survives_chaos() {
+        let report = measure_fleet(0, DEFAULT_SEED, 3, 4, 12, true);
+        assert_eq!(report.trace_mismatches, 0, "trace ids must echo verbatim");
+        assert_eq!(report.per_kind.len(), WORKLOAD_KINDS.len());
+        for k in &report.per_kind {
+            assert!(k.requests > 0, "{} never exercised", k.kind);
+            assert!(k.p99_seconds >= k.p50_seconds, "{} p99 < p50", k.kind);
+        }
+        assert!(report.requests_routed >= (4 * 12) as u64);
+        assert_eq!(report.quorum_acks, 1, "the broadcast must reach quorum");
+        assert!(report.respawns >= 1, "chaos must force a respawn");
+    }
+}

@@ -331,6 +331,25 @@ impl ToJson for ServiceLatencyReport {
     }
 }
 
+impl ToJson for crate::fleet::FleetReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("krate", self.krate.to_json()),
+            ("num_functions", self.num_functions.to_json()),
+            ("backends", self.backends.to_json()),
+            ("clients", self.clients.to_json()),
+            ("requests_per_client", self.requests_per_client.to_json()),
+            ("per_kind", self.per_kind.to_json()),
+            ("requests_routed", self.requests_routed.to_json()),
+            ("retries", self.retries.to_json()),
+            ("lost_requests", self.lost_requests.to_json()),
+            ("respawns", self.respawns.to_json()),
+            ("quorum_acks", self.quorum_acks.to_json()),
+            ("trace_mismatches", self.trace_mismatches.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

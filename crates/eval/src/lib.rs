@@ -21,6 +21,7 @@
 
 pub mod engine_perf;
 pub mod figures;
+pub mod fleet;
 pub mod ifc_diff;
 pub mod json;
 pub mod measure;
@@ -30,6 +31,7 @@ pub mod service_latency;
 
 pub use engine_perf::{measure_incremental, render_incremental, IncrementalReport};
 pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, DiffStats};
+pub use fleet::{measure_fleet, render_fleet, FleetReport};
 pub use ifc_diff::{measure_ifc_differential, render_ifc_differential, IfcDifferentialReport};
 pub use json::{Json, ToJson};
 pub use measure::{

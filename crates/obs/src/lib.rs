@@ -27,4 +27,6 @@ pub use log::{
     current_trace_id, emit, enabled, max_level, parse_level, set_max_level, set_sink,
     with_trace_id, Level, Record, Span, TraceIdGuard, DEFAULT_LEVEL,
 };
-pub use metrics::{Counter, Gauge, Histogram, Registry, COUNTER_STRIPES, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, Registry, COUNTER_STRIPES, HISTOGRAM_BUCKETS,
+};

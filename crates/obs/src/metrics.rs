@@ -368,6 +368,39 @@ impl Registry {
     }
 }
 
+/// Builds a labeled series name — `base{k1="v1",k2="v2"}` — with label
+/// values escaped per the Prometheus exposition rules (backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`). Callers registering
+/// per-entity series (per request kind, per backend replica, …) should
+/// build names through this instead of hand-formatting the label block, so
+/// hostile or surprising values cannot corrupt the scrape.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 fn kind_of(metric: &Metric) -> &'static str {
     match metric {
         Metric::Counter(..) => "a counter",
@@ -399,6 +432,29 @@ fn with_extra_label(base: &str, labels: &str, extra: &str, suffix: &str) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labeled_builds_escaped_series_names() {
+        assert_eq!(
+            labeled("flow_router_requests_total", &[]),
+            "flow_router_requests_total"
+        );
+        assert_eq!(
+            labeled("flow_router_backend_up", &[("backend", "2")]),
+            "flow_router_backend_up{backend=\"2\"}"
+        );
+        assert_eq!(
+            labeled("x_total", &[("kind", "a\"b\\c\nd"), ("backend", "0")]),
+            "x_total{kind=\"a\\\"b\\\\c\\nd\",backend=\"0\"}"
+        );
+        // The escaped form parses back under split_labels and renders.
+        let registry = Registry::new();
+        registry
+            .counter(&labeled("t_total", &[("backend", "1")]), "per-backend")
+            .inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("t_total{backend=\"1\"} 1"), "{text}");
+    }
 
     #[test]
     fn counters_sum_across_threads() {

@@ -1,0 +1,484 @@
+//! Backend lifecycle for the router: how replicas are launched (child
+//! `flow-server` processes or in-process servers), how the router talks to
+//! them (one pipelined data connection plus one control connection each),
+//! and how a dead replica is detected and respawned.
+
+use flowistry_obs::{Counter, Gauge, Registry};
+use flowistry_server::{ClientConfig, FlowClient};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long connection attempts to a backend may take before the router
+/// counts them as failures.
+pub(crate) const BACKEND_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Connect retry budget against a backend that is still binding. Kept
+/// small (~15ms of backoff total): launchers return only after the
+/// instance is bound, so a refused connect usually means *dead*, and the
+/// caller wants that verdict fast enough to fail over.
+pub(crate) const BACKEND_CONNECT_ATTEMPTS: u32 = 5;
+
+/// A live backend instance: where it listens and what keeps it alive.
+pub struct BackendHandle {
+    /// The address the instance serves on.
+    pub addr: SocketAddr,
+    kind: HandleKind,
+}
+
+enum HandleKind {
+    /// A supervised child process (killed on respawn and on drop).
+    Process(Child),
+    /// An in-process [`FlowServer`], for tests and single-binary fleets.
+    InProcess(flowistry_server::FlowServer),
+    /// An address the router does not supervise (no kill, no respawn).
+    External,
+}
+
+impl BackendHandle {
+    /// Wraps an address the router should route to but never supervise.
+    pub fn external(addr: SocketAddr) -> BackendHandle {
+        BackendHandle {
+            addr,
+            kind: HandleKind::External,
+        }
+    }
+
+    /// The child's OS pid, when the backend is a child process.
+    pub fn pid(&self) -> Option<u32> {
+        match &self.kind {
+            HandleKind::Process(child) => Some(child.id()),
+            _ => None,
+        }
+    }
+
+    /// Whether the router supervises (and may respawn) this instance.
+    pub fn supervised(&self) -> bool {
+        !matches!(self.kind, HandleKind::External)
+    }
+
+    /// Tears the instance down ungracefully — the chaos path and the
+    /// respawn path share it.
+    pub fn kill(&mut self) {
+        match &mut self.kind {
+            HandleKind::Process(child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            HandleKind::InProcess(server) => server.shutdown(),
+            HandleKind::External => {}
+        }
+    }
+}
+
+impl Drop for BackendHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Launches backend instances. One launcher per ring slot: respawning slot
+/// `i` means calling its launcher again, so a replacement instance comes up
+/// with the same configuration (source file, cache dir, auth token) as the
+/// one that died.
+pub trait BackendLauncher: Send + Sync {
+    /// Starts one instance and returns its handle once it is listening.
+    fn launch(&self) -> io::Result<BackendHandle>;
+}
+
+/// Launches `flow-server` child processes, the production deployment
+/// shape. Every instance of a slot shares the `--cache-dir`, so a respawn
+/// warm-starts from the summaries its predecessor (and its siblings)
+/// already persisted.
+pub struct ProcessLauncher {
+    /// Path to the `flow-server` binary.
+    pub binary: std::path::PathBuf,
+    /// Path to the seed source file the server compiles at startup.
+    pub source: std::path::PathBuf,
+    /// Extra arguments (`--cache-dir`, `--auth-token`, budgets, ...).
+    pub args: Vec<String>,
+}
+
+impl BackendLauncher for ProcessLauncher {
+    fn launch(&self) -> io::Result<BackendHandle> {
+        let mut child = Command::new(&self.binary)
+            .arg(&self.source)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(&self.args)
+            .stdout(Stdio::piped())
+            .stdin(Stdio::null())
+            .spawn()?;
+        // The server prints `flow-server listening on <addr>` once bound.
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout);
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            if lines.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "flow-server exited before announcing its address",
+                ));
+            }
+            if let Some(rest) = line.trim().strip_prefix("flow-server listening on ") {
+                match rest.parse::<SocketAddr>() {
+                    Ok(addr) => break addr,
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unparseable listen line {rest:?}: {e}"),
+                        ));
+                    }
+                }
+            }
+        };
+        // Keep draining the child's stdout so it can never block on a full
+        // pipe; the thread dies with the pipe when the child does.
+        std::thread::Builder::new()
+            .name("flow-backend-drain".to_string())
+            .spawn(move || {
+                let mut sink = String::new();
+                loop {
+                    sink.clear();
+                    match lines.read_line(&mut sink) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                }
+            })
+            .expect("spawn stdout drain");
+        Ok(BackendHandle {
+            addr,
+            kind: HandleKind::Process(child),
+        })
+    }
+}
+
+/// Launches in-process [`FlowServer`]s — no child processes, so tests and
+/// the eval harness can stand up a whole fleet inside one test binary.
+pub struct InProcessLauncher {
+    /// Seed program source each instance compiles at startup.
+    pub source: String,
+    /// Engine/service worker threads per instance (`0` = auto).
+    pub workers: usize,
+    /// Shared summary-cache directory, when warm-starting is wanted.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Auth token each instance requires, matching the router's
+    /// backend token.
+    pub auth_token: Option<String>,
+}
+
+impl BackendLauncher for InProcessLauncher {
+    fn launch(&self) -> io::Result<BackendHandle> {
+        use flowistry_core::{AnalysisParams, Condition};
+        use flowistry_engine::{AnalysisEngine, EngineConfig, FlowService, ServiceConfig};
+        use flowistry_server::{FlowServer, ServerConfig};
+
+        let program = flowistry_lang::compile(&self.source)
+            .map_err(|d| io::Error::new(io::ErrorKind::InvalidData, d.message))?;
+        let mut engine_config = EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM))
+            .with_threads(self.workers)
+            .with_metrics(Arc::new(Registry::new()));
+        if let Some(dir) = &self.cache_dir {
+            engine_config = engine_config.with_cache_path(dir);
+        }
+        let engine = AnalysisEngine::new(Arc::new(program), engine_config);
+        let service = FlowService::new(engine, ServiceConfig::default().with_workers(self.workers));
+        let mut server_config = ServerConfig::default().with_max_connections(8);
+        if let Some(token) = &self.auth_token {
+            server_config = server_config.with_auth_token(token.clone());
+        }
+        let server = FlowServer::bind(service, "127.0.0.1:0", server_config)?;
+        Ok(BackendHandle {
+            addr: server.local_addr(),
+            kind: HandleKind::InProcess(server),
+        })
+    }
+}
+
+/// What a routed request gets back from the backend pool.
+pub(crate) enum BackendReply {
+    /// The backend's verbatim response line.
+    Line(String),
+}
+
+/// The shared pipelined data connection to one backend. All client
+/// connections' routed requests multiplex over it; responses come back in
+/// write order, so an in-order queue of reply senders is enough to match
+/// them up.
+struct BackendConn {
+    writer: TcpStream,
+    /// Senders for responses not yet received, in request order. Shared
+    /// with the reader thread, which pops the front per response line.
+    inflight: Arc<Mutex<VecDeque<Sender<BackendReply>>>>,
+    /// Set by the reader thread when the connection dies.
+    dead: Arc<AtomicBool>,
+}
+
+impl BackendConn {
+    fn open(addr: SocketAddr, auth_token: Option<&str>) -> io::Result<BackendConn> {
+        let config = ClientConfig::default().with_connect_timeout(BACKEND_CONNECT_TIMEOUT);
+        let stream = {
+            // Reuse FlowClient's transient-retry logic for the raw stream.
+            let client = FlowClient::connect_retry(addr, &config, BACKEND_CONNECT_ATTEMPTS)?;
+            client.into_stream()?
+        };
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        if let Some(token) = auth_token {
+            writeln!(writer, "{}", flowistry_server::codec::encode_auth(token))?;
+            writer.flush()?;
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            if line.trim_end() != flowistry_server::codec::AUTHED_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    format!("backend {addr} rejected auth: {}", line.trim_end()),
+                ));
+            }
+        }
+        let inflight: Arc<Mutex<VecDeque<Sender<BackendReply>>>> =
+            Arc::new(Mutex::new(VecDeque::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        {
+            let inflight = inflight.clone();
+            let dead = dead.clone();
+            std::thread::Builder::new()
+                .name("flow-backend-read".to_string())
+                .spawn(move || {
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
+                        let sender = inflight.lock().expect("inflight lock").pop_front();
+                        match sender {
+                            Some(tx) => {
+                                let _ = tx.send(BackendReply::Line(trimmed));
+                            }
+                            None => break, // response with no request: protocol torn
+                        }
+                    }
+                    dead.store(true, Ordering::SeqCst);
+                    // Drop every waiting sender: receivers see a closed
+                    // channel and count their request as lost.
+                    inflight.lock().expect("inflight lock").clear();
+                })
+                .expect("spawn backend reader");
+        }
+        Ok(BackendConn {
+            writer,
+            inflight,
+            dead,
+        })
+    }
+
+    /// Writes one request line, returning the receiver its response will
+    /// arrive on. The enqueue and the write happen under the caller's
+    /// exclusive borrow, so the inflight order always matches the write
+    /// order.
+    fn send(&mut self, line: &str) -> io::Result<Receiver<BackendReply>> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "backend connection lost",
+            ));
+        }
+        let (tx, rx) = channel();
+        self.inflight.lock().expect("inflight lock").push_back(tx);
+        if writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .is_err()
+        {
+            self.dead.store(true, Ordering::SeqCst);
+            self.inflight.lock().expect("inflight lock").clear();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "backend write failed",
+            ));
+        }
+        Ok(rx)
+    }
+}
+
+/// Per-backend observability, labeled by ring slot.
+pub(crate) struct BackendMetrics {
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    pub(crate) retries: Arc<Counter>,
+    pub(crate) respawns: Arc<Counter>,
+    pub(crate) healthy: Arc<Gauge>,
+}
+
+impl BackendMetrics {
+    fn new(registry: &Registry, index: usize) -> BackendMetrics {
+        let label = [("backend", index.to_string())];
+        let labels: Vec<(&str, &str)> = label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        BackendMetrics {
+            requests: registry.counter(
+                &flowistry_obs::labeled("flow_router_backend_requests_total", &labels),
+                "Requests routed to this backend",
+            ),
+            errors: registry.counter(
+                &flowistry_obs::labeled("flow_router_backend_errors_total", &labels),
+                "Requests that failed against this backend",
+            ),
+            retries: registry.counter(
+                &flowistry_obs::labeled("flow_router_backend_retries_total", &labels),
+                "Requests retried away from this backend after a loss",
+            ),
+            respawns: registry.counter(
+                &flowistry_obs::labeled("flow_router_backend_respawns_total", &labels),
+                "Times the supervisor respawned this backend",
+            ),
+            healthy: registry.gauge(
+                &flowistry_obs::labeled("flow_router_backend_healthy", &labels),
+                "1 when this backend serves traffic, 0 while it is down",
+            ),
+        }
+    }
+}
+
+/// One ring slot of the fleet: the launcher that makes instances, the
+/// current instance, its connections, and its health state.
+pub(crate) struct Backend {
+    pub(crate) index: usize,
+    launcher: Box<dyn BackendLauncher>,
+    /// The live instance (`None` between a detected death and the respawn).
+    pub(crate) handle: Mutex<Option<BackendHandle>>,
+    /// The shared pipelined data connection, opened lazily.
+    conn: Mutex<Option<BackendConn>>,
+    /// The control connection: health probes, updates, replay, shutdown.
+    pub(crate) control: Mutex<Option<FlowClient>>,
+    pub(crate) healthy: AtomicBool,
+    /// Consecutive failed health probes.
+    pub(crate) probe_failures: AtomicU32,
+    /// Epoch of the last update this backend applied (0 = seed program).
+    pub(crate) synced_epoch: AtomicU64,
+    pub(crate) auth_token: Option<String>,
+    pub(crate) metrics: BackendMetrics,
+}
+
+impl Backend {
+    pub(crate) fn launch(
+        index: usize,
+        launcher: Box<dyn BackendLauncher>,
+        auth_token: Option<String>,
+        registry: &Registry,
+    ) -> io::Result<Backend> {
+        let handle = launcher.launch()?;
+        let metrics = BackendMetrics::new(registry, index);
+        metrics.healthy.set(1);
+        Ok(Backend {
+            index,
+            launcher,
+            handle: Mutex::new(Some(handle)),
+            conn: Mutex::new(None),
+            control: Mutex::new(None),
+            healthy: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+            synced_epoch: AtomicU64::new(0),
+            auth_token,
+            metrics,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> Option<SocketAddr> {
+        self.handle
+            .lock()
+            .expect("handle lock")
+            .as_ref()
+            .map(|h| h.addr)
+    }
+
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_healthy(&self, healthy: bool) {
+        self.healthy.store(healthy, Ordering::SeqCst);
+        self.metrics.healthy.set(i64::from(healthy));
+    }
+
+    /// Sends one routed request line over the shared data connection,
+    /// opening (and authenticating) it first when needed.
+    pub(crate) fn send(&self, line: &str) -> io::Result<Receiver<BackendReply>> {
+        let mut conn = self.conn.lock().expect("backend conn lock");
+        if conn.as_ref().is_none_or(|c| c.dead.load(Ordering::SeqCst)) {
+            let addr = self
+                .addr()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "backend is down"))?;
+            *conn = Some(BackendConn::open(addr, self.auth_token.as_deref())?);
+        }
+        let result = conn.as_mut().expect("conn just opened").send(line);
+        if result.is_ok() {
+            self.metrics.requests.inc();
+        } else {
+            self.metrics.errors.inc();
+        }
+        result
+    }
+
+    /// Drops the data connection (the respawn path: the old instance's
+    /// socket must not leak onto the new instance).
+    pub(crate) fn reset_conns(&self) {
+        *self.conn.lock().expect("backend conn lock") = None;
+        *self.control.lock().expect("backend control lock") = None;
+    }
+
+    /// Opens (or reuses) the control connection with `read_timeout`.
+    pub(crate) fn control_client(
+        &self,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<std::sync::MutexGuard<'_, Option<FlowClient>>> {
+        let mut control = self.control.lock().expect("backend control lock");
+        if control.is_none() {
+            let addr = self
+                .addr()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "backend is down"))?;
+            let config = ClientConfig::default().with_connect_timeout(BACKEND_CONNECT_TIMEOUT);
+            let mut client = FlowClient::connect_retry(addr, &config, BACKEND_CONNECT_ATTEMPTS)?;
+            if let Some(token) = &self.auth_token {
+                client.auth(token)?;
+            }
+            *control = Some(client);
+        }
+        control
+            .as_ref()
+            .expect("control just opened")
+            .set_read_timeout(read_timeout)?;
+        Ok(control)
+    }
+
+    /// Kills the current instance and launches a replacement. The caller
+    /// (the supervisor) replays update history afterwards, before marking
+    /// the backend healthy again.
+    pub(crate) fn respawn(&self) -> io::Result<SocketAddr> {
+        {
+            let mut handle = self.handle.lock().expect("handle lock");
+            if let Some(h) = handle.as_mut() {
+                h.kill();
+            }
+            *handle = None;
+        }
+        self.reset_conns();
+        let new_handle = self.launcher.launch()?;
+        let addr = new_handle.addr;
+        *self.handle.lock().expect("handle lock") = Some(new_handle);
+        self.synced_epoch.store(0, Ordering::SeqCst);
+        self.metrics.respawns.inc();
+        Ok(addr)
+    }
+}

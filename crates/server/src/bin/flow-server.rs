@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
-//!             [--stats-interval SECS]
+//!             [--stats-interval SECS] [--cache-dir DIR] [--auth-token TOKEN]
+//!             [--rate-limit N] [--burst N] [--max-line-bytes N]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
@@ -14,6 +15,15 @@
 //! parallelism, like every engine pool). `--stats-interval SECS` (default
 //! off) logs a one-line traffic summary at info level every `SECS` seconds
 //! — visible with `FLOWISTRY_LOG=info`.
+//!
+//! Fleet knobs: `--cache-dir DIR` points the engine at a (shareable)
+//! on-disk summary cache, so replicas respawned by `flow-router`
+//! warm-start from their siblings' work. `--auth-token TOKEN` requires
+//! the `auth` connection preamble (also readable from
+//! `FLOW_SERVER_AUTH_TOKEN` to keep tokens off the command line);
+//! `--rate-limit N` caps each connection at N requests/second with bursts
+//! of `--burst` (default 64), and `--max-line-bytes N` bounds request
+//! lines.
 
 use flowistry_core::{AnalysisParams, Condition};
 use flowistry_engine::{AnalysisEngine, EngineConfig, FlowService, ServiceConfig};
@@ -24,7 +34,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: flow-server <source-file> [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--max-conns N] [--stats-interval SECS]"
+         [--max-conns N] [--stats-interval SECS] [--cache-dir DIR] [--auth-token TOKEN] \
+         [--rate-limit N] [--burst N] [--max-line-bytes N]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +76,11 @@ fn main() -> ExitCode {
     let mut queue = 256usize;
     let mut max_conns = 0usize;
     let mut stats_interval = 0u64;
+    let mut cache_dir: Option<String> = None;
+    let mut auth_token = std::env::var("FLOW_SERVER_AUTH_TOKEN").ok();
+    let mut rate_limit = 0f64;
+    let mut burst = 0u32;
+    let mut max_line_bytes = 0usize;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -98,6 +114,28 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--cache-dir" => match flag_value("--cache-dir") {
+                Some(v) => cache_dir = Some(v),
+                None => return usage(),
+            },
+            "--auth-token" => match flag_value("--auth-token") {
+                Some(v) => auth_token = Some(v),
+                None => return usage(),
+            },
+            "--rate-limit" => match flag_value("--rate-limit").and_then(|v| v.parse().ok()) {
+                Some(v) => rate_limit = v,
+                None => return usage(),
+            },
+            "--burst" => match flag_value("--burst").and_then(|v| v.parse().ok()) {
+                Some(v) => burst = v,
+                None => return usage(),
+            },
+            "--max-line-bytes" => {
+                match flag_value("--max-line-bytes").and_then(|v| v.parse().ok()) {
+                    Some(v) => max_line_bytes = v,
+                    None => return usage(),
+                }
+            }
             other if source_path.is_none() && !other.starts_with('-') => {
                 source_path = Some(other.to_string());
             }
@@ -123,23 +161,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = AnalysisEngine::new(
-        program,
-        EngineConfig::default()
-            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM))
-            .with_threads(workers),
-    );
+    let mut engine_config = EngineConfig::default()
+        .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM))
+        .with_threads(workers);
+    if let Some(dir) = &cache_dir {
+        engine_config = engine_config.with_cache_path(dir);
+    }
+    let engine = AnalysisEngine::new(program, engine_config);
     let service = FlowService::new(
         engine,
         ServiceConfig::default()
             .with_workers(workers)
             .with_queue_capacity(queue),
     );
-    let server = match FlowServer::bind(
-        service,
-        addr.as_str(),
-        ServerConfig::default().with_max_connections(max_conns),
-    ) {
+    let mut server_config = ServerConfig::default()
+        .with_max_connections(max_conns)
+        .with_rate_limit(rate_limit, burst)
+        .with_max_line_bytes(max_line_bytes);
+    if let Some(token) = auth_token {
+        server_config = server_config.with_auth_token(token);
+    }
+    let server = match FlowServer::bind(service, addr.as_str(), server_config) {
         Ok(s) => s,
         Err(e) => {
             flowistry_obs::error!("cannot bind {addr}: {e}");

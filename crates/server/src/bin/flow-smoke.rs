@@ -6,7 +6,7 @@
 //! connection.
 //!
 //! ```text
-//! flow-smoke <HOST:PORT> [--metrics] [--shutdown]
+//! flow-smoke <HOST:PORT> [--metrics] [--shutdown] [--auth TOKEN]
 //! ```
 //!
 //! With `--metrics` the server's Prometheus snapshot is scraped twice
@@ -14,16 +14,27 @@
 //! monotonically advancing counters, and echoed to stdout. With
 //! `--shutdown` the server is asked to stop after the checks (CI uses
 //! this to tear the background server down and assert a clean exit).
+//! `--auth TOKEN` sends the `auth` connection preamble on every
+//! connection, for servers (or routers) started with a token.
+//!
+//! Connects are retried with capped backoff: CI starts the server in the
+//! background and races this client against its bind.
 
 use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
 use flowistry_engine::{QueryRequest, QueryResponse};
 use flowistry_ifc::{IfcChecker, IfcPolicy};
 use flowistry_lang::mir::{BasicBlock, Location, Place};
-use flowistry_server::FlowClient;
+use flowistry_server::{codec, ClientConfig, FlowClient};
 use flowistry_slicer::Slicer;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Transient-failure connect budget: ~12 attempts backing off 1ms → 100ms
+/// covers a server that is still binding without stalling a broken CI run
+/// for long.
+const CONNECT_ATTEMPTS: u32 = 12;
 
 const SOURCE: &str = "
     fn read_password(seed: i32) -> i32 { return seed + 41; }
@@ -100,24 +111,61 @@ fn check_metrics(
     Ok(())
 }
 
-fn run(addr: &str, metrics: bool, shutdown: bool) -> Result<(), String> {
+/// Connects a raw socket, retrying transient refusals (server still
+/// binding) with the same capped backoff as [`FlowClient::connect_retry`].
+fn connect_raw_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(1);
+    let cap = Duration::from_millis(100);
+    let mut last_err = None;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                last_err = Some(e);
+                if attempt + 1 < CONNECT_ATTEMPTS {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(cap);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+fn run(addr: &str, metrics: bool, shutdown: bool, auth: Option<&str>) -> Result<(), String> {
     let fail = |e: std::io::Error| format!("i/o against {addr}: {e}");
 
     // Phase 1, raw socket: garbage never kills the connection — each bad
     // line yields a structured `error` response and the line after it is
     // served normally.
     {
-        let stream = TcpStream::connect(addr).map_err(fail)?;
+        let stream = connect_raw_retry(addr).map_err(fail)?;
         let mut reader = BufReader::new(stream.try_clone().map_err(fail)?);
         let mut writer = stream;
+        let mut line = String::new();
+        if let Some(token) = auth {
+            writeln!(writer, "{}", codec::encode_auth(token)).map_err(fail)?;
+            reader.read_line(&mut line).map_err(fail)?;
+            check(
+                line.trim_end() == codec::AUTHED_LINE,
+                &format!("auth preamble acked (got {line:?})"),
+            )?;
+        }
         writer
             .write_all(b"complete garbage\nsummary notanumber\nstats\n")
             .map_err(fail)?;
-        let mut line = String::new();
         for expect_error in [true, true, false] {
             line.clear();
             reader.read_line(&mut line).map_err(fail)?;
-            let envelope = flowistry_server::codec::decode_envelope(line.trim_end())
+            let envelope = codec::decode_envelope(line.trim_end())
                 .map_err(|e| format!("undecodable response {line:?}: {e}"))?;
             check(
                 matches!(envelope.response, QueryResponse::Error(_)) == expect_error,
@@ -134,7 +182,11 @@ fn run(addr: &str, metrics: bool, shutdown: bool) -> Result<(), String> {
     let main = program.func_id("main").expect("fixture has main");
     let store = program.func_id("store").expect("fixture has store");
 
-    let mut client = FlowClient::connect(addr).map_err(fail)?;
+    let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), CONNECT_ATTEMPTS)
+        .map_err(fail)?;
+    if let Some(token) = auth {
+        client.auth(token).map_err(fail)?;
+    }
     let epoch = client.update(SOURCE).map_err(fail)?;
 
     // Summary: bit-identical to the summary extracted from direct analysis.
@@ -238,22 +290,28 @@ fn run(addr: &str, metrics: bool, shutdown: bool) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: flow-smoke <HOST:PORT> [--metrics] [--shutdown]");
+        eprintln!("usage: flow-smoke <HOST:PORT> [--metrics] [--shutdown] [--auth TOKEN]");
         ExitCode::from(2)
     };
     let mut addr = None;
     let mut metrics = false;
     let mut shutdown = false;
-    for arg in &args {
+    let mut auth = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
+            "--auth" => match iter.next() {
+                Some(token) => auth = Some(token.clone()),
+                None => return usage(),
+            },
             other if addr.is_none() && !other.starts_with('-') => addr = Some(other),
             _ => return usage(),
         }
     }
     let Some(addr) = addr else { return usage() };
-    match run(addr, metrics, shutdown) {
+    match run(addr, metrics, shutdown, auth.as_deref()) {
         Ok(()) => {
             println!("flow-smoke OK");
             ExitCode::SUCCESS

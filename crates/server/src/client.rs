@@ -9,6 +9,43 @@ use crate::codec;
 use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, ServiceStats};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Socket timeout knobs for [`FlowClient`]. The default (`None`
+/// everywhere) preserves the historical blocking behavior — connects and
+/// reads wait forever — which is right for interactive tools. Fleet
+/// components (the `flow-router` connection pool, health probes) run with
+/// short timeouts so one wedged backend cannot wedge the front.
+#[derive(Clone, Debug, Default)]
+pub struct ClientConfig {
+    /// TCP connect timeout; `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// Sets the connect timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the write timeout.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+}
 
 /// A blocking connection to a `flow-server`.
 ///
@@ -24,16 +61,129 @@ pub struct FlowClient {
 }
 
 impl FlowClient {
-    /// Connects to a running `flow-server`.
+    /// Connects to a running `flow-server` with default (unbounded)
+    /// timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<FlowClient> {
-        let writer = TcpStream::connect(addr)?;
+        FlowClient::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> io::Result<FlowClient> {
+        let writer = match config.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(timeout) => {
+                // `connect_timeout` wants one resolved address; try each in
+                // turn like `TcpStream::connect` does.
+                let mut last_err = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "address resolved to nothing",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
         writer.set_nodelay(true).ok();
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(FlowClient {
             reader,
             writer,
             pending: 0,
         })
+    }
+
+    /// Connects, retrying transient failures (connection refused/reset —
+    /// the window where a server is still binding or an OS backlog
+    /// overflowed) with capped exponential backoff: 1ms doubling to 100ms
+    /// per attempt, up to `attempts` tries. Non-transient errors fail
+    /// immediately.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        config: &ClientConfig,
+        attempts: u32,
+    ) -> io::Result<FlowClient> {
+        let mut backoff = Duration::from_millis(1);
+        let cap = Duration::from_millis(100);
+        let mut last_err = None;
+        for attempt in 0..attempts.max(1) {
+            match FlowClient::connect_with(addr.clone(), config) {
+                Ok(client) => return Ok(client),
+                Err(e) if is_transient_connect_error(&e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts.max(1) {
+                        thread::sleep(backoff);
+                        backoff = (backoff * 2).min(cap);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("connect_retry: no attempts")))
+    }
+
+    /// Unwraps the underlying stream, discarding the client. Only sound
+    /// before any request has been submitted (nothing read-buffered yet);
+    /// the router uses it to run the raw wire protocol over a connection
+    /// established with the client's connect/retry/timeout machinery.
+    pub fn into_stream(self) -> io::Result<TcpStream> {
+        debug_assert_eq!(self.pending, 0, "into_stream with responses pending");
+        Ok(self.writer)
+    }
+
+    /// Adjusts the socket read timeout of this live connection. The
+    /// `flow-router` control plane shares one connection between fast
+    /// health probes (short timeout) and slow `update` pushes (long
+    /// timeout) and retunes it per call.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends the `auth` connection preamble and waits for the server's
+    /// verdict. Servers with no token configured acknowledge any token, so
+    /// clients can send the preamble unconditionally. A rejected token
+    /// comes back as [`io::ErrorKind::PermissionDenied`].
+    ///
+    /// Call before the first request; like `update`, it is a pipeline sync
+    /// point.
+    pub fn auth(&mut self, token: &str) -> io::Result<()> {
+        if self.pending > 0 {
+            return Err(invalid_data(format!(
+                "auth with {} responses pending; drain with recv() first",
+                self.pending
+            )));
+        }
+        writeln!(self.writer, "{}", codec::encode_auth(token))?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if line == codec::AUTHED_LINE {
+            return Ok(());
+        }
+        match codec::decode_envelope(&line)
+            .map_err(invalid_data)?
+            .response
+        {
+            QueryResponse::Error(msg) => Err(io::Error::new(io::ErrorKind::PermissionDenied, msg)),
+            other => Err(invalid_data(format!(
+                "unexpected response to auth: {other:?}"
+            ))),
+        }
     }
 
     /// Sends `request` without waiting for its answer (pipelining). Pair
@@ -158,6 +308,20 @@ impl FlowClient {
         }
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
+}
+
+/// Whether a connect error is worth retrying: the server may simply not be
+/// listening *yet* (spawn race) or the accept backlog overflowed.
+fn is_transient_connect_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::AddrNotAvailable
+    )
 }
 
 fn invalid_data(msg: impl Into<String>) -> io::Error {

@@ -18,9 +18,16 @@
 //!                                     QueryRequest::CheckPolicy
 //! stats                               QueryRequest::Stats
 //! metrics                             QueryRequest::Metrics
+//! auth <esc-token>                    connection-preamble authentication
 //! update <nbytes>                     (then exactly <nbytes> source bytes + '\n')
 //! shutdown                            stop the whole server
 //! ```
+//!
+//! When the server (or router) is configured with an auth token, `auth`
+//! must be the first command on a connection: it answers `authed` on
+//! success, and until it succeeds every other command answers a structured
+//! `error`. Servers without a configured token acknowledge `auth`
+//! unconditionally, so clients can send the preamble either way.
 //!
 //! # Responses (server → client)
 //!
@@ -104,6 +111,11 @@ pub enum Command {
     Update {
         /// Length of the source text in bytes.
         bytes: usize,
+    },
+    /// `auth <esc-token>`: the connection-preamble authentication.
+    Auth {
+        /// The presented token, unescaped.
+        token: String,
     },
     /// `shutdown`: gracefully stop the whole server.
     Shutdown,
@@ -796,6 +808,14 @@ pub const SHUTDOWN_LINE: &str = "shutdown";
 /// The acknowledgement line for a `shutdown` command.
 pub const BYE_LINE: &str = "bye";
 
+/// The acknowledgement line for a successful `auth` command.
+pub const AUTHED_LINE: &str = "authed";
+
+/// Renders the `auth` connection preamble carrying `token`.
+pub fn encode_auth(token: &str) -> String {
+    format!("auth {}", esc(token))
+}
+
 /// Renders the acknowledgement for an applied `update`.
 pub fn encode_update_ack(epoch: u64) -> String {
     format!("updated {epoch}")
@@ -849,14 +869,19 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
                 bytes: parse_num(bytes, "byte count")?,
             })
         }
+        ["auth", token] => {
+            return Ok(Command::Auth {
+                token: unesc(token)?,
+            })
+        }
         ["shutdown"] => return Ok(Command::Shutdown),
         [] => return Err("empty request line".to_string()),
         [verb, ..] => {
             // A known verb with the wrong arity deserves a better hint than
             // "unknown request" — it misdirects anyone debugging over `nc`.
-            const VERBS: [&str; 10] = [
+            const VERBS: [&str; 11] = [
                 "summary", "results", "slice", "slice-at", "ifc", "policy", "stats", "metrics",
-                "update", "shutdown",
+                "update", "auth", "shutdown",
             ];
             return Err(if VERBS.contains(&verb) {
                 format!("wrong number of arguments for {verb:?}")
@@ -1046,6 +1071,23 @@ mod tests {
         );
         assert_eq!(decode_command(SHUTDOWN_LINE), Ok(Command::Shutdown));
         assert_eq!(decode_update_ack(&encode_update_ack(7)), Ok(7));
+    }
+
+    #[test]
+    fn auth_lines_roundtrip_with_hostile_tokens() {
+        for token in ["hunter2", "a b=c|d", "héllo", "", "100%"] {
+            assert_eq!(
+                decode_command(&encode_auth(token)),
+                Ok(Command::Auth {
+                    token: token.to_string(),
+                }),
+                "token {token:?}"
+            );
+        }
+        assert_eq!(encode_auth(""), "auth %");
+        assert!(decode_command("auth").is_err(), "auth needs a token field");
+        assert!(decode_command("auth a b").is_err());
+        assert!(decode_command("auth %ZZ").is_err());
     }
 
     #[test]

@@ -55,9 +55,11 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod client;
 pub mod codec;
 pub mod server;
 
-pub use client::FlowClient;
+pub use budget::{constant_time_eq, read_line_bounded, BoundedLine, RateLimiter};
+pub use client::{ClientConfig, FlowClient};
 pub use server::{FlowServer, ServerConfig};

@@ -29,6 +29,7 @@
 //! gracefully stops the whole server: the listener closes, live connections
 //! are shut down, and dropping the service drains every outstanding ticket.
 
+use crate::budget::{constant_time_eq, read_line_bounded, BoundedLine, RateLimiter};
 use crate::codec::{self, Command};
 use flowistry_engine::scheduler::resolve_worker_threads;
 use flowistry_engine::{FlowService, QueryEnvelope, QueryRequest, QueryResponse, Ticket};
@@ -48,6 +49,24 @@ pub struct ServerConfig {
     /// other pool in the engine: `FLOWISTRY_ENGINE_THREADS` if set, else
     /// available parallelism. Further clients wait in the accept backlog.
     pub max_connections: usize,
+    /// When set, every connection must authenticate with
+    /// `auth <esc-token>` before any other command is served; wrong or
+    /// missing tokens get structured `error` responses (compared in
+    /// constant time). `None` (the default) disables the preamble.
+    pub auth_token: Option<String>,
+    /// Per-connection request-rate budget in requests/second (token
+    /// bucket). `0.0` (the default) disables rate limiting.
+    pub rate_limit: f64,
+    /// Burst ceiling of the rate budget; only meaningful when `rate_limit`
+    /// is set. `0` defaults to 64.
+    pub rate_burst: u32,
+    /// Per-connection request-line size budget in bytes; longer lines are
+    /// drained and answered with a structured error. `0` (the default)
+    /// means 1 MiB.
+    pub max_line_bytes: usize,
+    /// Size budget for `update` source bodies in bytes. `0` (the default)
+    /// means 16 MiB.
+    pub max_update_bytes: usize,
 }
 
 impl ServerConfig {
@@ -55,6 +74,59 @@ impl ServerConfig {
     pub fn with_max_connections(mut self, max: usize) -> Self {
         self.max_connections = max;
         self
+    }
+
+    /// Requires the `auth <esc-token>` connection preamble.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
+        self
+    }
+
+    /// Sets the per-connection request-rate budget (`0.0` = off) and its
+    /// burst ceiling (`0` = default burst).
+    pub fn with_rate_limit(mut self, per_sec: f64, burst: u32) -> Self {
+        self.rate_limit = per_sec;
+        self.rate_burst = burst;
+        self
+    }
+
+    /// Sets the per-connection request-line size budget (`0` = 1 MiB).
+    pub fn with_max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes;
+        self
+    }
+
+    /// Sets the `update` body size budget (`0` = 16 MiB).
+    pub fn with_max_update_bytes(mut self, bytes: usize) -> Self {
+        self.max_update_bytes = bytes;
+        self
+    }
+
+    /// The effective request-line budget.
+    pub(crate) fn effective_max_line_bytes(&self) -> usize {
+        if self.max_line_bytes == 0 {
+            1 << 20
+        } else {
+            self.max_line_bytes
+        }
+    }
+
+    /// The effective `update` body budget.
+    pub(crate) fn effective_max_update_bytes(&self) -> usize {
+        if self.max_update_bytes == 0 {
+            16 << 20
+        } else {
+            self.max_update_bytes
+        }
+    }
+
+    /// The effective burst ceiling.
+    pub(crate) fn effective_rate_burst(&self) -> u32 {
+        if self.rate_burst == 0 {
+            64
+        } else {
+            self.rate_burst
+        }
     }
 }
 
@@ -65,6 +137,9 @@ struct ServerMetrics {
     connections: Arc<Counter>,
     requests: Arc<Counter>,
     decode_errors: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    rate_limited: Arc<Counter>,
+    oversize_lines: Arc<Counter>,
     bytes_read: Arc<Counter>,
     bytes_written: Arc<Counter>,
     /// Decode-to-flush wire latency, one histogram per request kind
@@ -86,6 +161,18 @@ impl ServerMetrics {
             decode_errors: registry.counter(
                 "flow_server_decode_errors_total",
                 "Wire command lines rejected by the codec",
+            ),
+            auth_failures: registry.counter(
+                "flow_server_auth_failures_total",
+                "Commands rejected for missing or wrong auth preamble",
+            ),
+            rate_limited: registry.counter(
+                "flow_server_rate_limited_total",
+                "Commands rejected by the per-connection rate budget",
+            ),
+            oversize_lines: registry.counter(
+                "flow_server_oversize_lines_total",
+                "Request lines rejected by the per-connection size budget",
             ),
             bytes_read: registry.counter(
                 "flow_server_bytes_read_total",
@@ -112,6 +199,8 @@ impl ServerMetrics {
 struct ServerShared {
     service: FlowService,
     metrics: ServerMetrics,
+    /// Auth and budget knobs, consulted by every connection reader.
+    config: ServerConfig,
     shutdown: AtomicBool,
     /// Live connection count, gating the accept loop at `max_connections`.
     active: Mutex<usize>,
@@ -167,6 +256,7 @@ impl FlowServer {
         let shared = Arc::new(ServerShared {
             service,
             metrics,
+            config,
             shutdown: AtomicBool::new(false),
             active: Mutex::new(0),
             slot_freed: Condvar::new(),
@@ -409,25 +499,89 @@ fn reader_loop(
     tx: &Sender<Pending>,
 ) -> bool {
     let mut line = String::new();
+    let max_line = shared.config.effective_max_line_bytes();
+    let mut limiter = RateLimiter::new(
+        shared.config.rate_limit,
+        shared.config.effective_rate_burst(),
+    );
+    // Connections are born authenticated when no token is configured.
+    let mut authed = shared.config.auth_token.is_none();
+    let error_line = |msg: String| {
+        Pending::Line(codec::encode_envelope(&QueryEnvelope {
+            epoch: shared.service.current_epoch(),
+            response: QueryResponse::Error(msg),
+            trace_id: None,
+        }))
+    };
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return false, // EOF or a cut connection
-            Ok(n) => shared.metrics.bytes_read.add(n as u64),
+        match read_line_bounded(&mut reader, &mut line, max_line) {
+            Err(_) | Ok(BoundedLine::Eof) => return false, // EOF or a cut connection
+            Ok(BoundedLine::Line(n)) => shared.metrics.bytes_read.add(n as u64),
+            Ok(BoundedLine::TooLong(n)) => {
+                shared.metrics.bytes_read.add(n as u64);
+                shared.metrics.oversize_lines.inc();
+                let pending =
+                    error_line(format!("request line exceeds the {max_line}-byte budget"));
+                if tx.send(pending).is_err() {
+                    return false;
+                }
+                continue;
+            }
         }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
+        if line.is_empty() {
             continue; // blank keep-alive lines are ignored
         }
+        // The rate budget admits *command lines*, well-formed or not: a
+        // client spraying garbage spends budget exactly like a legitimate
+        // one. Rejected commands are answered, not dropped — and never
+        // forwarded to the service.
+        if !limiter.allow() {
+            shared.metrics.rate_limited.inc();
+            let pending = error_line(format!(
+                "rate limit exceeded ({} requests/s)",
+                shared.config.rate_limit
+            ));
+            if tx.send(pending).is_err() {
+                return false;
+            }
+            continue;
+        }
+        let trimmed = line.as_str();
         let decoded_at = Instant::now();
-        let pending = match codec::decode_command(trimmed) {
+        let command = codec::decode_command(trimmed);
+        // The auth preamble gates everything but itself: before a valid
+        // token arrives, every other command — including malformed lines,
+        // updates, and shutdowns — answers the same structured error.
+        if !authed && !matches!(command, Ok(Command::Auth { .. })) {
+            shared.metrics.auth_failures.inc();
+            let pending = error_line("authentication required: send `auth <token>` first".into());
+            if tx.send(pending).is_err() {
+                return false;
+            }
+            continue;
+        }
+        let pending = match command {
             Err(msg) => {
                 shared.metrics.decode_errors.inc();
-                Pending::Line(codec::encode_envelope(&QueryEnvelope {
-                    epoch: shared.service.current_epoch(),
-                    response: QueryResponse::Error(format!("malformed request: {msg}")),
-                    trace_id: None,
-                }))
+                error_line(format!("malformed request: {msg}"))
+            }
+            Ok(Command::Auth { token }) => {
+                shared.metrics.requests.inc();
+                let accepted = match &shared.config.auth_token {
+                    // Constant-time compare: an `auth` probe learns nothing
+                    // about *where* its guess diverged.
+                    Some(expected) => constant_time_eq(expected.as_bytes(), token.as_bytes()),
+                    // No token configured: acknowledge, so clients can send
+                    // the preamble unconditionally.
+                    None => true,
+                };
+                if accepted {
+                    authed = true;
+                    Pending::Line(codec::AUTHED_LINE.to_string())
+                } else {
+                    shared.metrics.auth_failures.inc();
+                    error_line("bad auth token".to_string())
+                }
             }
             Ok(Command::Query { request, trace_id }) => {
                 shared.metrics.requests.inc();
@@ -482,7 +636,7 @@ fn reader_loop(
 /// Reads the `bytes` source bytes of an `update` command (plus the
 /// terminating newline), compiles, and schedules the swap.
 fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: usize) -> Pending {
-    const MAX_UPDATE_BYTES: usize = 16 << 20;
+    let max_update_bytes = shared.config.effective_max_update_bytes();
     let error = |msg: String| {
         Pending::Line(codec::encode_envelope(&QueryEnvelope {
             epoch: shared.service.current_epoch(),
@@ -490,7 +644,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
             trace_id: None,
         }))
     };
-    if bytes > MAX_UPDATE_BYTES {
+    if bytes > max_update_bytes {
         // Drain the announced body before answering, or the rest of the
         // connection would parse megabytes of source text as command lines.
         if io::copy(&mut reader.by_ref().take(bytes as u64), &mut io::sink()).is_err() {
@@ -499,7 +653,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
         shared.metrics.bytes_read.add(bytes as u64);
         let _ = consume_newline(reader);
         return error(format!(
-            "update of {bytes} bytes exceeds {MAX_UPDATE_BYTES}"
+            "update of {bytes} bytes exceeds {max_update_bytes}"
         ));
     }
     let mut source = vec![0u8; bytes];

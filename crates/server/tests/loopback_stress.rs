@@ -24,7 +24,7 @@ use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
 use flowistry_obs::Registry;
-use flowistry_server::{FlowClient, FlowServer, ServerConfig};
+use flowistry_server::{ClientConfig, FlowClient, FlowServer, ServerConfig};
 use flowistry_slicer::{Slice, Slicer};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -223,7 +223,10 @@ fn hammer_over_tcp(workers: usize) {
             let check = &check;
             let policy = &policy;
             s.spawn(move || {
-                let mut client = FlowClient::connect(addr).expect("connect query client");
+                // Ten clients connect at once; ride out accept-backlog refusals
+                // with capped backoff instead of a fixed sleep.
+                let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                    .expect("connect query client");
                 let make_request = |i: usize| {
                     let func = FuncId(((i + t) % num_funcs) as u32);
                     match (i + t) % 5 {
@@ -281,7 +284,8 @@ fn hammer_over_tcp(workers: usize) {
         // Meanwhile: push every edited version through the wire, in order.
         let sources = &sources;
         s.spawn(move || {
-            let mut updater = FlowClient::connect(addr).expect("connect updater");
+            let mut updater = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                .expect("connect updater");
             for (k, source) in sources.iter().enumerate().skip(1) {
                 // `update` blocks until the new snapshot serves.
                 let epoch = updater.update(source).expect("wire update");
@@ -292,7 +296,8 @@ fn hammer_over_tcp(workers: usize) {
 
     // All clients done, all updates applied: a fresh connection sees the
     // final version, and the serving stats add up.
-    let mut client = FlowClient::connect(addr).expect("connect final checker");
+    let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+        .expect("connect final checker");
     let request = QueryRequest::Results(FuncId(0));
     let envelope = client.query(&request).expect("final query");
     assert_eq!(envelope.epoch, (VERSIONS - 1) as u64);

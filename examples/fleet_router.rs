@@ -1,0 +1,147 @@
+//! Demonstrates the fleet front end to end, all inside one process: a
+//! `FlowRouter` consistent-hashing queries across three in-process
+//! `flow-server` replicas that share one summary-cache directory, an
+//! `update` broadcast with a quorum ack, and a chaos kill — one replica
+//! dies mid-demo, the supervisor respawns it and replays the update
+//! history, and the fleet answers from the new epoch throughout.
+//!
+//! ```sh
+//! cargo run --release --example fleet_router
+//! ```
+//!
+//! The same fleet runs as real processes with the `flow-router` binary:
+//! `cargo run --release -p flowistry-router --bin flow-router -- program.rox
+//! --backends 3` — see the "Fleet deployment" section of the README.
+
+use flowistry::prelude::*;
+use std::time::Duration;
+
+const V1: &str = "
+fn read_secret() -> i32 { return 41; }
+fn store(p: &mut i32, v: i32) { *p = v; }
+fn audit(input: i32) -> i32 {
+    let secret_value = read_secret();
+    let mut cell = 0;
+    store(&mut cell, secret_value);
+    if input == cell { return 1; }
+    return cell;
+}
+";
+
+const V2: &str = "
+fn read_secret() -> i32 { return 42; }
+fn store(p: &mut i32, v: i32) { *p = v; }
+fn audit(input: i32) -> i32 {
+    let secret_value = read_secret();
+    let mut audit_log = secret_value + 1;
+    let mut cell = 0;
+    store(&mut cell, audit_log);
+    if input == cell { return 1; }
+    return audit_log;
+}
+";
+
+fn main() {
+    // Three replicas warm-starting from one shared summary-cache dir: a
+    // respawned replica re-reads its siblings' work instead of re-analyzing.
+    let cache_dir = std::env::temp_dir().join(format!("fleet-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+    let launchers: Vec<Box<dyn flowistry_router::BackendLauncher>> = (0..3)
+        .map(|_| {
+            Box::new(InProcessLauncher {
+                source: V1.to_string(),
+                workers: 2,
+                cache_dir: Some(cache_dir.clone()),
+                auth_token: None,
+            }) as Box<dyn flowistry_router::BackendLauncher>
+        })
+        .collect();
+    let router = FlowRouter::start(
+        launchers,
+        "127.0.0.1:0",
+        RouterConfig::default()
+            .with_max_connections(4)
+            // An eager supervisor, so the demo's kill is repaired quickly.
+            .with_health_interval(Duration::from_millis(40))
+            .with_failure_threshold(2),
+    )
+    .expect("start loopback fleet");
+    println!(
+        "fleet front on {}, {} replicas:",
+        router.local_addr(),
+        router.backend_count()
+    );
+    for i in 0..router.backend_count() {
+        println!(
+            "  replica {i} at {}",
+            router.backend_addr(i).expect("replica up")
+        );
+    }
+
+    // A client speaks to the fleet exactly as it would to one server; the
+    // router pins each function's queries to its ring owner.
+    let mut client = FlowClient::connect(router.local_addr()).expect("connect");
+    let program = compile(V1).expect("demo program compiles");
+    let store_fn = program.func_id("store").expect("store exists");
+    let reply = client
+        .query(&QueryRequest::Summary(store_fn))
+        .expect("summary round-trip");
+    if let QueryResponse::Summary(Some(summary)) = &reply.response {
+        println!("\nsummary of `store` at epoch {}: {summary:?}", reply.epoch);
+    }
+
+    // An update broadcasts to every replica and acks at quorum: after the
+    // ack, any replica answers from the new epoch.
+    let epoch = client.update(V2).expect("broadcast update");
+    println!("\nbroadcast V2: fleet now at epoch {epoch}");
+
+    // Chaos: kill replica 1 out from under the fleet. Queries keep
+    // flowing — the ring fails its keys over to a live successor — while
+    // the supervisor respawns it and replays V2 into it.
+    router.kill_backend(1);
+    println!("killed replica 1; querying through the outage...");
+    let v2 = compile(V2).expect("V2 compiles");
+    let audit_fn = v2.func_id("audit").expect("audit exists");
+    let reply = client
+        .query(&QueryRequest::BackwardSlice {
+            func: audit_fn,
+            var: "audit_log".to_string(),
+        })
+        .expect("slice during outage");
+    println!("  slice of `audit_log` answered at epoch {}", reply.epoch);
+
+    // `backend_healthy` stays true until the supervisor's probes time
+    // out, so wait for the respawn to be *recorded*, then for the replica
+    // to be routable again.
+    let respawned = |registry: &flowistry::obs::Registry| {
+        registry
+            .counter("flow_router_backend_respawns_total{backend=\"1\"}", "")
+            .value()
+            >= 1
+    };
+    while !(respawned(router.metrics_registry()) && router.backend_healthy(1)) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "supervisor respawned replica 1 at {}",
+        router.backend_addr(1).expect("replica back")
+    );
+    let (epoch, stats) = client.stats().expect("stats after repair");
+    println!(
+        "fleet serving epoch {epoch} ({} workers per replica)",
+        stats.workers
+    );
+
+    // The router's own metrics answer the wire `metrics` verb.
+    let scrape = client.metrics().expect("metrics scrape");
+    let respawns = scrape
+        .lines()
+        .find(|l| l.starts_with("flow_router_backend_respawns_total{backend=\"1\"}"))
+        .expect("respawn counter");
+    println!("{respawns}");
+
+    client.shutdown_server().expect("graceful fleet shutdown");
+    router.wait();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("\nfleet shut down cleanly");
+}

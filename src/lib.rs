@@ -61,6 +61,7 @@ pub mod prelude {
     };
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
+    pub use flowistry_router::{FlowRouter, InProcessLauncher, ProcessLauncher, RouterConfig};
     pub use flowistry_server::{FlowClient, FlowServer, ServerConfig};
     pub use flowistry_slicer::Slicer;
 }
