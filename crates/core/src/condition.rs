@@ -110,19 +110,21 @@ impl fmt::Display for Condition {
 
 /// Which state representation the information flow fixpoint iterates over.
 ///
-/// Both representations compute bit-for-bit identical results (the
-/// equivalence suite asserts it on the whole corpus); they differ only in
-/// speed. The indexed domain interns every place and dependency a body can
+/// The indexed domain interns every place and dependency a body can
 /// mention into dense `u32`s up front and runs the fixpoint on bitset
-/// matrices with copy-on-write rows; the tree domain is the original
-/// `BTreeMap<Place, BTreeSet<Dep>>` Θ, kept for one release as an escape
-/// hatch and as the oracle the indexed path is tested against.
+/// matrices with copy-on-write rows. It is the only representation in the
+/// default build; the original tree-map Θ survives behind the
+/// `tree-domain` cargo feature purely as the oracle the indexed path is
+/// tested against (both compute bit-for-bit identical results, and the
+/// equivalence suite asserts it on the whole corpus).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DomainKind {
     /// Interned places/deps, bitset rows, copy-on-write snapshots (default).
     #[default]
     Indexed,
-    /// The original tree-map Θ (`BTreeMap<Place, BTreeSet<Dep>>`).
+    /// The original tree-map Θ (`BTreeMap<Place, BTreeSet<Dep>>`). Test
+    /// oracle only; requires the `tree-domain` feature.
+    #[cfg(feature = "tree-domain")]
     Tree,
 }
 
@@ -244,6 +246,7 @@ mod tests {
     fn indexed_domain_is_the_default() {
         assert_eq!(AnalysisParams::default().domain, DomainKind::Indexed);
         assert_eq!(DomainKind::default(), DomainKind::Indexed);
+        #[cfg(feature = "tree-domain")]
         assert_ne!(DomainKind::Indexed, DomainKind::Tree);
     }
 }

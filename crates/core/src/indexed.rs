@@ -15,9 +15,10 @@
 //! copy-on-write, so the per-statement state snapshots cost one `Arc` clone
 //! per row instead of a tree copy.
 //!
-//! The results are bit-for-bit identical to the tree domain
-//! ([`crate::DomainKind::Tree`]); the equivalence suite asserts it over the
-//! whole generated corpus and on random programs.
+//! The results are bit-for-bit identical to the legacy tree domain
+//! (`DomainKind::Tree`, compiled in only under the `tree-domain` feature);
+//! the equivalence suite asserts it over the whole generated corpus and on
+//! random programs.
 
 use crate::aliases::{AliasAnalysis, AliasMode};
 use crate::condition::AnalysisParams;
@@ -794,7 +795,7 @@ pub(crate) fn analyze_indexed_inner(
     )
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "tree-domain"))]
 mod tests {
     use crate::condition::{AnalysisParams, Condition, DomainKind};
     use crate::infoflow::analyze;

@@ -13,18 +13,25 @@
 //! * the per-block join is key-wise set union and the pass iterates to a
 //!   fixpoint.
 
+#[cfg(feature = "tree-domain")]
 use crate::aliases::{AliasAnalysis, AliasMode};
 use crate::condition::{AnalysisParams, DomainKind};
 use crate::deps::{Dep, DepSet, Theta, ThetaExt};
 use crate::indexed::{DomainTables, IndexedTheta};
+#[cfg(feature = "tree-domain")]
 use crate::places::{interior_places_with_derefs, readable_places, transitive_refs};
 use crate::summary::FunctionSummary;
+#[cfg(feature = "tree-domain")]
 use flowistry_dataflow::engine::{iterate_to_fixpoint, Analysis};
-use flowistry_dataflow::{ControlDependencies, Graph};
-use flowistry_lang::mir::{
-    BasicBlock, Body, Local, Location, Operand, Place, Rvalue, StatementKind, TerminatorKind,
-};
-use flowistry_lang::types::{FnSig, FuncId, Ty};
+#[cfg(feature = "tree-domain")]
+use flowistry_dataflow::ControlDependencies;
+use flowistry_dataflow::Graph;
+use flowistry_lang::mir::{BasicBlock, Body, Local, Location, Place, TerminatorKind};
+#[cfg(feature = "tree-domain")]
+use flowistry_lang::mir::{Operand, Rvalue, StatementKind};
+use flowistry_lang::types::FuncId;
+#[cfg(feature = "tree-domain")]
+use flowistry_lang::types::{FnSig, Ty};
 use flowistry_lang::CompiledProgram;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
@@ -455,6 +462,7 @@ pub(crate) fn analyze_dispatch(
 ) -> InfoFlowResults {
     match params.domain {
         DomainKind::Indexed => crate::indexed::analyze_indexed_inner(program, func, params, ctx),
+        #[cfg(feature = "tree-domain")]
         DomainKind::Tree => analyze_inner(program, func, params, ctx),
     }
 }
@@ -567,6 +575,7 @@ pub(crate) fn resolve_callee_summary(
     Some(summary)
 }
 
+#[cfg(feature = "tree-domain")]
 fn analyze_inner(
     program: &CompiledProgram,
     func: FuncId,
@@ -641,6 +650,7 @@ fn analyze_inner(
     )
 }
 
+#[cfg(feature = "tree-domain")]
 struct FlowAnalysis<'a, 's> {
     program: &'a CompiledProgram,
     body: &'a Body,
@@ -651,6 +661,7 @@ struct FlowAnalysis<'a, 's> {
     hit_boundary: Cell<bool>,
 }
 
+#[cfg(feature = "tree-domain")]
 impl Analysis for FlowAnalysis<'_, '_> {
     type Domain = Theta;
 
@@ -688,6 +699,7 @@ impl Analysis for FlowAnalysis<'_, '_> {
     }
 }
 
+#[cfg(feature = "tree-domain")]
 impl FlowAnalysis<'_, '_> {
     // ---------------- reading dependencies ----------------
 

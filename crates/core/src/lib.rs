@@ -19,12 +19,14 @@
 //! * [`infoflow`] — the forward dataflow pass tying it all together (§4.1),
 //!   including control dependence.
 //!
-//! The fixpoint runs, by default, on an *indexed* state representation:
-//! places and dependencies are interned into dense `u32`s per body, the
-//! state is a bitset matrix with copy-on-write rows, and every transfer
-//! function is compiled to an index-level plan before iteration starts.
-//! The original tree-map Θ is kept behind [`DomainKind::Tree`] as an escape
-//! hatch; both produce bit-for-bit identical [`InfoFlowResults`].
+//! The fixpoint runs on an *indexed* state representation: places and
+//! dependencies are interned into dense `u32`s per body, the state is a
+//! bitset matrix with copy-on-write rows, and every transfer function is
+//! compiled to an index-level plan before iteration starts. The original
+//! tree-map Θ is no longer part of the default build; enabling the
+//! `tree-domain` cargo feature compiles it back in as `DomainKind::Tree`,
+//! solely as the oracle the equivalence suite checks the indexed path
+//! against (both produce bit-for-bit identical [`InfoFlowResults`]).
 //!
 //! # Quick start
 //!

@@ -55,6 +55,7 @@ use flowistry_ifc::{IfcDiagnostic, IfcPolicy, IfcReport, Policy};
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::CompiledProgram;
+use flowistry_lint::LintFinding;
 use flowistry_obs::{Counter, Gauge, Histogram, Registry, Span, TraceIdGuard};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -131,6 +132,9 @@ pub enum QueryRequest {
     /// ([`AnalysisSnapshot::check_policy`]): the client ships a [`Policy`]
     /// and gets structured diagnostics with flow witnesses back.
     CheckPolicy(Policy),
+    /// All lint passes over one function ([`AnalysisSnapshot::lint`]):
+    /// effect checking plus the flow-aware lint suite.
+    Lint(FuncId),
     /// Service health: current epoch, queue depth, counters.
     Stats,
     /// A Prometheus-style text snapshot of the metrics registry the
@@ -142,8 +146,8 @@ impl QueryRequest {
     /// The request-kind labels, in [`QueryRequest::kind_index`] order —
     /// what the per-kind metric series (`flow_service_requests_total{kind=…}`
     /// and friends) are labeled with.
-    pub const KINDS: [&'static str; 8] = [
-        "summary", "results", "slice", "slice_at", "ifc", "policy", "stats", "metrics",
+    pub const KINDS: [&'static str; 9] = [
+        "summary", "results", "slice", "slice_at", "ifc", "policy", "lint", "stats", "metrics",
     ];
 
     /// Index of this request's kind into [`QueryRequest::KINDS`].
@@ -155,8 +159,9 @@ impl QueryRequest {
             QueryRequest::BackwardSliceAt { .. } => 3,
             QueryRequest::CheckIfc(_) => 4,
             QueryRequest::CheckPolicy(_) => 5,
-            QueryRequest::Stats => 6,
-            QueryRequest::Metrics => 7,
+            QueryRequest::Lint(_) => 6,
+            QueryRequest::Stats => 7,
+            QueryRequest::Metrics => 8,
         }
     }
 
@@ -184,6 +189,9 @@ pub enum QueryResponse {
     /// witnesses. (An invalid policy comes back as
     /// [`QueryResponse::Error`].)
     CheckPolicy(Vec<IfcDiagnostic>),
+    /// Answer to [`QueryRequest::Lint`]: every finding in the function,
+    /// ordered by pass then line.
+    Lint(Vec<LintFinding>),
     /// Answer to [`QueryRequest::Stats`].
     Stats(ServiceStats),
     /// Answer to [`QueryRequest::Metrics`]: the registry rendered as
@@ -300,6 +308,10 @@ struct ServiceMetrics {
     ifc_policy_checks: Arc<Counter>,
     /// Violations found across all policy checks.
     ifc_policy_violations: Arc<Counter>,
+    /// Lint queries served (one per `Lint` request).
+    lint_checks: Arc<Counter>,
+    /// Findings reported across all lint queries.
+    lint_findings: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -350,6 +362,14 @@ impl ServiceMetrics {
             ifc_policy_violations: registry.counter(
                 "flow_ifc_policy_violations_total",
                 "IFC diagnostics reported across all policy checks",
+            ),
+            lint_checks: registry.counter(
+                "flow_lint_checks_total",
+                "Lint queries served (all passes over one function each)",
+            ),
+            lint_findings: registry.counter(
+                "flow_lint_findings_total",
+                "Lint findings reported across all lint queries",
             ),
         }
     }
@@ -665,6 +685,15 @@ fn serve(
                 Err(e) => QueryResponse::Error(format!("invalid policy: {e}")),
             }
         }
+        QueryRequest::Lint(func) => match check(func) {
+            Ok(func) => {
+                shared.metrics.lint_checks.inc();
+                let findings = snapshot.lint(func);
+                shared.metrics.lint_findings.add(findings.len() as u64);
+                QueryResponse::Lint(findings)
+            }
+            Err(e) => e,
+        },
         QueryRequest::Stats => QueryResponse::Stats(stats_from(shared, snapshot)),
         QueryRequest::Metrics => QueryResponse::Metrics(shared.registry.render_prometheus()),
     }
@@ -1020,6 +1049,59 @@ mod tests {
         );
         assert!(
             text.contains("flow_ifc_policy_violations_total"),
+            "missing counter:\n{text}"
+        );
+    }
+
+    /// `Lint` through the service: findings come back ordered, an unknown
+    /// function id answers a descriptive error, and the lint counters show
+    /// up in the metrics rendering.
+    #[test]
+    fn lint_serves_findings_and_advances_counters() {
+        let program = Arc::new(
+            flowistry_lang::compile(
+                "fn crop(img: &mut i32, ignored: &mut i32) -> i32 {
+                     let dead = 1;
+                     *img = 5;
+                     return *img;
+                 }",
+            )
+            .unwrap(),
+        );
+        let engine = AnalysisEngine::new(program.clone(), EngineConfig::default());
+        let service = FlowService::new(engine, ServiceConfig::default().with_workers(1));
+        let func = program.func_id("crop").unwrap();
+
+        let envelope = service.query(QueryRequest::Lint(func));
+        let QueryResponse::Lint(findings) = envelope.response else {
+            panic!("expected lint findings, got {:?}", envelope.response);
+        };
+        let passes: Vec<&str> = findings.iter().map(|f| f.pass.name()).collect();
+        assert!(passes.contains(&"dead-store"), "{findings:?}");
+        assert!(passes.contains(&"unused-mut"), "{findings:?}");
+        assert!(
+            findings.iter().all(|f| f.function == "crop"),
+            "{findings:?}"
+        );
+
+        let envelope = service.query(QueryRequest::Lint(FuncId(99)));
+        match envelope.response {
+            QueryResponse::Error(msg) => {
+                assert!(msg.contains("unknown function id 99"), "{msg}")
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+
+        let envelope = service.query(QueryRequest::Metrics);
+        let QueryResponse::Metrics(text) = envelope.response else {
+            panic!("expected metrics");
+        };
+        assert!(
+            text.contains("flow_lint_checks_total 1"),
+            "missing or wrong counter:\n{text}"
+        );
+        assert!(
+            text.contains("flow_lint_findings_total"),
             "missing counter:\n{text}"
         );
     }

@@ -23,6 +23,7 @@ use flowistry_ifc::{
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
 use flowistry_lang::{CallGraph, CompiledProgram};
+use flowistry_lint::{LintFinding, Linter};
 use flowistry_slicer::{Slice, Slicer};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
@@ -259,6 +260,24 @@ impl AnalysisSnapshot {
                     .diagnostics
             })
             .collect())
+    }
+
+    /// Runs every lint pass (effect checking included) over `func`, serving
+    /// the flow analysis from the snapshot's memo. The snapshot-backed
+    /// counterpart of [`Linter::lint_function`].
+    pub fn lint(&self, func: FuncId) -> Vec<LintFinding> {
+        let linter = Linter::with_call_graph(&self.inner.program, &self.inner.call_graph);
+        let results = self.results(func);
+        match self.summary(func) {
+            Some(summary) => linter.lint_function(func, summary, &results),
+            None => {
+                let summary = FunctionSummary::from_exit_state(
+                    self.inner.program.body(func),
+                    results.exit_theta(),
+                );
+                linter.lint_function(func, &summary, &results)
+            }
+        }
     }
 
     /// The set of functions whose summary would have to be recomputed if

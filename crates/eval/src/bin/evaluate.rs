@@ -8,10 +8,12 @@
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
 //! `perf`, `engine`, `service-latency`, `fleet`, `noninterference`, `ifc`,
-//! `all` (default). Results are printed
+//! `lints`, `all` (default). Results are printed
 //! and also written as JSON under `results/`. `ifc` runs the labeled-corpus
 //! differential (policy checker vs interpreter vs legacy checker) and exits
-//! nonzero on any mismatch.
+//! nonzero on any mismatch; `lints` runs every lint pass plus the inferred
+//! effect signatures against the interpreter soundness oracles and exits
+//! nonzero on any under-approximation or false positive.
 //!
 //! Flags:
 //!
@@ -48,6 +50,8 @@ struct Scale {
     service_requests: usize,
     ifc_programs: usize,
     ifc_trials: usize,
+    lint_programs: usize,
+    lint_trials: usize,
 }
 
 impl Scale {
@@ -63,6 +67,8 @@ impl Scale {
             service_requests: 50,
             ifc_programs: 210,
             ifc_trials: 4,
+            lint_programs: 210,
+            lint_trials: 4,
         }
     }
 
@@ -78,6 +84,8 @@ impl Scale {
             service_requests: 12,
             ifc_programs: 24,
             ifc_trials: 2,
+            lint_programs: 24,
+            lint_trials: 2,
         }
     }
 }
@@ -135,6 +143,7 @@ fn main() {
         "fleet" => run_fleet(seed, scale, out_dir),
         "noninterference" => run_noninterference(seed, scale),
         "ifc" => run_ifc(seed, scale, out_dir),
+        "lints" => run_lints(seed, scale, out_dir),
         cmd => {
             // Everything else needs the corpus measured under the four
             // headline conditions.
@@ -174,6 +183,7 @@ fn main() {
                     );
                     run_noninterference(seed, scale);
                     run_ifc(seed, scale, out_dir);
+                    run_lints(seed, scale, out_dir);
                 }
             }
         }
@@ -350,6 +360,28 @@ fn run_ifc(seed: u64, scale: Scale, out_dir: &Path) {
             "IFC differential FAILED: {} interference mismatches, {} legacy mismatches",
             report.interference_mismatches.len(),
             report.legacy_mismatches.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_lints(seed: u64, scale: Scale, out_dir: &Path) {
+    eprintln!(
+        "running the lint/effect soundness differential ({} labeled programs, {} trials per function)...",
+        scale.lint_programs, scale.lint_trials
+    );
+    let report = flowistry_eval::measure_lints(seed, scale.lint_programs, scale.lint_trials);
+    println!("{}", flowistry_eval::render_lints(&report));
+    write_json(out_dir.join("lints.json"), &report);
+    // The repo-root benchmark artifact CI parses and the README links.
+    let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lints.json");
+    write_json(std::path::PathBuf::from(bench), &report);
+    if !report.is_clean() {
+        eprintln!(
+            "lint differential FAILED: {} effect under-approximations, {} dead-store false positives, {} unused-mut false positives",
+            report.effect_underapprox.len(),
+            report.dead_store_false_positives.len(),
+            report.unused_mut_false_positives.len()
         );
         std::process::exit(1);
     }

@@ -24,6 +24,7 @@ pub mod figures;
 pub mod fleet;
 pub mod ifc_diff;
 pub mod json;
+pub mod lints;
 pub mod measure;
 pub mod perf;
 pub mod report;
@@ -34,6 +35,7 @@ pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, Di
 pub use fleet::{measure_fleet, render_fleet, FleetReport};
 pub use ifc_diff::{measure_ifc_differential, render_ifc_differential, IfcDifferentialReport};
 pub use json::{Json, ToJson};
+pub use lints::{measure_lints, render_lints, LintEvalReport};
 pub use measure::{
     measure_corpus, measure_corpus_engine_only, measure_corpus_limited, measure_crate,
     measure_crate_engine_only, CrateMeasurements, VariableRecord,

@@ -345,10 +345,12 @@ impl Policy {
     }
 
     /// Reads the policy written in the program's own annotations:
-    /// `#![lattice(L)]` / `#![default_label(L)]` at module level,
-    /// `#[label(L)]` on functions and parameters, `#[sink(L)]` on sink
-    /// functions. (`#[declassify]` points are carried on MIR bodies and
-    /// consulted directly by the checker.)
+    /// `#![lattice(L)]` / `#![default_label(L)]` / `#![module_policy(M, ..)]`
+    /// at module level, `#[label(L)]` on functions and parameters,
+    /// `#[sink(L)]` on sink functions, `#[module(M)]` for module membership.
+    /// A function tagged `#[module(M)]` inherits the module's `label`/`sink`
+    /// defaults unless it declares its own. (`#[declassify]` points are
+    /// carried on MIR bodies and consulted directly by the checker.)
     ///
     /// # Errors
     ///
@@ -384,6 +386,25 @@ impl Policy {
                     policy
                         .param_labels
                         .push((sig.name.clone(), pname, l.clone()));
+                }
+            }
+        }
+        // Module-policy composition: `#[module(M)]` functions pick up the
+        // `#![module_policy(M, ..)]` defaults where they declared nothing
+        // themselves. Explicit per-function attributes always win.
+        for sig in &program.signatures {
+            let Some(m) = &sig.module else { continue };
+            let Some(mp) = program.ast.module_policies.iter().find(|p| &p.name == m) else {
+                continue;
+            };
+            if sig.label.is_none() {
+                if let Some(l) = &mp.label {
+                    policy.fn_labels.push((sig.name.clone(), l.clone()));
+                }
+            }
+            if sig.clearance.is_none() {
+                if let Some(c) = &mp.clearance {
+                    policy.sink_clearances.push((sig.name.clone(), c.clone()));
                 }
             }
         }
@@ -1173,6 +1194,54 @@ mod tests {
             report.diagnostics[0].sources,
             vec!["parameter `m`".to_string()]
         );
+    }
+
+    #[test]
+    fn module_policy_defaults_compose_with_annotations() {
+        let src = "
+            #![lattice(multi_level)]
+            #![module_policy(vault, label(High))]
+            #![module_policy(console, sink(Low))]
+            #[module(vault)]
+            fn fetch_key() -> i32 { return 7; }
+            #[module(vault)] #[label(Med)]
+            fn fetch_hint() -> i32 { return 1; }
+            #[module(console)]
+            fn emit(x: i32) { }
+            fn main_like() {
+                let k = fetch_key();
+                emit(k);
+            }
+        ";
+        let prog = flowistry_lang::compile(src).unwrap();
+        let policy = Policy::from_annotations(&prog).unwrap();
+        // Module default applies where the function declared nothing...
+        assert!(policy
+            .fn_labels
+            .contains(&("fetch_key".into(), "High".into())));
+        assert!(policy
+            .sink_clearances
+            .contains(&("emit".into(), "Low".into())));
+        // ...but an explicit `#[label]` wins over the module default.
+        assert!(policy
+            .fn_labels
+            .contains(&("fetch_hint".into(), "Med".into())));
+        assert!(!policy
+            .fn_labels
+            .contains(&("fetch_hint".into(), "High".into())));
+        let checker = PolicyChecker::new(&prog, policy).unwrap();
+        let report = checker.check_function("main_like").unwrap();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].incoming_label, "High");
+    }
+
+    #[test]
+    fn module_without_policy_is_inert() {
+        let src = "#[module(misc)] fn f() -> i32 { return 1; }";
+        let prog = flowistry_lang::compile(src).unwrap();
+        let policy = Policy::from_annotations(&prog).unwrap();
+        assert!(policy.fn_labels.is_empty());
+        assert!(policy.sink_clearances.is_empty());
     }
 
     #[test]

@@ -356,6 +356,36 @@ pub struct Block {
     pub span: Span,
 }
 
+/// A declared effect contract from `#[effect(...)]` clauses on a function.
+///
+/// The contract direction is caller-facing: the function promises to read
+/// at most `reads`, write through at most `writes`, and — when `pure` — to
+/// perform no caller-visible mutation and reach no sink. The lint layer
+/// checks each declaration against the effect signature *inferred* from the
+/// function summary (see `flowistry-lint`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EffectDecl {
+    /// `#[effect(pure)]`: no caller-visible mutations, no sink reachability.
+    pub pure: bool,
+    /// Parameters the function may read (`#[effect(reads(a, b))]`).
+    pub reads: Vec<String>,
+    /// Parameters the function may write through (`#[effect(writes(p))]`).
+    pub writes: Vec<String>,
+}
+
+/// A `#![module_policy(name, ...)]` header: default IFC policy entries for
+/// every function tagged `#[module(name)]`. Explicit `#[label]` / `#[sink]`
+/// attributes on a function win over its module's defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModulePolicy {
+    /// The module name functions opt into with `#[module(name)]`.
+    pub name: String,
+    /// Default result label for the module's functions (`label(L)` clause).
+    pub label: Option<String>,
+    /// Default sink clearance for the module's functions (`sink(C)` clause).
+    pub clearance: Option<String>,
+}
+
 /// A function parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Param {
@@ -390,6 +420,11 @@ pub struct FnDef {
     /// Sink clearance — the highest label this function may observe — from
     /// a `#[sink(L)]` function attribute.
     pub clearance: Option<String>,
+    /// Declared effect contract from `#[effect(...)]` attributes.
+    pub effect: Option<EffectDecl>,
+    /// Module membership from a `#[module(name)]` attribute; functions in a
+    /// module inherit its `#![module_policy(...)]` defaults.
+    pub module: Option<String>,
     /// Source location of the whole definition.
     pub span: Span,
 }
@@ -417,6 +452,8 @@ pub struct Program {
     pub lattice: Option<String>,
     /// Module-wide default label from `#![default_label(L)]`.
     pub default_label: Option<String>,
+    /// Per-module policy headers from `#![module_policy(name, ...)]`.
+    pub module_policies: Vec<ModulePolicy>,
 }
 
 impl Program {
@@ -511,10 +548,13 @@ mod tests {
                 },
                 label: None,
                 clearance: None,
+                effect: None,
+                module: None,
                 span: Span::DUMMY,
             }],
             lattice: None,
             default_label: None,
+            module_policies: vec![],
         };
         assert!(p.func("main").is_some());
         assert!(p.func("missing").is_none());

@@ -112,6 +112,7 @@ pub fn lower_fn(
         regions: cx.regions,
         outlives: Vec::new(),
         declassified_calls: cx.declassified_calls,
+        module: func.module.clone(),
         span: func.span,
     }
 }

@@ -523,6 +523,9 @@ pub struct Body {
     /// `#[declassify]` attribute. The information flow analysis ignores
     /// these; the IFC policy layer relabels their results to lattice bottom.
     pub declassified_calls: Vec<Location>,
+    /// Module membership from a `#[module(M)]` attribute; module-level lint
+    /// and policy defaults key off this.
+    pub module: Option<String>,
     /// Span of the whole function.
     pub span: Span,
 }

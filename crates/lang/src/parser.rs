@@ -5,7 +5,12 @@
 //! ```text
 //! program    := inner_attr* (struct_def | fn_def)*
 //! inner_attr := "#" "!" "[" IDENT "(" IDENT ")" "]"        // lattice, default_label
-//! outer_attr := "#" "[" IDENT ("(" IDENT ")")? "]"         // label, sink, declassify
+//!             | "#" "!" "[" "module_policy" "(" IDENT ("," policy_clause)* ")" "]"
+//! policy_clause := "label" "(" IDENT ")" | "sink" "(" IDENT ")"
+//! outer_attr := "#" "[" IDENT ("(" IDENT ")")? "]"         // label, sink, module, declassify
+//!             | "#" "[" "effect" "(" effect_clause ("," effect_clause)* ")" "]"
+//! effect_clause := "pure" | "reads" "(" IDENT ("," IDENT)* ")"
+//!                | "writes" "(" IDENT ("," IDENT)* ")"
 //! struct_def := "struct" IDENT "{" (IDENT ":" ty ","?)* "}"
 //! fn_def     := outer_attr* "fn" IDENT lifetimes? "(" params ")" ("->" ty)? where? block
 //! param      := outer_attr* IDENT ":" ty
@@ -23,9 +28,10 @@
 //! ```
 //!
 //! The attribute layer carries the IFC policy surface: `#![lattice(L)]` /
-//! `#![default_label(L)]` at module level, `#[label(L)]` on functions and
-//! parameters, `#[sink(L)]` on functions, and `#[declassify]` on a `let`
-//! whose initializer is a call (see `flowistry-ifc`).
+//! `#![default_label(L)]` / `#![module_policy(M, ...)]` at module level,
+//! `#[label(L)]` on functions and parameters, `#[sink(L)]` / `#[module(M)]` /
+//! `#[effect(..)]` on functions, and `#[declassify]` on a `let` whose
+//! initializer is a call (see `flowistry-ifc` and `flowistry-lint`).
 //!
 //! Operator precedence: `||` < `&&` < comparisons < `+ -` < `* / %` < unary.
 
@@ -183,17 +189,84 @@ impl Parser {
         Ok((name, arg, start.to(end)))
     }
 
-    /// Parses one `#![name(arg)]` inner (module-level) attribute.
-    fn inner_attr(&mut self) -> Result<(String, String, Span), Diagnostic> {
-        let start = self.expect(TokenKind::Pound)?.span;
-        self.expect(TokenKind::Bang)?;
-        self.expect(TokenKind::LBracket)?;
-        let (name, _) = self.expect_ident()?;
+    /// Parses the `( IDENT )` argument of a single-argument attribute.
+    fn attr_arg(&mut self) -> Result<String, Diagnostic> {
         self.expect(TokenKind::LParen)?;
         let (arg, _) = self.expect_ident()?;
         self.expect(TokenKind::RParen)?;
-        let end = self.expect(TokenKind::RBracket)?.span;
-        Ok((name, arg, start.to(end)))
+        Ok(arg)
+    }
+
+    /// Parses the `( IDENT ("," IDENT)* )` list of an effect clause.
+    fn attr_ident_list(&mut self) -> Result<Vec<String>, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut names = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident()?;
+            names.push(name);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(names)
+    }
+
+    /// Parses the clause list of `#[effect(...)]`, merging into `decl` so
+    /// repeated `#[effect]` attributes on one function accumulate.
+    fn effect_clauses(&mut self, decl: &mut EffectDecl) -> Result<(), Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        loop {
+            let (cname, cspan) = self.expect_ident()?;
+            match cname.as_str() {
+                "pure" => decl.pure = true,
+                "reads" => decl.reads.extend(self.attr_ident_list()?),
+                "writes" => decl.writes.extend(self.attr_ident_list()?),
+                other => {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "unknown effect clause `{other}` \
+                             (expected `pure`, `reads(..)`, or `writes(..)`)"
+                        ),
+                        cspan,
+                    ));
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(())
+    }
+
+    /// Parses the `(name, clause*)` body of `#![module_policy(...)]`.
+    fn module_policy_body(&mut self) -> Result<ModulePolicy, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let (name, _) = self.expect_ident()?;
+        let mut policy = ModulePolicy {
+            name,
+            label: None,
+            clearance: None,
+        };
+        while self.eat(&TokenKind::Comma) {
+            let (cname, cspan) = self.expect_ident()?;
+            match cname.as_str() {
+                "label" => policy.label = Some(self.attr_arg()?),
+                "sink" => policy.clearance = Some(self.attr_arg()?),
+                other => {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "unknown module_policy clause `{other}` \
+                             (expected `label(L)` or `sink(C)`)"
+                        ),
+                        cspan,
+                    ));
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(policy)
     }
 
     // ---------------- items ----------------
@@ -202,20 +275,25 @@ impl Parser {
         let mut program = Program::default();
         // Inner attributes may only appear before the first item.
         while self.check(&TokenKind::Pound) && self.peek2() == Some(&TokenKind::Bang) {
-            let (name, arg, span) = self.inner_attr()?;
+            let start = self.expect(TokenKind::Pound)?.span;
+            self.expect(TokenKind::Bang)?;
+            self.expect(TokenKind::LBracket)?;
+            let (name, nspan) = self.expect_ident()?;
             match name.as_str() {
-                "lattice" => program.lattice = Some(arg),
-                "default_label" => program.default_label = Some(arg),
+                "lattice" => program.lattice = Some(self.attr_arg()?),
+                "default_label" => program.default_label = Some(self.attr_arg()?),
+                "module_policy" => program.module_policies.push(self.module_policy_body()?),
                 other => {
                     return Err(Diagnostic::error(
                         format!(
                             "unknown module attribute `#![{other}(..)]` \
-                             (expected `lattice` or `default_label`)"
+                             (expected `lattice`, `default_label`, or `module_policy`)"
                         ),
-                        span,
+                        start.to(nspan),
                     ));
                 }
             }
+            self.expect(TokenKind::RBracket)?;
         }
         loop {
             match self.peek() {
@@ -258,21 +336,41 @@ impl Parser {
     fn fn_def(&mut self) -> Result<FnDef, Diagnostic> {
         let mut label = None;
         let mut clearance = None;
+        let mut effect: Option<EffectDecl> = None;
+        let mut module = None;
+        // `#[effect(...)]` carries a clause list the generic `outer_attr`
+        // shape cannot express, so function attributes dispatch on the name.
         while self.check(&TokenKind::Pound) {
-            let (aname, arg, aspan) = self.outer_attr()?;
-            match (aname.as_str(), arg) {
-                ("label", Some(l)) => label = Some(l),
-                ("sink", Some(l)) => clearance = Some(l),
-                _ => {
+            let astart = self.expect(TokenKind::Pound)?.span;
+            self.expect(TokenKind::LBracket)?;
+            let (aname, aspan) = self.expect_ident()?;
+            match aname.as_str() {
+                "label" => label = Some(self.attr_arg()?),
+                "sink" => clearance = Some(self.attr_arg()?),
+                "module" => module = Some(self.attr_arg()?),
+                "effect" => {
+                    let decl = effect.get_or_insert_with(EffectDecl::default);
+                    self.effect_clauses(decl)?;
+                    if decl.pure && !decl.writes.is_empty() {
+                        return Err(Diagnostic::error(
+                            "contradictory `#[effect]`: `pure` promises no \
+                             caller-visible writes but `writes(..)` declares some",
+                            astart.to(self.peek_span()),
+                        ));
+                    }
+                }
+                other => {
                     return Err(Diagnostic::error(
                         format!(
-                            "unknown function attribute `#[{aname}]` \
-                             (expected `#[label(L)]` or `#[sink(L)]`)"
+                            "unknown function attribute `#[{other}]` \
+                             (expected `#[label(L)]`, `#[sink(L)]`, \
+                             `#[module(M)]`, or `#[effect(..)]`)"
                         ),
-                        aspan,
+                        astart.to(aspan),
                     ));
                 }
             }
+            self.expect(TokenKind::RBracket)?;
         }
         let start = self.expect(TokenKind::Fn)?.span;
         let (name, _) = self.expect_ident()?;
@@ -352,6 +450,8 @@ impl Parser {
             body,
             label,
             clearance,
+            effect,
+            module,
             span,
         })
     }
@@ -1148,6 +1248,98 @@ mod tests {
         assert!(parse_program("fn f(#[sink(Low)] x: i32) { }").is_err());
         // Inner attributes after the first item are rejected.
         assert!(parse_program("fn f() { } #![lattice(two_point)]").is_err());
+    }
+
+    #[test]
+    fn parses_effect_attributes() {
+        let src = "#[effect(pure)] fn one() -> i32 { return 1; }
+                   #[effect(reads(x, y), writes(p))]
+                   fn f(x: i32, y: i32, p: &mut i32) { *p = x + y; }";
+        let p = parse_program(src).unwrap();
+        let one = p.funcs[0].effect.as_ref().unwrap();
+        assert!(one.pure);
+        assert!(one.reads.is_empty() && one.writes.is_empty());
+        let f = p.funcs[1].effect.as_ref().unwrap();
+        assert!(!f.pure);
+        assert_eq!(f.reads, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(f.writes, vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn repeated_effect_attributes_accumulate() {
+        let src =
+            "#[effect(reads(x))] #[effect(reads(y))] fn f(x: i32, y: i32) -> i32 { return x + y; }";
+        let p = parse_program(src).unwrap();
+        let eff = p.funcs[0].effect.as_ref().unwrap();
+        assert_eq!(eff.reads, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn parses_module_membership_and_policy() {
+        let src = "#![lattice(two_point)]
+                   #![module_policy(audit, label(Secret), sink(Public))]
+                   #[module(audit)] fn f() -> i32 { return 1; }
+                   fn g() { }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.module_policies.len(), 1);
+        let mp = &p.module_policies[0];
+        assert_eq!(mp.name, "audit");
+        assert_eq!(mp.label.as_deref(), Some("Secret"));
+        assert_eq!(mp.clearance.as_deref(), Some("Public"));
+        assert_eq!(p.funcs[0].module.as_deref(), Some("audit"));
+        assert_eq!(p.funcs[1].module, None);
+    }
+
+    #[test]
+    fn module_policy_clauses_are_optional() {
+        let p = parse_program("#![module_policy(io)] fn f() { }").unwrap();
+        assert_eq!(p.module_policies[0].name, "io");
+        assert!(p.module_policies[0].label.is_none());
+        assert!(p.module_policies[0].clearance.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_effect_attributes() {
+        // Every row must produce a spanned diagnostic, never a panic.
+        let gauntlet = [
+            "#[effect] fn f() { }",
+            "#[effect()] fn f() { }",
+            "#[effect(frobnicate)] fn f() { }",
+            "#[effect(reads)] fn f(x: i32) { }",
+            "#[effect(reads())] fn f(x: i32) { }",
+            "#[effect(reads(x,))] fn f(x: i32) { }",
+            "#[effect(reads(x) writes(x))] fn f(x: &mut i32) { }",
+            "#[effect(pure, writes(p))] fn f(p: &mut i32) { }",
+            "#[effect(pure)] #[effect(writes(p))] fn f(p: &mut i32) { }",
+            "#[effect(reads(1))] fn f() { }",
+            "#[effect(pure] fn f() { }",
+            "#[effect(pure)) fn f() { }",
+        ];
+        for src in gauntlet {
+            let err = parse_program(src).unwrap_err();
+            assert!(err.span.lo <= err.span.hi, "bad span for {src:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_module_attributes() {
+        let gauntlet = [
+            "#[module] fn f() { }",
+            "#[module()] fn f() { }",
+            "#[module(a, b)] fn f() { }",
+            "#![module_policy] fn f() { }",
+            "#![module_policy()] fn f() { }",
+            "#![module_policy(m, frobnicate(x))] fn f() { }",
+            "#![module_policy(m, label)] fn f() { }",
+            "#![module_policy(m, label())] fn f() { }",
+            "#![module_policy(m, sink(Low), )] fn f() { }",
+            "#![module_policy(m label(L))] fn f() { }",
+            "fn f() { } #![module_policy(m)]",
+        ];
+        for src in gauntlet {
+            let err = parse_program(src).unwrap_err();
+            assert!(err.span.lo <= err.span.hi, "bad span for {src:?}");
+        }
     }
 
     #[test]

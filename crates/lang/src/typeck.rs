@@ -286,6 +286,22 @@ fn build_signatures(program: &Program, structs: &StructTable) -> Result<Vec<FnSi
         // `named` is only needed during construction of this signature.
         named.clear();
 
+        // `#[effect(reads(..))]` / `#[effect(writes(..))]` may only name the
+        // function's own parameters.
+        if let Some(effect) = &f.effect {
+            for pname in effect.reads.iter().chain(effect.writes.iter()) {
+                if !f.params.iter().any(|p| &p.name == pname) {
+                    return Err(Diagnostic::error(
+                        format!(
+                            "`#[effect]` on `{}` names unknown parameter `{pname}`",
+                            f.name
+                        ),
+                        f.span,
+                    ));
+                }
+            }
+        }
+
         sigs.push(FnSig {
             name: f.name.clone(),
             inputs,
@@ -296,6 +312,8 @@ fn build_signatures(program: &Program, structs: &StructTable) -> Result<Vec<FnSi
             label: f.label.clone(),
             clearance: f.clearance.clone(),
             param_labels: f.params.iter().map(|p| p.label.clone()).collect(),
+            effect: f.effect.clone(),
+            module: f.module.clone(),
         });
     }
     Ok(sigs)

@@ -287,6 +287,12 @@ pub struct FnSig {
     /// Per-parameter security labels (`#[label(L)]` on a parameter), indexed
     /// parallel to [`FnSig::inputs`].
     pub param_labels: Vec<Option<String>>,
+    /// Declared effect contract (`#[effect(..)]`), checked against the
+    /// inferred effect signature by `flowistry-lint`.
+    pub effect: Option<crate::ast::EffectDecl>,
+    /// Module membership (`#[module(M)]`); carries the module's
+    /// `#![module_policy(..)]` defaults into the IFC policy.
+    pub module: Option<String>,
 }
 
 impl FnSig {
@@ -420,6 +426,8 @@ mod tests {
             label: None,
             clearance: None,
             param_labels: vec![None],
+            effect: None,
+            module: None,
         };
         assert!(sig.has_unique_ref_param());
         let sig2 = FnSig {
@@ -432,6 +440,8 @@ mod tests {
             label: None,
             clearance: None,
             param_labels: vec![None],
+            effect: None,
+            module: None,
         };
         assert!(!sig2.has_unique_ref_param());
     }

@@ -278,7 +278,9 @@ impl RouterShared {
     /// round-robin.
     fn routing_key(&self, request: &QueryRequest) -> String {
         match request {
-            QueryRequest::Summary(f) | QueryRequest::Results(f) => format!("func:{}", f.0),
+            QueryRequest::Summary(f) | QueryRequest::Results(f) | QueryRequest::Lint(f) => {
+                format!("func:{}", f.0)
+            }
             QueryRequest::BackwardSlice { func, .. }
             | QueryRequest::BackwardSliceAt { func, .. } => format!("func:{}", func.0),
             _ => format!("rr:{}", self.round_robin.fetch_add(1, Ordering::Relaxed)),

@@ -5,6 +5,7 @@
 //! backend behind it.
 
 use flowistry_engine::{QueryRequest, QueryResponse};
+use flowistry_lang::types::FuncId;
 use flowistry_obs::Registry;
 use flowistry_router::{BackendLauncher, FlowRouter, InProcessLauncher, RouterConfig};
 use flowistry_server::{ClientConfig, FlowClient};
@@ -181,6 +182,68 @@ fn metrics_verb_answers_from_the_router_registry() {
     assert!(scrape.contains("flow_router_backend_requests_total{backend=\"0\"}"));
     assert!(!scrape.contains("flow_engine_functions_analyzed_total"));
     assert_eq!(scrape, registry.render_prometheus());
+}
+
+#[test]
+fn lint_verb_routes_with_function_pinning_and_survives_malformed_lines() {
+    let registry = Arc::new(Registry::new());
+    let router = fleet(RouterConfig::default().with_registry(registry.clone()));
+    let addr = router.local_addr();
+
+    let mut client = FlowClient::connect(addr).expect("connect");
+    // A valid lint query routes to the function's pinned backend and
+    // answers findings (`f` writes `*p` and returns `x`, so it is clean).
+    let envelope = client
+        .query(&QueryRequest::Lint(FuncId(0)))
+        .expect("lint round-trip");
+    match &envelope.response {
+        QueryResponse::Lint(findings) => assert!(findings.is_empty(), "{findings:?}"),
+        other => panic!("expected lint findings, got {other:?}"),
+    }
+    // An unknown function id is a structured error from the backend, not a
+    // dropped connection.
+    let envelope = client
+        .query(&QueryRequest::Lint(FuncId(42)))
+        .expect("out-of-range lint round-trip");
+    match &envelope.response {
+        QueryResponse::Error(msg) => {
+            assert!(msg.contains("unknown function id 42"), "{msg}")
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // Raw wire: malformed `lint` lines are refused with structured errors
+    // and the connection keeps serving.
+    let stream = std::net::TcpStream::connect(addr).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+    for bad in ["lint", "lint nine", "lint 0 extra"] {
+        writeln!(writer, "{bad}").expect("malformed write");
+        line.clear();
+        reader.read_line(&mut line).expect("malformed reply");
+        assert!(
+            line.starts_with("error "),
+            "{bad:?} answered {line:?}, want a structured error"
+        );
+    }
+    writeln!(writer, "lint 0").expect("valid write");
+    line.clear();
+    reader.read_line(&mut line).expect("valid reply");
+    let envelope = flowistry_server::codec::decode_envelope(line.trim_end()).expect("decode");
+    assert!(
+        matches!(envelope.response, QueryResponse::Lint(_)),
+        "connection died after malformed lint lines: {:?}",
+        envelope.response
+    );
+
+    // The router's per-kind routing latency series records the lint verb;
+    // both well-formed queries went to the single replica's shard.
+    let scrape = registry.render_prometheus();
+    assert!(
+        scrape.contains("flow_router_route_seconds_count{kind=\"lint\"}"),
+        "no lint routing series:\n{scrape}"
+    );
 }
 
 #[test]

@@ -22,7 +22,8 @@ use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
 use flowistry_engine::{QueryRequest, QueryResponse};
 use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
 use flowistry_lang::types::FuncId;
-use flowistry_lang::CompiledProgram;
+use flowistry_lang::{CallGraph, CompiledProgram};
+use flowistry_lint::{LintFinding, Linter};
 use flowistry_obs::Registry;
 use flowistry_router::{BackendLauncher, FlowRouter, InProcessLauncher, RouterConfig};
 use flowistry_server::{ClientConfig, FlowClient};
@@ -89,6 +90,7 @@ struct Expected {
     summaries: Vec<FunctionSummary>,
     slices: Vec<Option<Slice>>,
     ifc: Vec<IfcReport>,
+    lints: Vec<Vec<LintFinding>>,
 }
 
 fn expected_for(program: &Arc<CompiledProgram>, params: &AnalysisParams) -> Expected {
@@ -110,11 +112,17 @@ fn expected_for(program: &Arc<CompiledProgram>, params: &AnalysisParams) -> Expe
     let ifc = IfcChecker::new(program, IfcPolicy::from_conventions(program))
         .with_params(params.clone())
         .check_program();
+    let call_graph = CallGraph::extract(program);
+    let linter = Linter::with_call_graph(program, &call_graph);
+    let lints: Vec<_> = (0..n)
+        .map(|i| linter.lint_function(FuncId(i as u32), &summaries[i], &results[i]))
+        .collect();
     Expected {
         results,
         summaries,
         slices,
         ifc,
+        lints,
     }
 }
 
@@ -234,6 +242,13 @@ fn hammer_through_router(workers: usize) {
                     "CheckIfc through the router diverged at epoch {epoch}"
                 );
             }
+            (QueryRequest::Lint(f), QueryResponse::Lint(got)) => {
+                assert_eq!(
+                    got, &exp.lints[f.0 as usize],
+                    "Lint({}) through the router diverged at epoch {epoch}",
+                    f.0
+                );
+            }
             (QueryRequest::Stats, QueryResponse::Stats(stats)) => {
                 assert_eq!(stats.epoch, epoch);
                 assert_eq!(stats.workers, workers);
@@ -255,7 +270,7 @@ fn hammer_through_router(workers: usize) {
                 let mut client = connect_authed(addr);
                 let make_request = |i: usize| {
                     let func = FuncId(((i + t) % num_funcs) as u32);
-                    match (i + t) % 5 {
+                    match (i + t) % 6 {
                         0 => QueryRequest::Results(func),
                         1 => QueryRequest::Summary(func),
                         2 => QueryRequest::BackwardSlice {
@@ -263,6 +278,7 @@ fn hammer_through_router(workers: usize) {
                             var: "v".to_string(),
                         },
                         3 => QueryRequest::CheckIfc(policy.clone()),
+                        4 => QueryRequest::Lint(func),
                         _ => QueryRequest::Stats,
                     }
                 };

@@ -6,12 +6,16 @@
 //! connection.
 //!
 //! ```text
-//! flow-smoke <HOST:PORT> [--metrics] [--shutdown] [--auth TOKEN]
+//! flow-smoke <HOST:PORT> [--metrics] [--lint] [--shutdown] [--auth TOKEN]
 //! ```
 //!
 //! With `--metrics` the server's Prometheus snapshot is scraped twice
 //! (around one extra request), checked for the required series and for
-//! monotonically advancing counters, and echoed to stdout. With
+//! monotonically advancing counters, and echoed to stdout. With `--lint`
+//! a `lint` query is round-tripped against the local linter's findings
+//! (bit-exact) and the `flow_lint_*` counters are checked to advance
+//! across two scrapes — point this at a `flow-server`, not a router
+//! (router scrapes expose routing series, not engine series). With
 //! `--shutdown` the server is asked to stop after the checks (CI uses
 //! this to tear the background server down and assert a clean exit).
 //! `--auth TOKEN` sends the `auth` connection preamble on every
@@ -24,6 +28,7 @@ use flowistry_core::{analyze, AnalysisParams, Condition, FunctionSummary};
 use flowistry_engine::{QueryRequest, QueryResponse};
 use flowistry_ifc::{IfcChecker, IfcPolicy};
 use flowistry_lang::mir::{BasicBlock, Location, Place};
+use flowistry_lint::{LintPass, Linter};
 use flowistry_server::{codec, ClientConfig, FlowClient};
 use flowistry_slicer::Slicer;
 use std::io::{BufRead, BufReader, Write};
@@ -140,7 +145,54 @@ fn connect_raw_retry(addr: &str) -> std::io::Result<TcpStream> {
     Err(last_err.expect("at least one attempt"))
 }
 
-fn run(addr: &str, metrics: bool, shutdown: bool, auth: Option<&str>) -> Result<(), String> {
+/// Round-trips a `lint` query (checked bit-exact against the local
+/// linter) and asserts the lint observability counters advance across two
+/// metrics scrapes.
+fn check_lint(
+    client: &mut FlowClient,
+    program: &flowistry_lang::CompiledProgram,
+    main: flowistry_lang::types::FuncId,
+    epoch: u64,
+    direct_main: &flowistry_core::InfoFlowResults,
+    fail: impl Fn(std::io::Error) -> String,
+) -> Result<(), String> {
+    let linter = Linter::new(program);
+    let summary = FunctionSummary::from_exit_state(program.body(main), direct_main.exit_theta());
+    let expected = linter.lint_function(main, &summary, direct_main);
+
+    let first = client.metrics().map_err(&fail)?;
+    let (lint_epoch, findings) = client.lint(main).map_err(&fail)?;
+    check(lint_epoch == epoch, "lint served from the pushed epoch")?;
+    check(findings == expected, "lint(main) == direct linter")?;
+    check(
+        findings
+            .iter()
+            .any(|f| f.pass == LintPass::SecretToDebugSink),
+        "fixture's password leak is flagged by the lint",
+    )?;
+    let second = client.metrics().map_err(&fail)?;
+    for series in [
+        "flow_lint_checks_total",
+        "flow_lint_findings_total",
+        "flow_service_requests_total{kind=\"lint\"}",
+    ] {
+        let a = sample_value(&first, series).unwrap_or(0.0);
+        let b = sample_value(&second, series).unwrap_or(0.0);
+        check(
+            b > a,
+            &format!("{series} advanced across scrapes ({a} -> {b})"),
+        )?;
+    }
+    Ok(())
+}
+
+fn run(
+    addr: &str,
+    metrics: bool,
+    lint: bool,
+    shutdown: bool,
+    auth: Option<&str>,
+) -> Result<(), String> {
     let fail = |e: std::io::Error| format!("i/o against {addr}: {e}");
 
     // Phase 1, raw socket: garbage never kills the connection — each bad
@@ -281,6 +333,10 @@ fn run(addr: &str, metrics: bool, shutdown: bool, auth: Option<&str>) -> Result<
         check_metrics(&mut client, fail)?;
     }
 
+    if lint {
+        check_lint(&mut client, &program, main, epoch, &direct_main, fail)?;
+    }
+
     if shutdown {
         client.shutdown_server().map_err(fail)?;
     }
@@ -290,17 +346,19 @@ fn run(addr: &str, metrics: bool, shutdown: bool, auth: Option<&str>) -> Result<
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: flow-smoke <HOST:PORT> [--metrics] [--shutdown] [--auth TOKEN]");
+        eprintln!("usage: flow-smoke <HOST:PORT> [--metrics] [--lint] [--shutdown] [--auth TOKEN]");
         ExitCode::from(2)
     };
     let mut addr = None;
     let mut metrics = false;
+    let mut lint = false;
     let mut shutdown = false;
     let mut auth = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
+            "--lint" => lint = true,
             "--shutdown" => shutdown = true,
             "--auth" => match iter.next() {
                 Some(token) => auth = Some(token.clone()),
@@ -311,7 +369,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(addr) = addr else { return usage() };
-    match run(addr, metrics, shutdown, auth.as_deref()) {
+    match run(addr, metrics, lint, shutdown, auth.as_deref()) {
         Ok(()) => {
             println!("flow-smoke OK");
             ExitCode::SUCCESS

@@ -7,6 +7,8 @@
 
 use crate::codec;
 use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse, ServiceStats};
+use flowistry_lang::types::FuncId;
+use flowistry_lint::LintFinding;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::thread;
@@ -280,6 +282,18 @@ impl FlowClient {
         match envelope.response {
             QueryResponse::Metrics(text) => Ok(text),
             other => Err(invalid_data(format!("expected metrics, got {other:?}"))),
+        }
+    }
+
+    /// Convenience: all lint findings for one function, with the epoch of
+    /// the envelope that carried them. A server-side error (e.g. an unknown
+    /// function id) comes back as [`io::ErrorKind::InvalidData`].
+    pub fn lint(&mut self, func: FuncId) -> io::Result<(u64, Vec<LintFinding>)> {
+        let envelope = self.query(&QueryRequest::Lint(func))?;
+        match envelope.response {
+            QueryResponse::Lint(findings) => Ok((envelope.epoch, findings)),
+            QueryResponse::Error(msg) => Err(invalid_data(msg)),
+            other => Err(invalid_data(format!("expected findings, got {other:?}"))),
         }
     }
 

@@ -16,6 +16,7 @@
 //! ifc <sinks> <producers> <params> <locals>   QueryRequest::CheckIfc
 //! policy <lattice> <default> <fns> <params> <locals> <sinks> <declassify>
 //!                                     QueryRequest::CheckPolicy
+//! lint <func>                         QueryRequest::Lint
 //! stats                               QueryRequest::Stats
 //! metrics                             QueryRequest::Metrics
 //! auth <esc-token>                    connection-preamble authentication
@@ -63,6 +64,9 @@
 //!   incoming label, clearance, sources, witness); sources are escaped
 //!   strings joined with `+`, witness steps are `location:line` joined
 //!   with `+`, diagnostics join with `|`.
+//! * **lint finding**: `,`-separated fields (pass name, function, message,
+//!   line, witness); the witness uses the same `location:line` steps as a
+//!   diagnostic, findings join with `|`, the empty list is `-`.
 //!
 //! # Trailing attributes (backward-compatible extension point)
 //!
@@ -87,6 +91,7 @@ use flowistry_ifc::{
 };
 use flowistry_lang::mir::{BasicBlock, Local, Location, Place};
 use flowistry_lang::types::FuncId;
+use flowistry_lint::{LintFinding, LintPass};
 use flowistry_slicer::Slice;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -621,6 +626,36 @@ fn decode_policy(fields: &[&str; 7]) -> Result<Policy, String> {
     })
 }
 
+/// Encodes a flow witness as `location:line` steps joined with `+` (`-`
+/// when empty) — shared between IFC diagnostics and lint findings.
+fn encode_witness(witness: &[WitnessStep]) -> String {
+    if witness.is_empty() {
+        return "-".to_string();
+    }
+    witness
+        .iter()
+        .map(|w| format!("{}:{}", encode_location(w.location), w.line))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+fn decode_witness(s: &str) -> Result<Vec<WitnessStep>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('+')
+        .map(|step| {
+            let (loc, line) = step
+                .rsplit_once(':')
+                .ok_or_else(|| format!("bad witness step {step:?}"))?;
+            Ok(WitnessStep {
+                location: decode_location(loc)?,
+                line: parse_num(line, "witness line")?,
+            })
+        })
+        .collect()
+}
+
 fn encode_diagnostics(diags: &[IfcDiagnostic]) -> String {
     if diags.is_empty() {
         return "-".to_string();
@@ -637,15 +672,6 @@ fn encode_diagnostics(diags: &[IfcDiagnostic]) -> String {
                     .collect::<Vec<_>>()
                     .join("+")
             };
-            let witness = if d.witness.is_empty() {
-                "-".to_string()
-            } else {
-                d.witness
-                    .iter()
-                    .map(|w| format!("{}:{}", encode_location(w.location), w.line))
-                    .collect::<Vec<_>>()
-                    .join("+")
-            };
             format!(
                 "{},{},{},{},{},{},{},{}",
                 esc(&d.in_function),
@@ -655,7 +681,7 @@ fn encode_diagnostics(diags: &[IfcDiagnostic]) -> String {
                 esc(&d.incoming_label),
                 esc(&d.clearance),
                 sources,
-                witness
+                encode_witness(&d.witness)
             )
         })
         .collect::<Vec<_>>()
@@ -679,22 +705,7 @@ fn decode_diagnostics(s: &str) -> Result<Vec<IfcDiagnostic>, String> {
             } else {
                 sources.split('+').map(unesc).collect::<Result<_, _>>()?
             };
-            let witness = if witness == "-" {
-                Vec::new()
-            } else {
-                witness
-                    .split('+')
-                    .map(|step| {
-                        let (loc, line) = step
-                            .rsplit_once(':')
-                            .ok_or_else(|| format!("bad witness step {step:?}"))?;
-                        Ok(WitnessStep {
-                            location: decode_location(loc)?,
-                            line: parse_num(line, "witness line")?,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, String>>()?
-            };
+            let witness = decode_witness(witness)?;
             Ok(IfcDiagnostic {
                 in_function: unesc(in_function)?,
                 sink: unesc(sink)?,
@@ -704,6 +715,47 @@ fn decode_diagnostics(s: &str) -> Result<Vec<IfcDiagnostic>, String> {
                 clearance: unesc(clearance)?,
                 sources,
                 witness,
+            })
+        })
+        .collect()
+}
+
+fn encode_findings(findings: &[LintFinding]) -> String {
+    if findings.is_empty() {
+        return "-".to_string();
+    }
+    findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{},{},{},{},{}",
+                f.pass.name(),
+                esc(&f.function),
+                esc(&f.message),
+                f.line,
+                encode_witness(&f.witness)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn decode_findings(s: &str) -> Result<Vec<LintFinding>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('|')
+        .map(|finding| {
+            let fields: Vec<&str> = finding.split(',').collect();
+            let [pass, function, message, line, witness] = fields[..] else {
+                return Err(format!("lint finding has {} fields, want 5", fields.len()));
+            };
+            Ok(LintFinding {
+                pass: LintPass::parse(pass).ok_or_else(|| format!("unknown lint pass {pass:?}"))?,
+                function: unesc(function)?,
+                message: unesc(message)?,
+                line: parse_num(line, "line")?,
+                witness: decode_witness(witness)?,
             })
         })
         .collect()
@@ -786,6 +838,7 @@ pub fn encode_request(request: &QueryRequest) -> String {
             encode_pairs(&policy.sink_clearances),
             encode_pairs(&policy.declassify),
         ),
+        QueryRequest::Lint(func) => format!("lint {}", func.0),
         QueryRequest::Stats => "stats".to_string(),
         QueryRequest::Metrics => "metrics".to_string(),
     }
@@ -862,6 +915,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
                 lattice, default, fns, params, locals, sinks, declassify,
             ])?)
         }
+        ["lint", func] => QueryRequest::Lint(FuncId(parse_num(func, "function id")?)),
         ["stats"] => QueryRequest::Stats,
         ["metrics"] => QueryRequest::Metrics,
         ["update", bytes] => {
@@ -879,9 +933,9 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
         [verb, ..] => {
             // A known verb with the wrong arity deserves a better hint than
             // "unknown request" — it misdirects anyone debugging over `nc`.
-            const VERBS: [&str; 11] = [
-                "summary", "results", "slice", "slice-at", "ifc", "policy", "stats", "metrics",
-                "update", "auth", "shutdown",
+            const VERBS: [&str; 12] = [
+                "summary", "results", "slice", "slice-at", "ifc", "policy", "lint", "stats",
+                "metrics", "update", "auth", "shutdown",
             ];
             return Err(if VERBS.contains(&verb) {
                 format!("wrong number of arguments for {verb:?}")
@@ -917,6 +971,9 @@ pub fn encode_envelope(envelope: &QueryEnvelope) -> String {
         QueryResponse::CheckIfc(reports) => format!("ifc {epoch} {}", encode_reports(reports)),
         QueryResponse::CheckPolicy(diags) => {
             format!("policy {epoch} {}", encode_diagnostics(diags))
+        }
+        QueryResponse::Lint(findings) => {
+            format!("lint {epoch} {}", encode_findings(findings))
         }
         QueryResponse::Stats(stats) => format!("stats {epoch} {}", encode_stats(stats)),
         QueryResponse::Metrics(text) => format!("metrics {epoch} {}", esc(text)),
@@ -971,6 +1028,7 @@ pub fn decode_envelope(line: &str) -> Result<QueryEnvelope, String> {
         "slice-at" => QueryResponse::BackwardSliceAt(decode_locations(one()?)?),
         "ifc" => QueryResponse::CheckIfc(decode_reports(one()?)?),
         "policy" => QueryResponse::CheckPolicy(decode_diagnostics(one()?)?),
+        "lint" => QueryResponse::Lint(decode_findings(one()?)?),
         "stats" => QueryResponse::Stats(decode_stats(payload)?),
         "metrics" => QueryResponse::Metrics(unesc(one()?)?),
         "error" => QueryResponse::Error(unesc(one()?)?),
@@ -1060,6 +1118,8 @@ mod tests {
                     .with_declassify("main", "hash&salt"),
             ));
         }
+        roundtrip_request(QueryRequest::Lint(FuncId(0)));
+        roundtrip_request(QueryRequest::Lint(FuncId(42)));
         roundtrip_request(QueryRequest::Stats);
     }
 
@@ -1117,6 +1177,10 @@ mod tests {
             "update lots",
             "stats 1",
             "slice 0 %ZZ",
+            "lint",
+            "lint xyz",
+            "lint 1 2",
+            "lint -3",
         ] {
             assert!(decode_command(line).is_err(), "{line:?} must be rejected");
         }
@@ -1330,6 +1394,65 @@ mod tests {
         });
     }
 
+    /// `lint` envelopes round-trip bit-exactly with payloads from a real
+    /// [`Linter`] run — messages with spaces and backticks, multi-step
+    /// witnesses — plus a hand-built worst case per pass.
+    #[test]
+    fn lint_envelopes_roundtrip_with_real_findings() {
+        use flowistry_lint::Linter;
+
+        let program = flowistry_lang::compile(
+            "fn crop(img: &mut i32, ignored: &mut i32) -> i32 {
+                 let dead = 1;
+                 *img = 5;
+                 return *img;
+             }",
+        )
+        .unwrap();
+        let params = AnalysisParams::default();
+        let func = program.func_id("crop").unwrap();
+        let results = analyze(&program, func, &params);
+        let summary = FunctionSummary::from_exit_state(program.body(func), results.exit_theta());
+        let linter = Linter::new(&program);
+        let findings = linter.lint_function(func, &summary, &results);
+        assert!(
+            findings.len() >= 2,
+            "fixture must produce findings: {findings:?}"
+        );
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 7,
+            trace_id: None,
+            response: QueryResponse::Lint(findings),
+        });
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 0,
+            trace_id: Some("lint-probe".to_string()),
+            response: QueryResponse::Lint(Vec::new()),
+        });
+        // Every pass name survives, with hostile message content.
+        let hostile: Vec<LintFinding> = LintPass::ALL
+            .into_iter()
+            .map(|pass| LintFinding {
+                pass,
+                function: "fn with space".to_string(),
+                message: "value of `x` = 100%|unused,maybe".to_string(),
+                line: 3,
+                witness: vec![WitnessStep {
+                    location: Location {
+                        block: BasicBlock(1),
+                        statement_index: 4,
+                    },
+                    line: 2,
+                }],
+            })
+            .collect();
+        roundtrip_envelope(QueryEnvelope {
+            epoch: 2,
+            trace_id: None,
+            response: QueryResponse::Lint(hostile),
+        });
+    }
+
     #[test]
     fn depsets_and_thetas_roundtrip_exactly() {
         let mut theta = Theta::new();
@@ -1371,6 +1494,10 @@ mod tests {
             "policy 0 f,s,0.0,nine,H,L,-,-",
             "stats 0 1 2 3",
             "wat 0 -",
+            "lint 0 too,few",
+            "lint 0 no-such-pass,f,m,3,-",
+            "lint 0 dead-store,f,m,nine,-",
+            "lint 0 dead-store,f,m,3,stepless",
         ] {
             assert!(decode_envelope(line).is_err(), "{line:?} must be rejected");
         }

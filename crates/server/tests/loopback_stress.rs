@@ -22,7 +22,8 @@ use flowistry_engine::{
 };
 use flowistry_ifc::{IfcChecker, IfcPolicy, IfcReport};
 use flowistry_lang::types::FuncId;
-use flowistry_lang::CompiledProgram;
+use flowistry_lang::{CallGraph, CompiledProgram};
+use flowistry_lint::{LintFinding, Linter};
 use flowistry_obs::Registry;
 use flowistry_server::{ClientConfig, FlowClient, FlowServer, ServerConfig};
 use flowistry_slicer::{Slice, Slicer};
@@ -84,6 +85,7 @@ struct Expected {
     summaries: Vec<FunctionSummary>,
     slices: Vec<Option<Slice>>,
     ifc: Vec<IfcReport>,
+    lints: Vec<Vec<LintFinding>>,
 }
 
 fn expected_for(program: &Arc<CompiledProgram>, params: &AnalysisParams) -> Expected {
@@ -105,11 +107,17 @@ fn expected_for(program: &Arc<CompiledProgram>, params: &AnalysisParams) -> Expe
     let ifc = IfcChecker::new(program, IfcPolicy::from_conventions(program))
         .with_params(params.clone())
         .check_program();
+    let call_graph = CallGraph::extract(program);
+    let linter = Linter::with_call_graph(program, &call_graph);
+    let lints: Vec<_> = (0..n)
+        .map(|i| linter.lint_function(FuncId(i as u32), &summaries[i], &results[i]))
+        .collect();
     Expected {
         results,
         summaries,
         slices,
         ifc,
+        lints,
     }
 }
 
@@ -205,6 +213,13 @@ fn hammer_over_tcp(workers: usize) {
             (QueryRequest::CheckIfc(_), QueryResponse::CheckIfc(got)) => {
                 assert_eq!(got, &exp.ifc, "CheckIfc over TCP diverged at epoch {epoch}");
             }
+            (QueryRequest::Lint(f), QueryResponse::Lint(got)) => {
+                assert_eq!(
+                    got, &exp.lints[f.0 as usize],
+                    "Lint({}) over TCP diverged at epoch {epoch}",
+                    f.0
+                );
+            }
             (QueryRequest::Stats, QueryResponse::Stats(stats)) => {
                 assert_eq!(stats.epoch, epoch);
                 assert_eq!(stats.workers, workers);
@@ -229,7 +244,7 @@ fn hammer_over_tcp(workers: usize) {
                     .expect("connect query client");
                 let make_request = |i: usize| {
                     let func = FuncId(((i + t) % num_funcs) as u32);
-                    match (i + t) % 5 {
+                    match (i + t) % 6 {
                         0 => QueryRequest::Results(func),
                         1 => QueryRequest::Summary(func),
                         2 => QueryRequest::BackwardSlice {
@@ -237,6 +252,7 @@ fn hammer_over_tcp(workers: usize) {
                             var: "v".to_string(),
                         },
                         3 => QueryRequest::CheckIfc(policy.clone()),
+                        4 => QueryRequest::Lint(func),
                         _ => QueryRequest::Stats,
                     }
                 };
@@ -312,30 +328,34 @@ fn hammer_over_tcp(workers: usize) {
     );
 
     // The wire `metrics` scrape must agree with the deterministic client
-    // tallies. Each of the 8 clients issued each kind exactly 6 times
-    // ((i + t) % 5 cycles through 5 kinds over 30 requests); the final
+    // tallies. Each of the 8 clients issued each kind exactly 5 times
+    // ((i + t) % 6 cycles through 6 kinds over 30 requests); the final
     // checker adds one results + one stats, and the scrape itself is
     // counted (its request counter increments before the text renders).
     let scrape = client.metrics().expect("wire metrics scrape");
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"results\"}"),
-        49.0
+        41.0
     );
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"summary\"}"),
-        48.0
+        40.0
     );
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"slice\"}"),
-        48.0
+        40.0
     );
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"ifc\"}"),
-        48.0
+        40.0
+    );
+    assert_eq!(
+        sample(&scrape, "flow_service_requests_total{kind=\"lint\"}"),
+        40.0
     );
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"stats\"}"),
-        49.0
+        41.0
     );
     assert_eq!(
         sample(&scrape, "flow_service_requests_total{kind=\"metrics\"}"),
@@ -356,14 +376,14 @@ fn hammer_over_tcp(workers: usize) {
             &scrape,
             "flow_service_request_seconds_count{kind=\"summary\"}"
         ),
-        48.0
+        40.0
     );
     assert_eq!(
         sample(
             &scrape,
             "flow_service_request_seconds_count{kind=\"results\"}"
         ),
-        49.0
+        41.0
     );
     // Wire layer: 10 connections (8 stress clients, the updater, this
     // checker); every line decoded cleanly — 240 stress queries, 3
@@ -376,14 +396,14 @@ fn hammer_over_tcp(workers: usize) {
     // Wire latency is observed *after* the response bytes flush, so a
     // connection's last observation can still be in flight when the
     // scrape renders: allow one lagging request per client per kind.
-    for kind in ["results", "summary", "slice", "ifc", "stats"] {
+    for kind in ["results", "summary", "slice", "ifc", "lint", "stats"] {
         let count = sample(
             &scrape,
             &format!("flow_server_request_wire_seconds_count{{kind=\"{kind}\"}}"),
         );
         assert!(
-            (40.0..=50.0).contains(&count),
-            "wire latency count for {kind} is {count}, expected ~48"
+            (32.0..=42.0).contains(&count),
+            "wire latency count for {kind} is {count}, expected ~40"
         );
     }
     // The engine under all of this analyzed every function at least once
@@ -571,6 +591,10 @@ fn malformed_input_answers_errors_and_keeps_serving() {
         "slice-at 0 zz 0 0", // unparseable place
         "update notanumber",
         "ifc nonsense",
+        "lint",
+        "lint nine",
+        "lint 999",
+        "lint 0 extra",
     ] {
         let response = ask(&mut writer, &mut reader, bad);
         assert!(

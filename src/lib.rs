@@ -15,6 +15,9 @@
 //! * [`ifc`] — information flow control (Figure 5b): the lattice policy
 //!   engine with declassification and flow witnesses, plus the legacy
 //!   convention checker;
+//! * [`lint`] — effect inference (`#[effect(...)]` contracts checked
+//!   against inferred read/write/sink signatures) and the flow-aware lint
+//!   passes built on the modular summaries;
 //! * [`corpus`] — the synthetic evaluation dataset generator;
 //! * [`obs`] — the observability layer (metrics registry, leveled
 //!   logging, span timers) threaded through engine, service, and server;
@@ -44,6 +47,7 @@ pub use flowistry_eval as eval;
 pub use flowistry_ifc as ifc;
 pub use flowistry_interp as interp;
 pub use flowistry_lang as lang;
+pub use flowistry_lint as lint;
 pub use flowistry_obs as obs;
 pub use flowistry_slicer as slicer;
 
@@ -61,6 +65,7 @@ pub mod prelude {
     };
     pub use flowistry_interp::{Interpreter, Value};
     pub use flowistry_lang::{compile, compile_strict, CompiledProgram};
+    pub use flowistry_lint::{EffectSignature, LintFinding, LintPass, Linter};
     pub use flowistry_router::{FlowRouter, InProcessLauncher, ProcessLauncher, RouterConfig};
     pub use flowistry_server::{FlowClient, FlowServer, ServerConfig};
     pub use flowistry_slicer::Slicer;
@@ -126,5 +131,29 @@ mod tests {
             reply.response,
             QueryResponse::Summary(Some(summary.clone()))
         );
+    }
+
+    #[test]
+    fn facade_lints_figure_5a_unused_mut() {
+        let program =
+            compile("fn crop(img: &mut i32, scale: i32) -> i32 { return *img + scale; }").unwrap();
+        let func = program.func_id("crop").unwrap();
+        let results = analyze(
+            &program,
+            func,
+            &AnalysisParams::for_condition(Condition::WHOLE_PROGRAM),
+        );
+        let summary = flowistry_core::FunctionSummary::from_exit_state(
+            program.body(func),
+            results.exit_theta(),
+        );
+        let linter = Linter::new(&program);
+        let findings = linter.lint_function(func, &summary, &results);
+        assert!(findings.iter().any(|f| f.pass == LintPass::UnusedMut));
+        // `crop` mutates nothing and reaches no sink: inferred-pure, with
+        // both parameters in its read set.
+        let effect = linter.infer_effect(func, &summary, &results);
+        assert!(effect.is_pure());
+        assert_eq!(effect.reads.len(), 2);
     }
 }
