@@ -28,24 +28,40 @@
 //! # Disk format
 //!
 //! Persistence is line-oriented text. For a configured cache path
-//! `dir/summaries.cache`, version 2 writes one file per shard named
+//! `dir/summaries.cache`, version 3 writes one file per shard named
 //! `dir/summaries.<shard>.cache`, each starting with the header
-//! `flowistry-engine-cache v2` followed by `<key> <boundary> <summary>`
-//! lines (key as 16 hex digits, boundary as `0`/`1`, summary in the
-//! [`FunctionSummary::encode`] codec), in sorted key order so output is
-//! reproducible. Legacy single-file v1 caches (header
-//! `flowistry-engine-cache v1` at the configured path itself) still load
-//! transparently and are migrated to the sharded layout on the next save.
-//! Malformed lines are skipped — a corrupt cache degrades to cold misses,
-//! never to wrong results.
+//! `flowistry-engine-cache v3` followed by
+//! `<key> <boundary> <summary> crc:<8-hex>` lines (key as 16 hex digits,
+//! boundary as `0`/`1`, summary in the [`FunctionSummary::encode`] codec,
+//! crc32 over the line's payload), in sorted key order so output is
+//! reproducible, and closed by a `footer records:<n> crc:<8-hex>` line
+//! whose checksum covers every record line — so truncation at a record
+//! boundary is detected, not just torn lines. Version 2 shard files (no
+//! checksums, malformed lines skipped leniently) and legacy single-file
+//! v1 caches (header `flowistry-engine-cache v1` at the configured path
+//! itself) still load transparently and are migrated on the next save.
+//!
+//! A v3 shard that fails verification is **quarantined, not dropped**:
+//! the file is renamed to `summaries.<shard>.corrupt` (preserving the
+//! evidence for inspection), the valid record prefix is salvaged into the
+//! cache, and only the records at or after the corruption are recomputed
+//! cold — a torn write costs the torn tail, never the whole shard, and
+//! never a wrong result. Orphaned `.tmp` files (a writer that died
+//! between create and rename) are swept on load.
 //!
 //! Every write goes through a uniquely named temp file in the destination
 //! directory (process id + per-process sequence number) followed by an
 //! atomic rename, so two engines persisting to the same path concurrently
 //! cannot observe or produce a torn file: each shard file is always,
-//! atomically, one writer's complete output.
+//! atomically, one writer's complete output. Failpoints
+//! ([`flowistry_fault::sites::CACHE_SHARD_READ`] /
+//! [`flowistry_fault::sites::CACHE_SHARD_WRITE`]) cover both directions:
+//! an injected read fault degrades that shard to cold, an injected
+//! `partial_write` models the crashed writer the quarantine machinery
+//! exists for.
 
 use flowistry_core::{CachedSummary, FunctionSummary};
+use flowistry_fault::{sites, Fault};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -66,8 +82,44 @@ impl std::fmt::Display for SummaryKey {
 /// four bits, i.e. the first hex digit of `SummaryKey`'s display form.
 pub const SHARD_COUNT: usize = 16;
 
+const HEADER_V3: &str = "flowistry-engine-cache v3";
 const HEADER_V2: &str = "flowistry-engine-cache v2";
 const HEADER_V1: &str = "flowistry-engine-cache v1";
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Feeds `bytes` into a running CRC-32 state (seed with `!0`, finish by
+/// inverting) — the footer checksum accumulates record lines this way.
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &byte in bytes {
+        state = (state >> 8) ^ CRC32_TABLE[((state ^ byte as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// CRC-32 (IEEE) of `bytes`, as `cksum`/zlib would compute it.
+fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
 
 /// Sequence number making concurrent temp files unique within one process;
 /// the process id distinguishes processes.
@@ -113,6 +165,25 @@ pub struct SummaryCache {
     /// cache it never read (its contents would be re-persisted nowhere).
     loaded_legacy: AtomicBool,
     generation: AtomicU64,
+    /// What recovery work [`SummaryCache::load`] had to do (quarantines,
+    /// salvages, temp sweeps) — all zero for a clean load.
+    quarantined_shards: AtomicU64,
+    salvaged_records: AtomicU64,
+    swept_temp_files: AtomicU64,
+}
+
+/// Recovery work a [`SummaryCache::load`] performed: how many shard files
+/// failed verification and were quarantined, how many records were
+/// salvaged out of their valid prefixes, and how many orphaned temp files
+/// (writers that died between create and rename) were swept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Shard files renamed to `summaries.<shard>.corrupt`.
+    pub quarantined_shards: u64,
+    /// Records recovered from the valid prefixes of quarantined shards.
+    pub salvaged_records: u64,
+    /// Orphaned `.tmp` files removed from the cache directory.
+    pub swept_temp_files: u64,
 }
 
 impl Default for SummaryCache {
@@ -124,6 +195,9 @@ impl Default for SummaryCache {
             ever_nonempty: (0..SHARD_COUNT).map(|_| AtomicBool::new(false)).collect(),
             loaded_legacy: AtomicBool::new(false),
             generation: AtomicU64::new(0),
+            quarantined_shards: AtomicU64::new(0),
+            salvaged_records: AtomicU64::new(0),
+            swept_temp_files: AtomicU64::new(0),
         }
     }
 }
@@ -232,18 +306,22 @@ impl SummaryCache {
     }
 
     /// Loads a cache previously written by [`SummaryCache::save`] under the
-    /// configured path `base`: every `v2` shard file, plus a legacy `v1`
-    /// single-file cache at `base` itself if one exists. Missing files
-    /// yield an empty cache; files with unknown headers and malformed lines
-    /// are skipped.
+    /// configured path `base`: every `v3`/`v2` shard file, plus a legacy
+    /// `v1` single-file cache at `base` itself if one exists. Missing
+    /// files yield an empty cache; files with unknown headers are treated
+    /// as cold. A `v3` shard that fails checksum or footer verification is
+    /// quarantined to `summaries.<shard>.corrupt` with its valid record
+    /// prefix salvaged into the cache (see [`SummaryCache::load_stats`]),
+    /// and orphaned `.tmp` files from crashed writers are swept.
     pub fn load(base: &Path) -> io::Result<SummaryCache> {
         let cache = SummaryCache::new();
-        let consumed_legacy = cache.load_file(base, HEADER_V1)?;
+        cache.sweep_orphan_temps(base);
+        let consumed_legacy = cache.load_legacy_file(base)?;
         cache
             .loaded_legacy
             .store(consumed_legacy, Ordering::Relaxed);
         for shard in 0..SHARD_COUNT {
-            cache.load_file(&SummaryCache::shard_file(base, shard), HEADER_V2)?;
+            cache.load_shard_file(&SummaryCache::shard_file(base, shard))?;
         }
         // Record which shards the disk actually had entries for: save() only
         // rewrites a shard that held entries at some point (see the field
@@ -256,11 +334,52 @@ impl SummaryCache {
         Ok(cache)
     }
 
-    /// Merges one persistence file into the cache. Entries land in the
-    /// shard their key hashes to regardless of which file carried them, so
-    /// a layout change can never misplace an entry. Returns whether a file
-    /// with the expected header was actually consumed.
-    fn load_file(&self, path: &Path, expect_header: &str) -> io::Result<bool> {
+    /// The recovery work the [`SummaryCache::load`] that built this cache
+    /// performed; all zeros for a clean load (or a cache never loaded).
+    pub fn load_stats(&self) -> LoadStats {
+        LoadStats {
+            quarantined_shards: self.quarantined_shards.load(Ordering::Relaxed),
+            salvaged_records: self.salvaged_records.load(Ordering::Relaxed),
+            swept_temp_files: self.swept_temp_files.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes orphaned temp files left in `base`'s directory by writers
+    /// that died between `create` and `rename`. Only files that extend one
+    /// of this cache's own file names with the `.{pid}.{seq}.tmp` suffix
+    /// pattern are touched — an unrelated `.tmp` in the directory is not
+    /// ours to delete. Runs at load (engine startup), when no save of ours
+    /// can be in flight.
+    fn sweep_orphan_temps(&self, base: &Path) {
+        let Some(dir) = base.parent() else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut prefixes: Vec<String> = (0..SHARD_COUNT)
+            .filter_map(|s| {
+                let file = SummaryCache::shard_file(base, s);
+                Some(format!("{}.", file.file_name()?.to_string_lossy()))
+            })
+            .collect();
+        if let Some(name) = base.file_name() {
+            prefixes.push(format!("{}.", name.to_string_lossy()));
+        }
+        for entry in entries.filter_map(|e| e.ok()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".tmp") {
+                continue;
+            }
+            if prefixes.iter().any(|p| name.starts_with(p.as_str()))
+                && std::fs::remove_file(entry.path()).is_ok()
+            {
+                self.swept_temp_files.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Merges a legacy single-file v1 cache at `base` into the cache.
+    /// Returns whether a v1 file was actually consumed.
+    fn load_legacy_file(&self, path: &Path) -> io::Result<bool> {
         let file = match std::fs::File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
@@ -268,23 +387,159 @@ impl SummaryCache {
         };
         let mut lines = io::BufReader::new(file).lines();
         match lines.next() {
-            Some(Ok(header)) if header == expect_header => {}
+            Some(Ok(header)) if header == HEADER_V1 => {}
             // Unknown version or unreadable header: treat as cold.
             _ => return Ok(false),
         }
         for line in lines {
-            let Some((key, value)) = parse_line(&line?) else {
-                continue;
-            };
-            self.shard(key).insert(
-                key,
-                Entry {
-                    value,
-                    last_seen: 0,
-                },
-            );
+            if let Some((key, value)) = parse_line(&line?) {
+                self.insert_loaded(key, value);
+            }
         }
         Ok(true)
+    }
+
+    /// Merges one shard file into the cache, dispatching on its header:
+    /// `v3` with checksum verification and quarantine-on-corruption, `v2`
+    /// leniently (malformed lines skipped — the format has no checksums to
+    /// verify). Entries land in the shard their key hashes to regardless
+    /// of which file carried them, so a layout change can never misplace
+    /// an entry.
+    fn load_shard_file(&self, path: &Path) -> io::Result<()> {
+        match flowistry_fault::check(sites::CACHE_SHARD_READ) {
+            Fault::None | Fault::PartialWrite(_) => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Err => {
+                // An unreadable shard degrades to cold for that sixteenth
+                // of the keyspace; it must not fail the whole load.
+                eprintln!(
+                    "flowistry-engine: injected read fault, skipping {}",
+                    path.display()
+                );
+                return Ok(());
+            }
+            Fault::Panic => panic!("failpoint {}: injected panic", sites::CACHE_SHARD_READ),
+        }
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = io::BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(header)) if header == HEADER_V3 => {
+                if let Err((salvaged, reason)) = self.load_v3_records(lines) {
+                    self.quarantine(path, salvaged, &reason);
+                }
+            }
+            Some(Ok(header)) if header == HEADER_V2 => {
+                for line in lines {
+                    if let Some((key, value)) = parse_line(&line?) {
+                        self.insert_loaded(key, value);
+                    }
+                }
+            }
+            // Unknown version or unreadable header: treat as cold.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Parses the record body of a v3 shard file, inserting every record
+    /// that verifies. Returns `Err((salvaged, reason))` at the first
+    /// verification failure — `salvaged` records were inserted before it
+    /// (the valid prefix); the caller quarantines the file.
+    fn load_v3_records(
+        &self,
+        lines: impl Iterator<Item = io::Result<String>>,
+    ) -> Result<(), (u64, String)> {
+        let mut body_crc = !0u32;
+        let mut records = 0u64;
+        let mut saw_footer = false;
+        let fail = |records: u64, reason: String| Err((records, reason));
+        for line in lines {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => return fail(records, format!("read error: {e}")),
+            };
+            if saw_footer {
+                return fail(records, "data after footer".to_string());
+            }
+            if let Some(rest) = line.strip_prefix("footer ") {
+                let Some((count, crc)) = parse_footer(rest) else {
+                    return fail(records, "malformed footer".to_string());
+                };
+                if count != records {
+                    return fail(
+                        records,
+                        format!("footer records {count} != {records} on disk"),
+                    );
+                }
+                if crc != !body_crc {
+                    return fail(
+                        records,
+                        "footer checksum mismatch (truncated shard?)".to_string(),
+                    );
+                }
+                saw_footer = true;
+                continue;
+            }
+            let Some((payload, stated)) = line.rsplit_once(" crc:") else {
+                return fail(records, format!("record {records}: missing checksum"));
+            };
+            let Ok(stated) = u32::from_str_radix(stated, 16) else {
+                return fail(records, format!("record {records}: malformed checksum"));
+            };
+            if crc32(payload.as_bytes()) != stated {
+                return fail(records, format!("record {records}: checksum mismatch"));
+            }
+            let Some((key, value)) = parse_line(payload) else {
+                return fail(
+                    records,
+                    format!("record {records}: checksum ok but unparseable"),
+                );
+            };
+            body_crc = crc32_update(body_crc, line.as_bytes());
+            body_crc = crc32_update(body_crc, b"\n");
+            records += 1;
+            self.insert_loaded(key, value);
+        }
+        if !saw_footer {
+            return fail(records, "missing footer (truncated shard?)".to_string());
+        }
+        Ok(())
+    }
+
+    /// Inserts an entry read from disk (generation 0, shard by key).
+    fn insert_loaded(&self, key: SummaryKey, value: CachedSummary) {
+        self.shard(key).insert(
+            key,
+            Entry {
+                value,
+                last_seen: 0,
+            },
+        );
+    }
+
+    /// Quarantines a shard file that failed verification: renames it to
+    /// `summaries.<shard>.corrupt` so the evidence survives for inspection
+    /// and the next save starts from a clean path. The salvaged prefix is
+    /// already in memory; only the torn tail will recompute cold.
+    fn quarantine(&self, path: &Path, salvaged: u64, reason: &str) {
+        let target = quarantine_path(path);
+        eprintln!(
+            "flowistry-engine: cache shard {} corrupt ({reason}); \
+             quarantining to {} with {salvaged} records salvaged",
+            path.display(),
+            target.display()
+        );
+        if std::fs::rename(path, &target).is_err() {
+            // Rename failed (exotic fs?) — remove instead: a shard known
+            // corrupt must not be re-read as truth on the next load.
+            let _ = std::fs::remove_file(path);
+        }
+        self.quarantined_shards.fetch_add(1, Ordering::Relaxed);
+        self.salvaged_records.fetch_add(salvaged, Ordering::Relaxed);
     }
 
     /// Writes the cache under the configured path `base`: one file per
@@ -312,24 +567,61 @@ impl SummaryCache {
                 continue;
             }
             let path = SummaryCache::shard_file(base, index);
+
+            // Serialize the whole shard first: the checksummed v3 format
+            // needs the byte-exact body for its footer, and the
+            // `partial_write` failpoint below needs a buffer to tear.
+            let mut body = String::new();
+            let mut keys: Vec<&SummaryKey> = guard.keys().collect();
+            keys.sort();
+            for key in &keys {
+                let entry = &guard[*key].value;
+                let payload = format!(
+                    "{key} {} {}",
+                    if entry.hit_boundary { 1 } else { 0 },
+                    entry.summary.encode()
+                );
+                body.push_str(&payload);
+                body.push_str(&format!(" crc:{:08x}\n", crc32(payload.as_bytes())));
+            }
+            let footer = format!(
+                "footer records:{} crc:{:08x}\n",
+                keys.len(),
+                crc32(body.as_bytes())
+            );
+            let bytes = format!("{HEADER_V3}\n{body}{footer}");
+
+            match flowistry_fault::check(sites::CACHE_SHARD_WRITE) {
+                Fault::None => {}
+                Fault::Delay(d) => std::thread::sleep(d),
+                Fault::Err => {
+                    return Err(flowistry_fault::injected_error(sites::CACHE_SHARD_WRITE))
+                }
+                Fault::Panic => {
+                    panic!("failpoint {}: injected panic", sites::CACHE_SHARD_WRITE)
+                }
+                Fault::PartialWrite(frac) => {
+                    // Model a writer that crashed mid-write on a
+                    // journal-less filesystem: a truncated shard at the
+                    // final path, plus the orphaned temp file the crash
+                    // left behind. Report success, as the dead writer
+                    // never could have reported anything.
+                    let cut = (bytes.len() as f64 * frac) as usize;
+                    let tmp = unique_temp_path(&path);
+                    let _ = std::fs::write(&tmp, bytes.as_bytes());
+                    std::fs::write(&path, &bytes.as_bytes()[..cut])?;
+                    written += keys.len();
+                    continue;
+                }
+            }
+
             let tmp = unique_temp_path(&path);
             {
                 let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
-                writeln!(out, "{HEADER_V2}")?;
-                let mut keys: Vec<&SummaryKey> = guard.keys().collect();
-                keys.sort();
-                written += keys.len();
-                for key in keys {
-                    let entry = &guard[key].value;
-                    writeln!(
-                        out,
-                        "{key} {} {}",
-                        if entry.hit_boundary { 1 } else { 0 },
-                        entry.summary.encode()
-                    )?;
-                }
+                out.write_all(bytes.as_bytes())?;
                 out.flush()?;
             }
+            written += keys.len();
             if let Err(e) = std::fs::rename(&tmp, &path) {
                 let _ = std::fs::remove_file(&tmp);
                 return Err(e);
@@ -365,6 +657,20 @@ fn parse_line(line: &str) -> Option<(SummaryKey, CachedSummary)> {
             hit_boundary,
         },
     ))
+}
+
+/// Parses the payload of a v3 `footer records:<n> crc:<8-hex>` line.
+fn parse_footer(rest: &str) -> Option<(u64, u32)> {
+    let (records, crc) = rest.split_once(' ')?;
+    let records = records.strip_prefix("records:")?.parse().ok()?;
+    let crc = u32::from_str_radix(crc.strip_prefix("crc:")?, 16).ok()?;
+    Some((records, crc))
+}
+
+/// Where a corrupt shard file is quarantined:
+/// `summaries.<shard>.cache` → `summaries.<shard>.corrupt`.
+fn quarantine_path(path: &Path) -> PathBuf {
+    path.with_extension("corrupt")
 }
 
 /// A temp-file path in `path`'s directory that no concurrent writer (in
@@ -767,6 +1073,135 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get(SummaryKey(0xaa)).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Builds a v3 shard file holding `n` entries in shard 0 and returns
+    /// (dir, base path, shard-0 file path, the keys written).
+    fn v3_shard_with(n: u64, tag: &str) -> (PathBuf, PathBuf, PathBuf, Vec<SummaryKey>) {
+        let dir = temp_dir(tag);
+        let path = dir.join("summaries.cache");
+        let cache = SummaryCache::new();
+        let keys: Vec<SummaryKey> = (0..n).map(|i| SummaryKey(0x100 + i)).collect();
+        for key in &keys {
+            cache.insert(*key, sample_entry());
+        }
+        cache.save(&path).unwrap();
+        let shard0 = SummaryCache::shard_file(&path, 0);
+        assert!(shard0.exists());
+        (dir, path, shard0, keys)
+    }
+
+    /// Bit-flipping any record of a v3 shard quarantines the file and
+    /// salvages exactly the records before the flip — never a wrong
+    /// entry, never a silently cold cache.
+    #[test]
+    fn v3_bit_flip_at_every_record_quarantines_and_salvages_the_prefix() {
+        const N: u64 = 5;
+        for victim in 0..N {
+            let (dir, path, shard0, keys) = v3_shard_with(N, "bitflip");
+            let mut bytes = std::fs::read(&shard0).unwrap();
+            // Find the victim record's line and flip one payload bit.
+            let text = String::from_utf8(bytes.clone()).unwrap();
+            let offset: usize = text
+                .lines()
+                .take(1 + victim as usize) // header + preceding records
+                .map(|l| l.len() + 1)
+                .sum();
+            bytes[offset + 2] ^= 0x01;
+            std::fs::write(&shard0, &bytes).unwrap();
+
+            let loaded = SummaryCache::load(&path).unwrap();
+            let stats = loaded.load_stats();
+            assert_eq!(stats.quarantined_shards, 1, "victim {victim}");
+            assert_eq!(stats.salvaged_records, victim, "victim {victim}");
+            assert_eq!(loaded.len() as u64, victim);
+            for (i, key) in keys.iter().enumerate() {
+                assert_eq!(
+                    loaded.get(*key).is_some(),
+                    (i as u64) < victim,
+                    "victim {victim}, key {i}"
+                );
+            }
+            // The evidence moved aside; the hot path is clean.
+            assert!(!shard0.exists());
+            assert!(quarantine_path(&shard0).exists());
+            // A reload after quarantine is clean: salvage happened once.
+            let again = SummaryCache::load(&path).unwrap();
+            assert_eq!(again.load_stats(), LoadStats::default());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Truncating a v3 shard at any record boundary (a torn write that
+    /// happens to end on a full line, which per-line checksums alone
+    /// cannot catch) is detected by the footer and salvaged.
+    #[test]
+    fn v3_truncation_at_every_record_boundary_is_detected_by_the_footer() {
+        const N: u64 = 5;
+        for keep in 0..=N {
+            let (dir, path, shard0, keys) = v3_shard_with(N, "truncate");
+            let text = std::fs::read_to_string(&shard0).unwrap();
+            let offset: usize = text
+                .lines()
+                .take(1 + keep as usize)
+                .map(|l| l.len() + 1)
+                .sum();
+            std::fs::write(&shard0, &text.as_bytes()[..offset]).unwrap();
+
+            let loaded = SummaryCache::load(&path).unwrap();
+            let stats = loaded.load_stats();
+            assert_eq!(stats.quarantined_shards, 1, "keep {keep}");
+            assert_eq!(stats.salvaged_records, keep, "keep {keep}");
+            assert_eq!(loaded.len() as u64, keep);
+            for (i, key) in keys.iter().enumerate() {
+                assert_eq!(loaded.get(*key).is_some(), (i as u64) < keep, "keep {keep}");
+            }
+            assert!(quarantine_path(&shard0).exists());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Mid-line truncation (the common torn write) is caught by the
+    /// record checksum itself.
+    #[test]
+    fn v3_mid_line_truncation_is_caught_by_the_record_checksum() {
+        let (dir, path, shard0, _) = v3_shard_with(3, "midline");
+        let text = std::fs::read_to_string(&shard0).unwrap();
+        let second_record_end: usize = text.lines().take(3).map(|l| l.len() + 1).sum();
+        std::fs::write(&shard0, &text.as_bytes()[..second_record_end - 7]).unwrap();
+        let loaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(loaded.load_stats().quarantined_shards, 1);
+        assert_eq!(loaded.load_stats().salvaged_records, 1);
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Orphaned temp files from a crashed writer are swept on load;
+    /// unrelated `.tmp` files in the same directory are left alone.
+    #[test]
+    fn orphaned_temp_files_are_swept_on_load() {
+        let (dir, path, shard0, keys) = v3_shard_with(2, "orphans");
+        let orphan_a = unique_temp_path(&shard0);
+        let orphan_b = unique_temp_path(&SummaryCache::shard_file(&path, 7));
+        std::fs::write(&orphan_a, "torn half-written shard").unwrap();
+        std::fs::write(&orphan_b, "").unwrap();
+        let unrelated = dir.join("keep-me.tmp");
+        std::fs::write(&unrelated, "not ours").unwrap();
+
+        let loaded = SummaryCache::load(&path).unwrap();
+        assert_eq!(loaded.load_stats().swept_temp_files, 2);
+        assert_eq!(loaded.load_stats().quarantined_shards, 0);
+        assert!(!orphan_a.exists() && !orphan_b.exists());
+        assert!(unrelated.exists(), "swept a temp file that is not ours");
+        assert_eq!(loaded.len(), keys.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

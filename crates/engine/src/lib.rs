@@ -82,7 +82,7 @@ pub mod scheduler;
 pub mod service;
 pub mod snapshot;
 
-pub use cache::{SummaryCache, SummaryKey, SHARD_COUNT};
+pub use cache::{LoadStats, SummaryCache, SummaryKey, SHARD_COUNT};
 pub use scheduler::{ConcurrentSummaryStore, SchedulerKind};
 pub use service::{
     FlowService, QueryEnvelope, QueryRequest, QueryResponse, ServiceConfig, ServiceStats, Ticket,
@@ -367,6 +367,19 @@ impl AnalysisEngine {
         self.keys[func.0 as usize]
     }
 
+    /// Settles the epoch after a *failed* update attempt so the attempt
+    /// still consumes exactly one epoch — the invariant the `FlowService`
+    /// epoch promises rely on. `before` is the epoch observed before the
+    /// attempt: if the failure struck before
+    /// [`AnalysisEngine::update_program_at`] advanced the counter (e.g. an
+    /// injected fault ahead of the recompile), this advances it now; if it
+    /// struck mid re-analysis, the counter already moved and is left
+    /// alone. Returns the epoch the failed attempt lands on.
+    pub fn settle_failed_update(&mut self, before: u64, target_epoch: Option<u64>) -> u64 {
+        self.epoch = self.epoch.max(before + 1).max(target_epoch.unwrap_or(0));
+        self.epoch
+    }
+
     /// Swaps in a re-compiled program (after a source edit) and returns the
     /// new epoch. The current snapshot is retired (existing clones keep
     /// serving their own epoch untouched, and the next run inherits its
@@ -380,6 +393,20 @@ impl AnalysisEngine {
     /// adds or removes functions, so the ids are re-resolved against the
     /// new program (names that no longer exist are dropped).
     pub fn update_program(&mut self, program: impl Into<Arc<CompiledProgram>>) -> u64 {
+        self.update_program_at(program, None)
+    }
+
+    /// Like [`AnalysisEngine::update_program`], but optionally
+    /// fast-forwards the epoch to at least `target_epoch`. A respawned
+    /// fleet replica is warm-started with the *latest* program only, not
+    /// the whole update history; pinning the epoch keeps its envelopes
+    /// consistent with the fleet's numbering (epochs never move backward —
+    /// a stale target is ignored).
+    pub fn update_program_at(
+        &mut self,
+        program: impl Into<Arc<CompiledProgram>>,
+        target_epoch: Option<u64>,
+    ) -> u64 {
         let program = program.into();
         // Advance the epoch before anything that can panic (call-graph
         // extraction, key computation): callers that number updates by
@@ -387,6 +414,9 @@ impl AnalysisEngine {
         // rely on every update attempt consuming exactly one epoch, failed
         // or not.
         self.epoch += 1;
+        if let Some(target) = target_epoch {
+            self.epoch = self.epoch.max(target);
+        }
         if let Some(old_set) = &self.config.params.available_bodies {
             let names: std::collections::BTreeSet<&str> = old_set
                 .iter()

@@ -51,6 +51,7 @@
 use crate::scheduler::resolve_worker_threads;
 use crate::{AnalysisEngine, AnalysisSnapshot, RunStats};
 use flowistry_core::{FunctionSummary, InfoFlowResults};
+use flowistry_fault::{sites as fault_sites, Fault};
 use flowistry_ifc::{IfcDiagnostic, IfcPolicy, IfcReport, Policy};
 use flowistry_lang::mir::{Location, Place};
 use flowistry_lang::types::FuncId;
@@ -61,7 +62,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`FlowService`].
 #[derive(Debug, Clone)]
@@ -286,6 +287,12 @@ struct Job {
     /// When the job entered the queue — queue-wait and total latency are
     /// measured from here.
     submitted: Instant,
+    /// When the caller stops wanting the answer. A job that is already
+    /// past its deadline when a worker dequeues it is shed with a
+    /// structured `deadline exceeded` error instead of computed — under
+    /// overload, work the client has given up on must not crowd out work
+    /// it still wants.
+    deadline: Option<Instant>,
 }
 
 /// Per-request-kind metric handles, indexed by
@@ -312,6 +319,10 @@ struct ServiceMetrics {
     lint_checks: Arc<Counter>,
     /// Findings reported across all lint queries.
     lint_findings: Arc<Counter>,
+    /// Jobs shed at dequeue because their deadline had already expired.
+    shed: Arc<Counter>,
+    /// Requests answered with a `deadline exceeded` error.
+    deadline_exceeded: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -371,6 +382,14 @@ impl ServiceMetrics {
                 "flow_lint_findings_total",
                 "Lint findings reported across all lint queries",
             ),
+            shed: registry.counter(
+                "flow_shed_total",
+                "Jobs shed at dequeue because their deadline had expired",
+            ),
+            deadline_exceeded: registry.counter(
+                "flow_deadline_exceeded_total",
+                "Requests answered with a structured deadline-exceeded error",
+            ),
         }
     }
 }
@@ -380,7 +399,7 @@ struct ServiceShared {
     queue_capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
-    updates: Mutex<VecDeque<Arc<CompiledProgram>>>,
+    updates: Mutex<VecDeque<(Arc<CompiledProgram>, Option<u64>)>>,
     update_pending: Condvar,
     snapshot: RwLock<AnalysisSnapshot>,
     engine: Mutex<AnalysisEngine>,
@@ -479,23 +498,51 @@ impl FlowService {
     /// thread while the request runs, so every span and log event the
     /// request touches carries it.
     pub fn submit_traced(&self, request: QueryRequest, trace_id: Option<String>) -> Ticket {
+        self.submit_with_deadline(request, trace_id, None)
+    }
+
+    /// Like [`FlowService::submit_traced`], with a latency budget: if the
+    /// job is still queued when `deadline` (measured from now) passes, the
+    /// dequeuing worker sheds it with a structured
+    /// [`QueryResponse::Error`] (`deadline exceeded`) instead of
+    /// computing an answer nobody is waiting for.
+    pub fn submit_with_deadline(
+        &self,
+        request: QueryRequest,
+        trace_id: Option<String>,
+        deadline: Option<Duration>,
+    ) -> Ticket {
         let slot = Arc::new(ResponseSlot {
             filled: Mutex::new(None),
             ready: Condvar::new(),
         });
+        let submitted = Instant::now();
         let job = Job {
             request,
             slot: slot.clone(),
             trace_id,
-            submitted: Instant::now(),
+            submitted,
+            deadline: deadline.map(|budget| submitted + budget),
         };
+        let started = Instant::now();
         let mut queue = self.shared.queue.lock().expect("service queue lock");
         while queue.len() >= self.shared.queue_capacity {
-            queue = self
+            let (guard, _) = self
                 .shared
                 .not_full
-                .wait(queue)
+                .wait_timeout(queue, Duration::from_secs(10))
                 .expect("service queue lock");
+            queue = guard;
+            if started.elapsed() >= Duration::from_secs(10)
+                && queue.len() >= self.shared.queue_capacity
+            {
+                flowistry_obs::warn!(
+                    "submit backpressure stalled: queue {}/{} full after {:?}",
+                    queue.len(),
+                    self.shared.queue_capacity,
+                    started.elapsed()
+                );
+            }
         }
         queue.push_back(job);
         self.shared.metrics.queue_depth.add(1);
@@ -515,13 +562,27 @@ impl FlowService {
     /// updates apply in submission order. Use
     /// [`FlowService::wait_for_epoch`] to block until the swap happened.
     pub fn update(&self, program: impl Into<Arc<CompiledProgram>>) -> u64 {
+        self.update_at(program, None)
+    }
+
+    /// Like [`FlowService::update`], but optionally pins the fleet epoch
+    /// the update lands on (epochs never move backward; a stale target is
+    /// ignored). Used to warm-start a respawned replica from the
+    /// compacted latest program while keeping its envelope epochs aligned
+    /// with the fleet's.
+    pub fn update_at(
+        &self,
+        program: impl Into<Arc<CompiledProgram>>,
+        target_epoch: Option<u64>,
+    ) -> u64 {
         let program = program.into();
         // Allocate the epoch and enqueue under one lock: the updater
         // assigns epochs in pop order, so the position promised here must
         // be the position the program actually lands in.
         let mut updates = self.shared.updates.lock().expect("service update lock");
         let epoch = self.base_epoch + self.updates_submitted.fetch_add(1, Ordering::SeqCst) + 1;
-        updates.push_back(program);
+        let epoch = epoch.max(target_epoch.unwrap_or(0));
+        updates.push_back((program, target_epoch));
         drop(updates);
         self.shared.update_pending.notify_one();
         epoch
@@ -533,13 +594,32 @@ impl FlowService {
     /// hang; check [`ServiceStats::updates_failed`] (or compare the served
     /// envelopes' epochs) to detect that the snapshot did not change.
     pub fn wait_for_epoch(&self, epoch: u64) {
+        let started = Instant::now();
         let mut current = self.shared.current_epoch.lock().expect("epoch lock");
         while *current < epoch {
-            current = self
+            let (guard, _) = self
                 .shared
                 .epoch_advanced
-                .wait(current)
+                .wait_timeout(current, Duration::from_secs(10))
                 .expect("epoch lock");
+            current = guard;
+            // A promised epoch the updater hasn't reached in 10s means the
+            // epoch bookkeeping desynced (or an update wedged) — exactly
+            // the state that turns into a silent connection hang. Keep
+            // waiting, but say so.
+            if started.elapsed() >= Duration::from_secs(10) && *current < epoch {
+                flowistry_obs::warn!(
+                    "wait_for_epoch stalled: waiting for epoch {epoch}, \
+                     serving epoch still {current} after {:?} \
+                     (queued updates: {})",
+                    started.elapsed(),
+                    self.shared
+                        .updates
+                        .lock()
+                        .expect("service update lock")
+                        .len()
+                );
+            }
         }
     }
 
@@ -773,15 +853,48 @@ fn serve_job(shared: &ServiceShared, snapshot: &AnalysisSnapshot, job: Job) {
         slot,
         trace_id,
         submitted,
+        deadline,
     } = job;
     let kind = &shared.metrics.kinds[request.kind_index()];
     kind.requests.inc();
     kind.queue_wait.observe(submitted.elapsed());
     let _trace = TraceIdGuard::install(trace_id.clone());
+
+    // Load shedding at dequeue: a job whose deadline passed while it
+    // queued gets a structured error now — computing it would only delay
+    // the jobs behind it that clients still want.
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        shared.metrics.shed.inc();
+        shared.metrics.deadline_exceeded.inc();
+        kind.total.observe(submitted.elapsed());
+        slot.fill(QueryEnvelope {
+            epoch: snapshot.epoch(),
+            response: QueryResponse::Error("deadline exceeded".to_string()),
+            trace_id,
+        });
+        return;
+    }
+
     let response = {
         let _span = Span::enter_with("serve_request", request.kind_str())
             .with_histogram(kind.compute.clone());
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The scheduler job-start failpoint: `delay` models a slow
+            // worker (exercising deadline shedding behind it), `err` and
+            // `panic` both surface as a structured error through the
+            // catch_unwind below — a worker thread must survive any
+            // injected fault.
+            match flowistry_fault::check(fault_sites::SCHEDULER_JOB_START) {
+                Fault::None | Fault::PartialWrite(_) => {}
+                Fault::Delay(d) => std::thread::sleep(d),
+                Fault::Err => panic!("injected fault: {}", fault_sites::SCHEDULER_JOB_START),
+                Fault::Panic => {
+                    panic!(
+                        "failpoint {}: injected panic",
+                        fault_sites::SCHEDULER_JOB_START
+                    )
+                }
+            }
             serve(shared, snapshot, request)
         }))
         .unwrap_or_else(|payload| QueryResponse::Error(panic_message(payload.as_ref())))
@@ -824,11 +937,11 @@ fn worker_loop(shared: &ServiceShared) {
 
 fn updater_loop(shared: &ServiceShared) {
     loop {
-        let program = {
+        let pending = {
             let mut updates = shared.updates.lock().expect("service update lock");
             loop {
-                if let Some(program) = updates.pop_front() {
-                    break Some(program);
+                if let Some(pending) = updates.pop_front() {
+                    break Some(pending);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -839,7 +952,9 @@ fn updater_loop(shared: &ServiceShared) {
                     .expect("service update lock");
             }
         };
-        let Some(program) = program else { break };
+        let Some((program, target_epoch)) = pending else {
+            break;
+        };
         let swap_started = Instant::now();
 
         // Re-analyze on this thread — warm from the engine's summary cache,
@@ -852,11 +967,40 @@ fn updater_loop(shared: &ServiceShared) {
         // snapshot, whose envelopes still carry *its* epoch.
         let outcome = {
             let mut engine = shared.engine.lock().expect("service engine lock");
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let epoch = engine.update_program(program);
+            let epoch_before = engine.epoch();
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // The update-recompile failpoint: every mode lands in the
+                // existing failed-update path (catch_unwind below), which
+                // keeps the previous snapshot serving and still advances
+                // the epoch so waiters never hang.
+                match flowistry_fault::check(fault_sites::UPDATE_RECOMPILE) {
+                    Fault::None | Fault::PartialWrite(_) => {}
+                    Fault::Delay(d) => std::thread::sleep(d),
+                    Fault::Err => {
+                        panic!("injected fault: {}", fault_sites::UPDATE_RECOMPILE)
+                    }
+                    Fault::Panic => {
+                        panic!(
+                            "failpoint {}: injected panic",
+                            fault_sites::UPDATE_RECOMPILE
+                        )
+                    }
+                }
+                let epoch = engine.update_program_at(program, target_epoch);
                 engine.analyze_all();
                 (engine.snapshot(), epoch)
-            }))
+            }));
+            // A failed attempt must consume exactly one engine epoch, just
+            // like a successful one: the epoch promised at submission is
+            // position-based (`base + n`), so if failures skipped the
+            // engine counter, later successes would land on epochs below
+            // their promise and `wait_for_epoch` callers would hang.
+            attempt.map_err(|payload| {
+                (
+                    payload,
+                    engine.settle_failed_update(epoch_before, target_epoch),
+                )
+            })
         };
         let epoch = match outcome {
             Ok((snapshot, epoch)) => {
@@ -869,7 +1013,7 @@ fn updater_loop(shared: &ServiceShared) {
                 shared.metrics.update_swap.observe(swap_started.elapsed());
                 epoch
             }
-            Err(payload) => {
+            Err((payload, settled_epoch)) => {
                 shared.updates_failed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.updates_failed.inc();
                 flowistry_obs::warn!(
@@ -879,11 +1023,13 @@ fn updater_loop(shared: &ServiceShared) {
                         .map(|msg| format!(" ({msg})"))
                         .unwrap_or_default()
                 );
-                *shared.current_epoch.lock().expect("epoch lock") + 1
+                settled_epoch
             }
         };
         let mut current = shared.current_epoch.lock().expect("epoch lock");
-        *current = epoch;
+        // Epochs never move backward: a pinned update can fast-forward the
+        // counter past later promises, and those must stay satisfied.
+        *current = (*current).max(epoch);
         shared.epoch_advanced.notify_all();
     }
 }

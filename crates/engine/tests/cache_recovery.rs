@@ -1,0 +1,173 @@
+//! Crash-safe cache recovery, end to end through the engine.
+//!
+//! These tests drive the failpoint registry (`flowistry-fault`), whose
+//! state is process-global — they serialize on a local mutex and live in
+//! their own test binary so no unrelated test's cache save can hit an
+//! injected fault.
+
+use flowistry_engine::{AnalysisEngine, EngineConfig, LoadStats, SummaryCache};
+use flowistry_fault::sites;
+use flowistry_lang::CompiledProgram;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flowistry-recovery-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A workload wide enough that its summaries spread over many shards.
+fn source() -> String {
+    let mut src = String::new();
+    for i in 0..24 {
+        src.push_str(&format!(
+            "fn leaf{i}(p: &mut i32, v: i32) {{ *p = v + {i}; }}\n\
+             fn mid{i}(v: i32) -> i32 {{ let mut x = 0; leaf{i}(&mut x, v); return x; }}\n"
+        ));
+    }
+    src.push_str("fn main(v: i32) -> i32 { return mid0(v) + mid1(v); }\n");
+    src
+}
+
+fn compile(src: &str) -> Arc<CompiledProgram> {
+    Arc::new(flowistry_lang::compile(src).unwrap())
+}
+
+fn run_engine(program: &Arc<CompiledProgram>, cache: &std::path::Path) -> AnalysisEngine {
+    let mut engine = AnalysisEngine::new(
+        program.clone(),
+        EngineConfig::default().with_cache_path(cache.to_path_buf()),
+    );
+    engine.analyze_all();
+    engine
+}
+
+/// All summaries of an engine's snapshot, rendered to comparable text.
+fn summaries_of(engine: &AnalysisEngine) -> Vec<(String, String)> {
+    let snapshot = engine.snapshot();
+    let mut out: Vec<(String, String)> = (0..engine.program().bodies.len())
+        .map(|i| {
+            let func = flowistry_lang::types::FuncId(i as u32);
+            let summary = snapshot.summary(func).expect("summary").encode();
+            (format!("f{i}"), summary)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The `cache.shard_write=partial_write` failpoint produces exactly the
+/// crash scene the recovery machinery exists for — torn shard files at
+/// their final paths plus orphaned temp files — and a fresh engine on the
+/// same cache dir must quarantine, salvage, sweep, recompute cold, and
+/// serve summaries bit-identical to a never-crashed run.
+#[test]
+fn torn_cache_writes_recompute_to_bit_identical_summaries() {
+    let _guard = lock();
+    let program = compile(&source());
+
+    // The oracle: a run that never touched a cache.
+    let mut clean = AnalysisEngine::new(program.clone(), EngineConfig::default());
+    clean.analyze_all();
+    let expected = summaries_of(&clean);
+
+    let dir = temp_dir("torn");
+    let base = dir.join("summaries.cache");
+
+    // Warm run whose save is torn by the failpoint on every shard.
+    flowistry_fault::configure(&format!(
+        "{}=partial_write:1.0:0xC0FFEE",
+        sites::CACHE_SHARD_WRITE
+    ))
+    .unwrap();
+    run_engine(&program, &base);
+    flowistry_fault::clear();
+
+    // Every written shard is now torn. A fresh engine must recover: the
+    // quarantine path, not the silent-cold path, and never a wrong entry.
+    let recovered = SummaryCache::load(&base).unwrap();
+    let stats = recovered.load_stats();
+    assert!(
+        stats.quarantined_shards > 0,
+        "torn shards must be quarantined, got {stats:?}"
+    );
+    assert!(
+        stats.swept_temp_files > 0,
+        "orphaned temp files must be swept, got {stats:?}"
+    );
+
+    let mut after = run_engine(&program, &base);
+    assert_eq!(
+        summaries_of(&after),
+        expected,
+        "post-crash summaries differ"
+    );
+    // And the rewritten cache is clean: round-trips with zero recovery work.
+    after.analyze_all();
+    let reloaded = SummaryCache::load(&base).unwrap();
+    assert_eq!(reloaded.load_stats(), LoadStats::default());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An injected shard-read fault degrades that shard to cold (and only
+/// that shard) — the engine still starts and still computes summaries
+/// bit-identical to a clean run.
+#[test]
+fn injected_read_faults_degrade_to_cold_not_to_failure() {
+    let _guard = lock();
+    let program = compile(&source());
+    let dir = temp_dir("readfault");
+    let base = dir.join("summaries.cache");
+
+    let warm = run_engine(&program, &base);
+    let expected = summaries_of(&warm);
+
+    flowistry_fault::configure(&format!("{}=err:0.5:11", sites::CACHE_SHARD_READ)).unwrap();
+    let faulted = run_engine(&program, &base);
+    flowistry_fault::clear();
+    assert_eq!(summaries_of(&faulted), expected);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A save interrupted by an injected error leaves the previous shard
+/// files fully intact (write-to-temp + rename means the old data is
+/// still there), so a restart loses nothing.
+#[test]
+fn injected_write_errors_never_damage_the_previous_cache() {
+    let _guard = lock();
+    let program = compile(&source());
+    let dir = temp_dir("writeerr");
+    let base = dir.join("summaries.cache");
+
+    run_engine(&program, &base);
+    let before = SummaryCache::load(&base).unwrap();
+    assert!(!before.is_empty());
+
+    flowistry_fault::configure(&format!("{}=err:1.0:5", sites::CACHE_SHARD_WRITE)).unwrap();
+    let cache = SummaryCache::load(&base).unwrap();
+    assert!(cache.save(&base).is_err(), "injected error must surface");
+    flowistry_fault::clear();
+
+    let after = SummaryCache::load(&base).unwrap();
+    assert_eq!(after.len(), before.len());
+    assert_eq!(after.load_stats().quarantined_shards, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

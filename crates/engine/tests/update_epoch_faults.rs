@@ -1,0 +1,121 @@
+//! Epoch bookkeeping under injected update failures.
+//!
+//! Regression for a silent connection hang: [`FlowService::update_at`]
+//! promises position-based epochs (`base + n` for the n-th submission),
+//! while applied epochs come from the engine's own counter. The
+//! `update.recompile` failpoint strikes *before* the engine consumes an
+//! epoch, so failed attempts used to skip the engine counter — after F
+//! failures every later promise sat F ahead of anything a success could
+//! produce, and `wait_for_epoch` callers waited forever while the
+//! connection they held stayed silently open. A failed attempt must
+//! consume exactly one epoch, just like a successful one.
+//!
+//! Failpoint state is process-global: these tests live in their own test
+//! binary and serialize on a local mutex.
+
+use flowistry_core::{AnalysisParams, Condition};
+use flowistry_engine::{
+    AnalysisEngine, EngineConfig, FlowService, QueryRequest, QueryResponse, ServiceConfig,
+};
+use flowistry_fault::sites;
+use flowistry_lang::CompiledProgram;
+use std::sync::{Arc, Mutex};
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn compile(tag: u32) -> Arc<CompiledProgram> {
+    Arc::new(
+        flowistry_lang::compile(&format!(
+            "fn store(p: &mut i32, v: i32) {{ *p = v + {tag}; }}
+             fn caller(v: i32) -> i32 {{ let mut x = 0; store(&mut x, v); return x; }}"
+        ))
+        .unwrap(),
+    )
+}
+
+fn service() -> (Arc<CompiledProgram>, FlowService) {
+    let program = compile(0);
+    let engine = AnalysisEngine::new(
+        program.clone(),
+        EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+    );
+    let service = FlowService::new(engine, ServiceConfig::default().with_workers(1));
+    (program, service)
+}
+
+/// The router-retry shape that used to hang: two pinned replay attempts
+/// fail, the third succeeds. The success's position-based promise is by
+/// then *above* the pin target, and before the fix its applied epoch came
+/// out below the promise — `wait_for_epoch` on it never returned.
+#[test]
+fn failed_updates_consume_epochs_so_promises_stay_reachable() {
+    let _guard = lock();
+    let (_, service) = service();
+
+    flowistry_fault::configure(&format!("{}=err:1.0", sites::UPDATE_RECOMPILE)).unwrap();
+    let p1 = service.update_at(compile(1), Some(2));
+    let p2 = service.update_at(compile(2), Some(2));
+    service.wait_for_epoch(p1);
+    service.wait_for_epoch(p2);
+    // Both promises pin to the same epoch, so the waits can return after
+    // the first attempt settles — wait until the second is counted too
+    // before swapping the failpoint config out from under it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.stats().updates_failed < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    flowistry_fault::clear();
+
+    // Both attempts failed: the snapshot still serves the seed program,
+    // but each consumed one epoch past the pin target.
+    let stats = service.stats();
+    assert_eq!(stats.updates_failed, 2, "both injected attempts must fail");
+    assert!(
+        service.current_epoch() >= p2,
+        "failed attempts left the epoch at {} < promise {p2}",
+        service.current_epoch()
+    );
+
+    // The clean retry lands at-or-above its promise (pre-fix: below, and
+    // this wait hung forever).
+    let p3 = service.update_at(compile(3), Some(2));
+    service.wait_for_epoch(p3);
+    let envelope = service.query(QueryRequest::Stats);
+    assert!(
+        envelope.epoch >= p3,
+        "retry served epoch {} below its promise {p3}",
+        envelope.epoch
+    );
+    assert!(matches!(envelope.response, QueryResponse::Stats(_)));
+}
+
+/// Epochs never move backward: a successful apply whose engine-derived
+/// epoch lands below an already-announced failure epoch must not drag
+/// `current_epoch` down with it.
+#[test]
+fn current_epoch_is_monotonic_across_mixed_outcomes() {
+    let _guard = lock();
+    let (_, service) = service();
+
+    flowistry_fault::configure(&format!("{}=err:1.0", sites::UPDATE_RECOMPILE)).unwrap();
+    let failed = service.update_at(compile(1), None);
+    service.wait_for_epoch(failed);
+    let after_failure = service.current_epoch();
+    flowistry_fault::clear();
+
+    let ok = service.update_at(compile(2), None);
+    service.wait_for_epoch(ok);
+    assert!(
+        service.current_epoch() >= after_failure,
+        "epoch regressed from {after_failure} to {}",
+        service.current_epoch()
+    );
+    assert!(service.current_epoch() >= ok);
+}

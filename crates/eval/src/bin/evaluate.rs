@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `fig3`, `fig4`, `boundary`,
-//! `perf`, `engine`, `service-latency`, `fleet`, `noninterference`, `ifc`,
-//! `lints`, `all` (default). Results are printed
+//! `perf`, `engine`, `service-latency`, `fleet`, `chaos`, `noninterference`,
+//! `ifc`, `lints`, `all` (default). Results are printed
 //! and also written as JSON under `results/`. `ifc` runs the labeled-corpus
 //! differential (policy checker vs interpreter vs legacy checker) and exits
 //! nonzero on any mismatch; `lints` runs every lint pass plus the inferred
@@ -141,6 +141,7 @@ fn main() {
         "engine" => run_engine(seed, scale, out_dir),
         "service-latency" => run_service_latency(seed, scale, out_dir),
         "fleet" => run_fleet(seed, scale, out_dir),
+        "chaos" => run_chaos(seed, scale, out_dir),
         "noninterference" => run_noninterference(seed, scale),
         "ifc" => run_ifc(seed, scale, out_dir),
         "lints" => run_lints(seed, scale, out_dir),
@@ -316,6 +317,25 @@ fn run_fleet(seed: u64, scale: Scale, out_dir: &Path) {
     // The repo-root benchmark artifact CI parses and the README links.
     let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     write_json(std::path::PathBuf::from(bench), &report);
+}
+
+fn run_chaos(seed: u64, scale: Scale, out_dir: &Path) {
+    eprintln!("running the chaos gauntlet (8 clients, 3 replicas, seeded fault schedule)...");
+    let report =
+        flowistry_eval::measure_chaos(scale.engine_profile, seed, 3, 0, 8, scale.service_requests);
+    println!("{}", flowistry_eval::render_chaos(&report));
+    write_json(out_dir.join("chaos.json"), &report);
+    // The repo-root benchmark artifact CI parses and the README links.
+    let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    write_json(std::path::PathBuf::from(bench), &report);
+    if !report.invariant_violations.is_empty() || !report.post_chaos_bit_identical {
+        eprintln!(
+            "chaos gauntlet FAILED: {} invariant violations, bit-identical recovery: {}",
+            report.invariant_violations.len(),
+            report.post_chaos_bit_identical
+        );
+        std::process::exit(1);
+    }
 }
 
 fn run_noninterference(seed: u64, scale: Scale) {

@@ -1,0 +1,479 @@
+//! The chaos gauntlet: the full fleet stack under a seeded fault
+//! schedule, with every robustness invariant checked on the way through.
+//!
+//! The experiment stands up corpus program → `N` in-process
+//! `flow-server` replicas sharing a summary-cache dir → [`FlowRouter`],
+//! then arms the failpoint registry (`flowistry-fault`) with a seeded
+//! schedule spanning every mode (`err`, `delay`, `partial_write`,
+//! `panic`) across the cache, codec, backend, scheduler, and update
+//! sites — while concurrent clients hammer the front, one replica is
+//! killed outright, and an update broadcast races the traffic.
+//!
+//! Invariants asserted (violations are collected, not panicked, so CI
+//! can gate on the JSON artifact):
+//!
+//! 1. **Exactly one well-formed response per request** — a result or a
+//!    structured `error` envelope; re-issues after synthesized router
+//!    losses are bounded.
+//! 2. **No wait past the deadline** — every request carries a
+//!    `deadline=` budget and must be answered within it (plus scheduling
+//!    grace), served or shed.
+//! 3. **The cache never serves a wrong summary** — every summary
+//!    response, during chaos and in the fault-free recovery pass after,
+//!    must be bit-identical to a never-faulted engine's answer.
+//!
+//! The `fault_log` field is [`flowistry_fault::schedule_preview`] output:
+//! a pure function of the spec, so two runs with the same seed emit
+//! byte-identical logs — the CI determinism gate diffs them.
+//!
+//! [`FlowRouter`]: flowistry_router::FlowRouter
+
+use flowistry_core::{AnalysisParams, Condition};
+use flowistry_engine::{AnalysisEngine, EngineConfig, QueryRequest, QueryResponse};
+use flowistry_fault::sites;
+use flowistry_lang::types::FuncId;
+use flowistry_obs::Registry;
+use flowistry_router::{BackendLauncher, FlowRouter, InProcessLauncher, RouterConfig};
+use flowistry_server::{ClientConfig, FlowClient};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-request deadline budget stamped on every gauntlet request.
+const DEADLINE_MS: u64 = 8_000;
+/// Scheduling grace on top of the budget before a wait counts as a hang.
+const DEADLINE_GRACE: Duration = Duration::from_millis(4_000);
+/// Re-issue budget for requests the chaos window genuinely lost.
+const REISSUE_LIMIT: usize = 64;
+
+/// Results of the chaos gauntlet.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Corpus crate the fleet analyzed.
+    pub krate: String,
+    /// Functions in that crate.
+    pub num_functions: usize,
+    /// Replicas behind the router.
+    pub backends: usize,
+    /// Engine worker threads per replica (0 = auto).
+    pub workers: usize,
+    /// Concurrent TCP clients.
+    pub clients: usize,
+    /// Requests each client issued.
+    pub requests_per_client: usize,
+    /// The failpoint spec the gauntlet ran under.
+    pub fault_spec: String,
+    /// Seed the per-site fault streams derive from.
+    pub fault_seed: u64,
+    /// Requests issued (re-issues counted separately).
+    pub requests_issued: u64,
+    /// Responses carrying a result payload.
+    pub ok_responses: u64,
+    /// Responses carrying a structured `error` envelope (injected codec
+    /// faults, injected panics, deadline sheds — all well-formed).
+    pub structured_errors: u64,
+    /// Of the structured errors, those reporting `deadline exceeded`.
+    pub deadline_errors: u64,
+    /// Requests re-issued after a synthesized router loss.
+    pub reissues: u64,
+    /// Faults the registry actually injected during the run.
+    pub faults_injected: u64,
+    /// Distinct fault modes that actually fired (CI gates on ≥3).
+    pub fault_modes_exercised: Vec<String>,
+    /// The canonical seeded schedule (first decisions per site) — byte
+    /// identical across runs with the same seed.
+    pub fault_log: Vec<String>,
+    /// Invariant violations (must be empty).
+    pub invariant_violations: Vec<String>,
+    /// Replicas the supervisor respawned.
+    pub respawns: u64,
+    /// Requests retried onto a ring successor after a backend loss.
+    pub retries: u64,
+    /// Whether the fault-free recovery pass returned every summary
+    /// bit-identical to a never-faulted engine.
+    pub post_chaos_bit_identical: bool,
+}
+
+/// The gauntlet's failpoint spec: every mode, across cache, codec,
+/// backend, scheduler, and update sites, each site on its own stream
+/// derived from `seed` (so schedules are deterministic per seed and
+/// independent of thread interleaving).
+pub fn chaos_fault_spec(seed: u64) -> String {
+    let mut spec = String::new();
+    for (i, (site, mode, p)) in [
+        (sites::CACHE_SHARD_WRITE, "partial_write", 0.5),
+        (sites::CACHE_SHARD_READ, "err", 0.25),
+        (sites::CODEC_FRAME_READ, "err", 0.02),
+        (sites::CODEC_FRAME_WRITE, "partial_write", 0.02),
+        (sites::BACKEND_CONNECT, "delay(2)", 0.5),
+        (sites::BACKEND_SEND, "err", 0.03),
+        (sites::SCHEDULER_JOB_START, "panic", 0.02),
+        (sites::UPDATE_RECOMPILE, "err", 0.5),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if !spec.is_empty() {
+            spec.push(',');
+        }
+        // Distinct per-site seeds, all derived from the run seed.
+        let _ = write!(spec, "{site}={mode}:{p}:{}", seed.wrapping_add(i as u64));
+    }
+    spec
+}
+
+/// What a never-faulted engine answers for every function: the oracle the
+/// gauntlet compares all summary responses against.
+fn expected_summaries(program: &Arc<flowistry_lang::CompiledProgram>) -> Vec<String> {
+    let mut engine = AnalysisEngine::new(
+        program.clone(),
+        EngineConfig::default()
+            .with_params(AnalysisParams::for_condition(Condition::WHOLE_PROGRAM)),
+    );
+    engine.analyze_all();
+    let snapshot = engine.snapshot();
+    (0..program.bodies.len())
+        .map(|i| {
+            snapshot
+                .summary(FuncId(i as u32))
+                .expect("oracle summary")
+                .encode()
+        })
+        .collect()
+}
+
+/// Runs the chaos gauntlet. See the [module docs](self) for the setup and
+/// the invariants; violations land in the report, they do not panic.
+///
+/// # Panics
+///
+/// Panics only on environment failures (corpus compile, loopback
+/// networking) — never on an invariant violation.
+pub fn measure_chaos(
+    profile_index: usize,
+    seed: u64,
+    backends: usize,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> ChaosReport {
+    let profiles = flowistry_corpus::paper_profiles();
+    let profile = &profiles[profile_index.min(profiles.len() - 1)];
+    let krate = flowistry_corpus::generate_crate(profile, seed);
+    let num_functions = krate.program.bodies.len();
+    let program = Arc::new(krate.program.clone());
+    let expected = Arc::new(expected_summaries(&program));
+
+    let cache_dir = std::env::temp_dir().join(format!(
+        "flow-eval-chaos-{}-{profile_index}-{workers}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("create chaos cache dir");
+    let launchers: Vec<Box<dyn BackendLauncher>> = (0..backends)
+        .map(|_| {
+            Box::new(InProcessLauncher {
+                source: krate.source.clone(),
+                workers,
+                cache_dir: Some(cache_dir.clone()),
+                auth_token: None,
+            }) as Box<dyn BackendLauncher>
+        })
+        .collect();
+    let registry = Arc::new(Registry::new());
+    let config = RouterConfig::default()
+        .with_max_connections(clients + 2)
+        .with_health_interval(Duration::from_millis(40))
+        .with_failure_threshold(2)
+        .with_registry(registry.clone());
+    let router = FlowRouter::start(launchers, "127.0.0.1:0", config).expect("start chaos fleet");
+    let addr = router.local_addr();
+
+    // Arm the schedule only once the fleet is up: startup analysis runs
+    // fault-free, the gauntlet measures the serving path.
+    let spec = chaos_fault_spec(seed);
+    let _ = flowistry_fault::take_log();
+    flowistry_fault::configure(&spec).expect("valid chaos spec");
+
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let requests_issued = AtomicU64::new(0);
+    let ok_responses = AtomicU64::new(0);
+    let structured_errors = AtomicU64::new(0);
+    let deadline_errors = AtomicU64::new(0);
+    let reissues = AtomicU64::new(0);
+
+    let run_request =
+        |client: &mut FlowClient, func: FuncId, expected: &[String]| -> Result<(), String> {
+            requests_issued.fetch_add(1, Ordering::Relaxed);
+            let request = QueryRequest::Summary(func);
+            for attempt in 0..REISSUE_LIMIT {
+                let started = Instant::now();
+                client
+                    .submit_with(&request, None, Some(DEADLINE_MS))
+                    .map_err(|e| format!("submit failed: {e}"))?;
+                let envelope = client
+                    .recv()
+                    .map_err(|e| format!("no response for {request:?}: {e}"))?;
+                let waited = started.elapsed();
+                if waited > Duration::from_millis(DEADLINE_MS) + DEADLINE_GRACE {
+                    return Err(format!(
+                        "{request:?} answered after {waited:?}, past its {DEADLINE_MS}ms budget"
+                    ));
+                }
+                match &envelope.response {
+                    QueryResponse::Error(msg) if msg.starts_with("router:") => {
+                        // A synthesized loss: the one sanctioned reason to
+                        // re-issue. Back off before retrying — a tight
+                        // loop would burn the whole budget inside one
+                        // breaker cooldown while every backend is open.
+                        reissues.fetch_add(1, Ordering::Relaxed);
+                        if attempt + 1 == REISSUE_LIMIT {
+                            return Err(format!("{request:?} lost {REISSUE_LIMIT} times: {msg}"));
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    QueryResponse::Error(msg) => {
+                        structured_errors.fetch_add(1, Ordering::Relaxed);
+                        if msg.contains("deadline exceeded") {
+                            deadline_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(());
+                    }
+                    QueryResponse::Summary(Some(summary)) => {
+                        let got = summary.encode();
+                        if got != expected[func.0 as usize] {
+                            return Err(format!(
+                                "wrong summary for f{} (cache served stale or torn data)",
+                                func.0
+                            ));
+                        }
+                        ok_responses.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    other => {
+                        return Err(format!("{request:?} answered with {other:?}"));
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            let violations = &violations;
+            let run_request = &run_request;
+            let expected = expected.clone();
+            s.spawn(move || {
+                let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                    .expect("connect chaos client");
+                for i in 0..requests_per_client {
+                    let func = FuncId(((i * clients + t) % num_functions) as u32);
+                    if let Err(violation) = run_request(&mut client, func, &expected) {
+                        violations.lock().expect("violations").push(violation);
+                    }
+                }
+            });
+        }
+
+        // Mid-run: an update broadcast of the same source (so the oracle
+        // stays valid) races the traffic through the faulty update site…
+        let source = &krate.source;
+        s.spawn(move || {
+            let mut updater = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+                .expect("connect chaos updater");
+            // Either outcome is legal under injected recompile faults: a
+            // quorum ack or a structured quorum-failure error.
+            let _ = updater.update(source);
+        });
+
+        // …and one replica is killed outright, exactly as a crash would.
+        let router = &router;
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            router.kill_backend(backends - 1);
+        });
+    });
+
+    // The supervisor must repair the killed replica before recovery runs.
+    let respawned = || {
+        registry
+            .counter(
+                &format!(
+                    "flow_router_backend_respawns_total{{backend=\"{}\"}}",
+                    backends - 1
+                ),
+                "",
+            )
+            .value()
+            >= 1
+    };
+    let wait_deadline = Instant::now() + Duration::from_secs(120);
+    while !(respawned() && router.backend_healthy(backends - 1)) {
+        if Instant::now() >= wait_deadline {
+            violations
+                .lock()
+                .expect("violations")
+                .push("killed replica was never respawned".to_string());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Disarm, then verify recovery: with faults off, every function's
+    // summary must be bit-identical to the never-faulted oracle — through
+    // whatever quarantined shards, salvaged prefixes, and recomputes the
+    // chaos left behind.
+    // Take the log before `clear()` — disabling the registry drops the
+    // per-site streams and their triggered-fault logs with it.
+    let injected = flowistry_fault::take_log();
+    flowistry_fault::clear();
+    let faults_injected = injected.len() as u64;
+    let fault_modes_exercised: Vec<String> = injected
+        .iter()
+        .filter_map(|line| line.split_whitespace().nth(1))
+        .map(|mode| mode.split('(').next().unwrap_or(mode).to_string())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut post_chaos_bit_identical = true;
+    {
+        let mut client = FlowClient::connect_retry(addr, &ClientConfig::default(), 8)
+            .expect("connect recovery client");
+        for i in 0..num_functions {
+            let func = FuncId(i as u32);
+            let mut settled = false;
+            for _ in 0..REISSUE_LIMIT {
+                let envelope = client
+                    .query(&QueryRequest::Summary(func))
+                    .expect("recovery round-trip");
+                match &envelope.response {
+                    QueryResponse::Error(msg) if msg.starts_with("router:") => {
+                        // Breakers opened during chaos may still be cooling
+                        // down; give them time instead of spinning.
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    QueryResponse::Summary(Some(summary))
+                        if summary.encode() == expected[func.0 as usize] =>
+                    {
+                        settled = true;
+                    }
+                    other => {
+                        violations.lock().expect("violations").push(format!(
+                            "recovery pass: f{i} answered {other:?} instead of the oracle summary"
+                        ));
+                        post_chaos_bit_identical = false;
+                        settled = true;
+                    }
+                }
+                if settled {
+                    break;
+                }
+            }
+            if !settled {
+                violations
+                    .lock()
+                    .expect("violations")
+                    .push(format!("recovery pass: f{i} was never served"));
+                post_chaos_bit_identical = false;
+            }
+        }
+    }
+
+    let sum_over_backends = |base: &str| -> u64 {
+        (0..backends)
+            .map(|i| {
+                registry
+                    .counter(&format!("{base}{{backend=\"{i}\"}}"), "")
+                    .value()
+            })
+            .sum()
+    };
+    let report = ChaosReport {
+        krate: krate.name.clone(),
+        num_functions,
+        backends,
+        workers,
+        clients,
+        requests_per_client,
+        fault_spec: spec.clone(),
+        fault_seed: seed,
+        requests_issued: requests_issued.into_inner(),
+        ok_responses: ok_responses.into_inner(),
+        structured_errors: structured_errors.into_inner(),
+        deadline_errors: deadline_errors.into_inner(),
+        reissues: reissues.into_inner(),
+        faults_injected,
+        fault_modes_exercised,
+        fault_log: flowistry_fault::schedule_preview(&spec, 16).expect("preview"),
+        invariant_violations: violations.into_inner().expect("violations"),
+        respawns: sum_over_backends("flow_router_backend_respawns_total"),
+        retries: sum_over_backends("flow_router_backend_retries_total"),
+        post_chaos_bit_identical,
+    };
+    drop(router);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    report
+}
+
+/// Renders the report as a text block for the evaluation output.
+pub fn render_chaos(report: &ChaosReport) -> String {
+    let mut out = format!(
+        "Chaos gauntlet on `{}` ({} functions)\n\
+           {} clients x {} requests through {} replicas ({} workers each), seed 0x{:X}\n\
+           faults injected: {} (modes: {})\n\
+           responses: {} ok, {} structured errors ({} deadline), {} re-issues\n\
+           fleet: {} respawns, {} retries\n",
+        report.krate,
+        report.num_functions,
+        report.clients,
+        report.requests_per_client,
+        report.backends,
+        report.workers,
+        report.fault_seed,
+        report.faults_injected,
+        report.fault_modes_exercised.join("/"),
+        report.ok_responses,
+        report.structured_errors,
+        report.deadline_errors,
+        report.reissues,
+        report.respawns,
+        report.retries,
+    );
+    let _ = writeln!(
+        out,
+        "   post-chaos summaries bit-identical to fault-free run: {}",
+        report.post_chaos_bit_identical
+    );
+    if report.invariant_violations.is_empty() {
+        let _ = writeln!(out, "   invariant violations: none");
+    } else {
+        let _ = writeln!(
+            out,
+            "   INVARIANT VIOLATIONS ({}):",
+            report.invariant_violations.len()
+        );
+        for v in &report.invariant_violations {
+            let _ = writeln!(out, "     - {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_spec_parses_and_previews_deterministically() {
+        let spec = chaos_fault_spec(42);
+        let a = flowistry_fault::schedule_preview(&spec, 32).expect("preview");
+        let b = flowistry_fault::schedule_preview(&spec, 32).expect("preview");
+        assert_eq!(a, b, "same seed must yield a byte-identical schedule");
+        let other = flowistry_fault::schedule_preview(&chaos_fault_spec(43), 32).expect("preview");
+        assert_ne!(a, other, "different seeds must diverge");
+    }
+}

@@ -350,6 +350,39 @@ impl ToJson for crate::fleet::FleetReport {
     }
 }
 
+impl ToJson for crate::chaos::ChaosReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("krate", self.krate.to_json()),
+            ("num_functions", self.num_functions.to_json()),
+            ("backends", self.backends.to_json()),
+            ("workers", self.workers.to_json()),
+            ("clients", self.clients.to_json()),
+            ("requests_per_client", self.requests_per_client.to_json()),
+            ("fault_spec", self.fault_spec.to_json()),
+            ("fault_seed", self.fault_seed.to_json()),
+            ("requests_issued", self.requests_issued.to_json()),
+            ("ok_responses", self.ok_responses.to_json()),
+            ("structured_errors", self.structured_errors.to_json()),
+            ("deadline_errors", self.deadline_errors.to_json()),
+            ("reissues", self.reissues.to_json()),
+            ("faults_injected", self.faults_injected.to_json()),
+            (
+                "fault_modes_exercised",
+                self.fault_modes_exercised.to_json(),
+            ),
+            ("fault_log", self.fault_log.to_json()),
+            ("invariant_violations", self.invariant_violations.to_json()),
+            ("respawns", self.respawns.to_json()),
+            ("retries", self.retries.to_json()),
+            (
+                "post_chaos_bit_identical",
+                self.post_chaos_bit_identical.to_json(),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine_perf;
 pub mod figures;
 pub mod fleet;
@@ -30,6 +31,7 @@ pub mod perf;
 pub mod report;
 pub mod service_latency;
 
+pub use chaos::{chaos_fault_spec, measure_chaos, render_chaos, ChaosReport};
 pub use engine_perf::{measure_incremental, render_incremental, IncrementalReport};
 pub use figures::{boundary_stats, diff_stats, per_crate_stats, BoundaryStats, DiffStats};
 pub use fleet::{measure_fleet, render_fleet, FleetReport};

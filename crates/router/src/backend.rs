@@ -3,16 +3,17 @@
 //! them (one pipelined data connection plus one control connection each),
 //! and how a dead replica is detected and respawned.
 
+use flowistry_fault::{sites as fault_sites, Fault};
 use flowistry_obs::{Counter, Gauge, Registry};
 use flowistry_server::{ClientConfig, FlowClient};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long connection attempts to a backend may take before the router
 /// counts them as failures.
@@ -226,6 +227,22 @@ struct BackendConn {
 
 impl BackendConn {
     fn open(addr: SocketAddr, auth_token: Option<&str>) -> io::Result<BackendConn> {
+        // The backend-connect failpoint: an injected error here looks to
+        // the router exactly like a refused/timed-out connect, which is
+        // what feeds the circuit breaker. (`partial_write` has no torn
+        // frame to model before a connection exists; it degrades to err.)
+        match flowistry_fault::check(fault_sites::BACKEND_CONNECT) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Err | Fault::PartialWrite(_) => {
+                return Err(flowistry_fault::injected_error(
+                    fault_sites::BACKEND_CONNECT,
+                ))
+            }
+            Fault::Panic => {
+                panic!("failpoint {}: injected panic", fault_sites::BACKEND_CONNECT)
+            }
+        }
         let config = ClientConfig::default().with_connect_timeout(BACKEND_CONNECT_TIMEOUT);
         let stream = {
             // Reuse FlowClient's transient-retry logic for the raw stream.
@@ -260,6 +277,11 @@ impl BackendConn {
                         line.clear();
                         match reader.read_line(&mut line) {
                             Ok(0) | Err(_) => break,
+                            // A line with no trailing newline is the torn
+                            // tail of a frame cut off by the backend dying
+                            // mid-write: drop it and let failover re-serve
+                            // the request rather than forward garbage.
+                            Ok(_) if !line.ends_with('\n') => break,
                             Ok(_) => {}
                         }
                         let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
@@ -296,6 +318,27 @@ impl BackendConn {
                 "backend connection lost",
             ));
         }
+        // The backend-send failpoint. `err` fails the send before the
+        // request is enqueued (the caller fails over to the next ring
+        // successor); `partial_write` writes a torn frame and kills the
+        // connection — leaving it alive would desync every response
+        // behind the tear.
+        match flowistry_fault::check(fault_sites::BACKEND_SEND) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Err => return Err(flowistry_fault::injected_error(fault_sites::BACKEND_SEND)),
+            Fault::PartialWrite(frac) => {
+                let cut = (line.len() as f64 * frac) as usize;
+                let _ = self.writer.write_all(&line.as_bytes()[..cut]);
+                let _ = self.writer.flush();
+                self.dead.store(true, Ordering::SeqCst);
+                self.inflight.lock().expect("inflight lock").clear();
+                return Err(flowistry_fault::injected_error(fault_sites::BACKEND_SEND));
+            }
+            Fault::Panic => {
+                panic!("failpoint {}: injected panic", fault_sites::BACKEND_SEND)
+            }
+        }
         let (tx, rx) = channel();
         self.inflight.lock().expect("inflight lock").push_back(tx);
         if writeln!(self.writer, "{line}")
@@ -320,6 +363,7 @@ pub(crate) struct BackendMetrics {
     pub(crate) retries: Arc<Counter>,
     pub(crate) respawns: Arc<Counter>,
     pub(crate) healthy: Arc<Gauge>,
+    pub(crate) breaker_state: Arc<Gauge>,
 }
 
 impl BackendMetrics {
@@ -347,9 +391,19 @@ impl BackendMetrics {
                 &flowistry_obs::labeled("flow_router_backend_healthy", &labels),
                 "1 when this backend serves traffic, 0 while it is down",
             ),
+            breaker_state: registry.gauge(
+                &flowistry_obs::labeled("flow_breaker_state", &labels),
+                "Circuit breaker state: 0 closed, 1 open, 2 half-open",
+            ),
         }
     }
 }
+
+/// Circuit-breaker states, stored in [`Backend::breaker`] (and exported
+/// verbatim as the `flow_breaker_state` gauge).
+pub(crate) const BREAKER_CLOSED: u8 = 0;
+pub(crate) const BREAKER_OPEN: u8 = 1;
+pub(crate) const BREAKER_HALF_OPEN: u8 = 2;
 
 /// One ring slot of the fleet: the launcher that makes instances, the
 /// current instance, its connections, and its health state.
@@ -363,6 +417,17 @@ pub(crate) struct Backend {
     /// The control connection: health probes, updates, replay, shutdown.
     pub(crate) control: Mutex<Option<FlowClient>>,
     pub(crate) healthy: AtomicBool,
+    /// Circuit-breaker state ([`BREAKER_CLOSED`]/[`BREAKER_OPEN`]/
+    /// [`BREAKER_HALF_OPEN`]): the data-path complement to health probes.
+    /// Probes take `failure_threshold * health_interval` to notice a dead
+    /// backend; the breaker trips on consecutive *send* failures, so
+    /// routed traffic stops hammering a struggling replica within
+    /// milliseconds instead.
+    breaker: AtomicU8,
+    /// Consecutive failed sends (reset by any success).
+    send_failures: AtomicU32,
+    /// When the breaker last opened (None = never).
+    breaker_opened_at: Mutex<Option<Instant>>,
     /// Consecutive failed health probes.
     pub(crate) probe_failures: AtomicU32,
     /// Epoch of the last update this backend applied (0 = seed program).
@@ -388,6 +453,9 @@ impl Backend {
             conn: Mutex::new(None),
             control: Mutex::new(None),
             healthy: AtomicBool::new(true),
+            breaker: AtomicU8::new(BREAKER_CLOSED),
+            send_failures: AtomicU32::new(0),
+            breaker_opened_at: Mutex::new(None),
             probe_failures: AtomicU32::new(0),
             synced_epoch: AtomicU64::new(0),
             auth_token,
@@ -410,6 +478,65 @@ impl Backend {
     pub(crate) fn set_healthy(&self, healthy: bool) {
         self.healthy.store(healthy, Ordering::SeqCst);
         self.metrics.healthy.set(i64::from(healthy));
+    }
+
+    /// Whether the circuit breaker lets a send through. Closed: always.
+    /// Open: only once `cooldown` has elapsed, and then exactly one caller
+    /// wins the transition to half-open and carries the probe request —
+    /// everyone else keeps failing fast until that probe settles via
+    /// [`Backend::record_send_success`] or [`Backend::record_send_failure`].
+    pub(crate) fn breaker_allows(&self, cooldown: Duration) -> bool {
+        match self.breaker.load(Ordering::SeqCst) {
+            BREAKER_CLOSED => true,
+            BREAKER_OPEN => {
+                let cooled = self
+                    .breaker_opened_at
+                    .lock()
+                    .expect("breaker lock")
+                    .is_none_or(|t| t.elapsed() >= cooldown);
+                cooled
+                    && self
+                        .breaker
+                        .compare_exchange(
+                            BREAKER_OPEN,
+                            BREAKER_HALF_OPEN,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    && {
+                        self.metrics.breaker_state.set(i64::from(BREAKER_HALF_OPEN));
+                        true
+                    }
+            }
+            _ => false, // half-open: the probe is already in flight
+        }
+    }
+
+    /// A send (or its response) succeeded: close the breaker.
+    pub(crate) fn record_send_success(&self) {
+        self.send_failures.store(0, Ordering::SeqCst);
+        if self.breaker.swap(BREAKER_CLOSED, Ordering::SeqCst) != BREAKER_CLOSED {
+            self.metrics.breaker_state.set(i64::from(BREAKER_CLOSED));
+        }
+    }
+
+    /// A send failed (or its response was lost): after `threshold`
+    /// consecutive failures — or immediately, if this was the half-open
+    /// probe — the breaker opens.
+    pub(crate) fn record_send_failure(&self, threshold: u32) {
+        let failures = self.send_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let state = self.breaker.load(Ordering::SeqCst);
+        if state == BREAKER_HALF_OPEN || (state == BREAKER_CLOSED && failures >= threshold) {
+            *self.breaker_opened_at.lock().expect("breaker lock") = Some(Instant::now());
+            self.breaker.store(BREAKER_OPEN, Ordering::SeqCst);
+            self.metrics.breaker_state.set(i64::from(BREAKER_OPEN));
+        }
+    }
+
+    /// Current breaker state (one of the `BREAKER_*` constants).
+    pub(crate) fn breaker_state(&self) -> u8 {
+        self.breaker.load(Ordering::SeqCst)
     }
 
     /// Sends one routed request line over the shared data connection,
@@ -478,6 +605,8 @@ impl Backend {
         let addr = new_handle.addr;
         *self.handle.lock().expect("handle lock") = Some(new_handle);
         self.synced_epoch.store(0, Ordering::SeqCst);
+        // A fresh instance earns a fresh breaker.
+        self.record_send_success();
         self.metrics.respawns.inc();
         Ok(addr)
     }

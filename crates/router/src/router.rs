@@ -27,7 +27,7 @@
 use crate::backend::{Backend, BackendLauncher, BackendReply};
 use crate::ring::HashRing;
 use flowistry_engine::{QueryEnvelope, QueryRequest, QueryResponse};
-use flowistry_obs::{Counter, Histogram, Registry};
+use flowistry_obs::{Counter, Gauge, Histogram, Registry};
 use flowistry_server::budget::{constant_time_eq, read_line_bounded, BoundedLine, RateLimiter};
 use flowistry_server::codec::{self, Command};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -68,6 +68,12 @@ pub struct RouterConfig {
     pub failure_threshold: u32,
     /// Attempts per routed request across ring successors (`0` = 3).
     pub retry_attempts: u32,
+    /// Consecutive send failures before a backend's circuit opens
+    /// (`0` = 5).
+    pub breaker_threshold: u32,
+    /// How long an open circuit waits before letting one half-open probe
+    /// request through (`None` = 500ms).
+    pub breaker_cooldown: Option<Duration>,
     /// Metrics registry (`None` = a private one; see
     /// [`FlowRouter::metrics_registry`]).
     pub registry: Option<Arc<Registry>>,
@@ -170,6 +176,18 @@ impl RouterConfig {
             self.retry_attempts
         }
     }
+
+    fn effective_breaker_threshold(&self) -> u32 {
+        if self.breaker_threshold == 0 {
+            5
+        } else {
+            self.breaker_threshold
+        }
+    }
+
+    fn effective_breaker_cooldown(&self) -> Duration {
+        self.breaker_cooldown.unwrap_or(Duration::from_millis(500))
+    }
 }
 
 /// Fleet-front counters and latency histograms.
@@ -183,6 +201,8 @@ struct RouterMetrics {
     updates: Arc<Counter>,
     update_quorum_failures: Arc<Counter>,
     lost_requests: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    history_bytes: Arc<Gauge>,
     /// Submit-to-flush route latency, one histogram per request kind.
     route_seconds: Vec<Arc<Histogram>>,
 }
@@ -226,6 +246,16 @@ impl RouterMetrics {
                 "flow_router_lost_requests_total",
                 "Requests answered with a synthesized error after every retry failed",
             ),
+            deadline_exceeded: registry.counter(
+                "flow_deadline_exceeded_total",
+                "Requests answered `error deadline exceeded` because their budget \
+                 ran out at the router (waiting on a backend or between retries)",
+            ),
+            history_bytes: registry.gauge(
+                "flow_router_history_bytes",
+                "Bytes of update state retained for backend catch-up (the \
+                 compacted latest program source, not the full history)",
+            ),
             route_seconds: QueryRequest::KINDS
                 .iter()
                 .map(|kind| {
@@ -245,12 +275,16 @@ struct RouterShared {
     config: RouterConfig,
     registry: Arc<Registry>,
     metrics: RouterMetrics,
-    /// Epoch of the newest update recorded in `history` (what locally
-    /// generated envelopes are stamped with).
+    /// Epoch of the newest broadcast update (what locally generated
+    /// envelopes are stamped with).
     epoch: AtomicU64,
-    /// Every update source ever broadcast, in epoch order — replayed to
-    /// respawned backends so the whole fleet serves the same versions.
-    history: Mutex<Vec<Arc<String>>>,
+    /// The *compacted* update history: the latest program source only.
+    /// Updates carry complete program source (not diffs), so one pinned
+    /// `update ... epoch=<fleet epoch>` brings any backend — respawned or
+    /// straggling — fully up to date; retaining every version ever
+    /// broadcast was O(updates × source) memory for no extra information.
+    /// The lock doubles as the broadcast serialization point.
+    latest_update: Mutex<Option<Arc<String>>>,
     /// Round-robin counter spreading non-function-scoped requests.
     round_robin: AtomicU64,
     shutdown: AtomicBool,
@@ -288,15 +322,17 @@ impl RouterShared {
     }
 
     /// Sends `line` to the first candidate that takes it: healthy chain
-    /// members from `start` first, then (all unhealthy — a fleet-wide
-    /// brown-out) anyone at all. Returns the chosen backend index and the
-    /// reply receiver.
+    /// members with a closed (or probing) breaker from `start` first, then
+    /// (all unhealthy — a fleet-wide brown-out) anyone whose breaker
+    /// allows it. Returns the chosen backend index and the reply receiver.
     fn send_via_chain(
         &self,
         chain: &[usize],
         start: usize,
         line: &str,
     ) -> Option<(usize, Receiver<BackendReply>)> {
+        let threshold = self.config.effective_breaker_threshold();
+        let cooldown = self.config.effective_breaker_cooldown();
         for only_healthy in [true, false] {
             for offset in 0..chain.len() {
                 let index = chain[(start + offset) % chain.len()];
@@ -304,30 +340,38 @@ impl RouterShared {
                 if only_healthy && !backend.is_healthy() {
                     continue;
                 }
-                if let Ok(rx) = backend.send(line) {
-                    return Some((index, rx));
+                if !backend.breaker_allows(cooldown) {
+                    continue;
+                }
+                match backend.send(line) {
+                    Ok(rx) => return Some((index, rx)),
+                    Err(_) => backend.record_send_failure(threshold),
                 }
             }
         }
         None
     }
 
-    /// Broadcasts one update to every backend and records it in history.
-    /// Returns the ack line for the requesting client.
+    /// Broadcasts one update to every backend and records it as the new
+    /// compacted history. Returns the ack line for the requesting client.
     fn broadcast_update(&self, source: String) -> String {
-        // One broadcast at a time: the history lock doubles as the
+        // One broadcast at a time: the latest-update lock doubles as the
         // serialization point, so every backend applies the same sources
         // in the same order and epochs agree fleet-wide.
-        let mut history = self.history.lock().expect("update history lock");
-        let expected_epoch = history.len() as u64 + 1;
+        let mut latest = self.latest_update.lock().expect("update history lock");
+        let expected_epoch = self.epoch.load(Ordering::SeqCst) + 1;
         let source = Arc::new(source);
+        // Pin the broadcast to the fleet epoch: a backend that missed
+        // earlier updates (or was respawned mid-broadcast) fast-forwards
+        // its counter instead of landing on a stale epoch — the source is
+        // the complete program, so the fast-forward loses nothing.
         let results: Vec<io::Result<u64>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .backends
                 .iter()
                 .map(|backend| {
                     let source = source.clone();
-                    s.spawn(move || apply_update(backend, &source))
+                    s.spawn(move || apply_update(backend, &source, Some(expected_epoch)))
                 })
                 .collect();
             handles
@@ -335,9 +379,6 @@ impl RouterShared {
                 .map(|h| h.join().expect("update thread"))
                 .collect()
         });
-        // A backend mid-replay after a respawn can interleave this update
-        // with its history replay and land on the wrong epoch; count that
-        // as a miss (the supervisor will re-replay it into sync).
         let results: Vec<io::Result<u64>> = results
             .into_iter()
             .map(|r| match r {
@@ -360,14 +401,19 @@ impl RouterShared {
             return self.error_envelope(format!("update failed on all backends: {msg}"));
         }
         // At least one replica now serves the new epoch, so the update is
-        // real: record it (respawns and stragglers catch up by replay) and
-        // advance the fleet epoch.
-        history.push(source);
+        // real: compact the history to it (respawns and stragglers catch
+        // up from this one source) and advance the fleet epoch.
+        self.metrics.history_bytes.set(source.len() as i64);
+        *latest = Some(source);
         self.epoch.store(expected_epoch, Ordering::SeqCst);
         for (backend, result) in self.backends.iter().zip(&results) {
             match result {
                 Ok(epoch) => {
                     backend.synced_epoch.store(*epoch, Ordering::SeqCst);
+                    // The pinned update carried the complete program, so
+                    // even a straggler that missed earlier broadcasts is
+                    // fully caught up now.
+                    backend.set_healthy(true);
                 }
                 Err(_) => {
                     // Missed the update: stop routing to it until the
@@ -394,13 +440,14 @@ impl RouterShared {
 }
 
 /// Applies one update through a backend's control connection, returning
-/// the epoch the backend reports.
-fn apply_update(backend: &Backend, source: &str) -> io::Result<u64> {
+/// the epoch the backend reports. `target_epoch` pins the update to a
+/// fleet epoch (the backend fast-forwards its counter to match).
+fn apply_update(backend: &Backend, source: &str, target_epoch: Option<u64>) -> io::Result<u64> {
     // Updates recompile and re-analyze server-side: give them a generous
     // budget, not the probe timeout.
     let mut control = backend.control_client(Some(Duration::from_secs(120)))?;
     let client = control.as_mut().expect("control open");
-    match client.update(source) {
+    match client.update_at(source, target_epoch) {
         Ok(epoch) => Ok(epoch),
         Err(e) => {
             // The control connection may be desynced after a failed
@@ -459,7 +506,7 @@ impl FlowRouter {
             registry,
             metrics,
             epoch: AtomicU64::new(0),
-            history: Mutex::new(Vec::new()),
+            latest_update: Mutex::new(None),
             round_robin: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             active: Mutex::new(0),
@@ -515,6 +562,15 @@ impl FlowRouter {
             .backends
             .get(index)
             .is_some_and(|b| b.is_healthy())
+    }
+
+    /// Backend `index`'s circuit-breaker state: 0 closed, 1 open, 2
+    /// half-open (mirrors the `flow_breaker_state` gauge).
+    pub fn backend_breaker_state(&self, index: usize) -> u8 {
+        self.shared
+            .backends
+            .get(index)
+            .map_or(0, |b| b.breaker_state())
     }
 
     /// The chaos hook: kills backend `index`'s instance out from under the
@@ -687,6 +743,11 @@ enum Pending {
         /// Attempts used so far (first send counts as one).
         attempts: u32,
         decoded_at: Instant,
+        /// When the client's `deadline=` budget runs out (None = no
+        /// deadline). Bounds both the wait on a backend and the failover
+        /// retries: once spent, the client gets `error deadline exceeded`
+        /// instead of a late answer it no longer wants.
+        deadline: Option<Instant>,
         kind: usize,
     },
 }
@@ -794,7 +855,11 @@ fn reader_loop(
                     Pending::Line(shared.error_envelope("bad auth token".to_string()))
                 }
             }
-            Ok(Command::Query { request, trace_id }) => {
+            Ok(Command::Query {
+                request,
+                trace_id,
+                deadline_ms,
+            }) => {
                 shared.metrics.requests.inc();
                 if matches!(request, QueryRequest::Metrics) {
                     // The router answers `metrics` itself: its registry
@@ -819,6 +884,11 @@ fn reader_loop(
                                 position,
                                 attempts: 1,
                                 decoded_at,
+                                // The raw line (deadline attr included) is
+                                // what gets forwarded, so the backend sees
+                                // the same budget and sheds on its own.
+                                deadline: deadline_ms
+                                    .map(|ms| decoded_at + Duration::from_millis(ms)),
                                 kind,
                             }
                         }
@@ -831,7 +901,9 @@ fn reader_loop(
                     }
                 }
             }
-            Ok(Command::Update { bytes }) => {
+            Ok(Command::Update { bytes, epoch: _ }) => {
+                // A client-supplied `epoch=` pin is ignored at the front:
+                // the router owns the fleet's epoch numbering.
                 shared.metrics.requests.inc();
                 Pending::Line(read_and_broadcast_update(shared, &mut reader, bytes))
             }
@@ -895,7 +967,8 @@ fn consume_newline(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
 /// Writes responses in request order. A routed request whose backend died
 /// mid-flight is retried here, synchronously — this response is the next
 /// one due on the wire anyway, so blocking on the retry preserves order
-/// for free.
+/// for free. A request carrying a `deadline=` budget waits no longer than
+/// that budget, on backends and retries combined.
 fn writer_loop(shared: &Arc<RouterShared>, stream: TcpStream, rx: Receiver<Pending>) {
     let mut out = io::BufWriter::new(stream);
     for pending in rx {
@@ -908,20 +981,46 @@ fn writer_loop(shared: &Arc<RouterShared>, stream: TcpStream, rx: Receiver<Pendi
                 mut position,
                 mut attempts,
                 decoded_at,
+                deadline,
                 kind,
             } => {
                 let max_attempts = shared.config.effective_retry_attempts();
+                let breaker_threshold = shared.config.effective_breaker_threshold();
                 let response = loop {
-                    match rx.recv() {
-                        Ok(BackendReply::Line(response)) => break response,
-                        Err(_) => {
+                    let current = &shared.backends[chain[position % chain.len()]];
+                    let received = match deadline {
+                        None => rx.recv().map_err(|_| false),
+                        Some(d) => {
+                            let budget = d.saturating_duration_since(Instant::now());
+                            rx.recv_timeout(budget).map_err(|e| {
+                                matches!(e, std::sync::mpsc::RecvTimeoutError::Timeout)
+                            })
+                        }
+                    };
+                    match received {
+                        Ok(BackendReply::Line(response)) => {
+                            current.record_send_success();
+                            break response;
+                        }
+                        Err(true) => {
+                            // The budget ran out while a backend still
+                            // held the request. Answer now — a late
+                            // response on the pooled connection is
+                            // discarded by its (dropped) receiver.
+                            shared.metrics.deadline_exceeded.inc();
+                            break shared.error_envelope("deadline exceeded".to_string());
+                        }
+                        Err(false) => {
                             // The backend died with this request in
                             // flight. Rotate to the key's next ring
-                            // successor and try again.
-                            shared.backends[chain[position % chain.len()]]
-                                .metrics
-                                .retries
-                                .inc();
+                            // successor and try again — unless the
+                            // deadline budget is already spent.
+                            current.metrics.retries.inc();
+                            current.record_send_failure(breaker_threshold);
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                shared.metrics.deadline_exceeded.inc();
+                                break shared.error_envelope("deadline exceeded".to_string());
+                            }
                             if attempts >= max_attempts {
                                 shared.metrics.lost_requests.inc();
                                 break shared.error_envelope(format!(
@@ -965,7 +1064,12 @@ fn health_loop(shared: &Arc<RouterShared>) {
     let probe_timeout = shared.config.effective_probe_timeout();
     let threshold = shared.config.effective_failure_threshold();
     while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(interval);
+        // Sleep in short slices: a long probe interval must not hold the
+        // router's shutdown hostage (Drop joins this thread).
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake && !shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(25).min(interval));
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -984,6 +1088,20 @@ fn health_loop(shared: &Arc<RouterShared>) {
             };
             if probe_ok {
                 backend.probe_failures.store(0, Ordering::SeqCst);
+                // A live replica can still be unroutable: its catch-up
+                // replay failed after a respawn or a missed broadcast.
+                // Re-sync it here — a healthy probe resets the failure
+                // counter, so the respawn path below would never fire for
+                // it and it would stay stranded forever otherwise.
+                if !backend.is_healthy() {
+                    match replay_latest(shared, backend) {
+                        Ok(()) => backend.set_healthy(true),
+                        Err(e) => flowistry_obs::warn!(
+                            "backend {} catch-up replay failed: {e}; will retry",
+                            backend.index
+                        ),
+                    }
+                }
                 continue;
             }
             let failures = backend.probe_failures.fetch_add(1, Ordering::SeqCst) + 1;
@@ -1039,28 +1157,48 @@ fn probe(backend: &Backend, timeout: Duration) -> bool {
     result.is_ok()
 }
 
-/// Kills, relaunches, re-authenticates, and catches the backend up by
-/// replaying the recorded update history in order.
+/// Kills, relaunches, re-authenticates, and catches the backend up with
+/// one update: the compacted latest program source, pinned to the fleet
+/// epoch (the backend fast-forwards to it). Replaying every historical
+/// version would produce the same final state at N× the recompile cost
+/// and O(history) router memory.
 fn respawn_and_replay(shared: &RouterShared, backend: &Backend) -> io::Result<SocketAddr> {
     let addr = backend.respawn()?;
-    // Snapshot the history; a concurrent broadcast appends behind us and
-    // marks this backend unhealthy again if it misses that update — the
-    // next sweep replays the tail.
-    let history: Vec<Arc<String>> = shared.history.lock().expect("update history lock").clone();
-    for (i, source) in history.iter().enumerate() {
-        let epoch = apply_update(backend, source)?;
-        if epoch != i as u64 + 1 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "replayed update {} but backend reports epoch {epoch}",
-                    i + 1
-                ),
-            ));
-        }
-    }
-    backend
-        .synced_epoch
-        .store(history.len() as u64, Ordering::SeqCst);
+    replay_latest(shared, backend)?;
     Ok(addr)
+}
+
+/// Catches a live backend up with one update: the compacted latest
+/// program source, pinned to the fleet epoch (the backend fast-forwards
+/// to it). Also the recovery path for a replica whose earlier replay
+/// failed — the replay can fail independently of replica health, so the
+/// health sweep retries it on otherwise-healthy but unrouted backends.
+fn replay_latest(shared: &RouterShared, backend: &Backend) -> io::Result<()> {
+    // Snapshot the compacted history; a concurrent broadcast supersedes
+    // it behind us and marks this backend unhealthy again if it misses
+    // that update — the next sweep catches it up again.
+    let snapshot = {
+        let latest = shared.latest_update.lock().expect("update history lock");
+        latest
+            .clone()
+            .map(|s| (s, shared.epoch.load(Ordering::SeqCst)))
+    };
+    let Some((source, fleet_epoch)) = snapshot else {
+        return Ok(()); // no updates yet: the seed program is current
+    };
+    if backend.synced_epoch.load(Ordering::SeqCst) == fleet_epoch {
+        return Ok(()); // already current (e.g. marked down by a probe blip)
+    }
+    let epoch = apply_update(backend, &source, Some(fleet_epoch))?;
+    // The ack proves the latest source applied; the backend may sit *ahead*
+    // of the pinned epoch (failed update attempts consume epochs too, and
+    // epochs never move backward), but it must never land short of it.
+    if epoch < fleet_epoch {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("caught up backend to epoch {fleet_epoch} but it reports {epoch}"),
+        ));
+    }
+    backend.synced_epoch.store(fleet_epoch, Ordering::SeqCst);
+    Ok(())
 }

@@ -113,16 +113,21 @@ impl FlowClient {
 
     /// Connects, retrying transient failures (connection refused/reset —
     /// the window where a server is still binding or an OS backlog
-    /// overflowed) with capped exponential backoff: 1ms doubling to 100ms
-    /// per attempt, up to `attempts` tries. Non-transient errors fail
-    /// immediately.
+    /// overflowed) with decorrelated-jitter backoff (1ms base, 100ms cap),
+    /// up to `attempts` tries. Non-transient errors fail immediately.
+    ///
+    /// The jitter matters under fan-out: when a respawned backend comes up,
+    /// every waiting client's deterministic `1, 2, 4, …` schedule fires in
+    /// lockstep and the reconnect stampede overflows the accept backlog —
+    /// which is itself a transient connect error, so the herd re-arms.
+    /// Each call seeds its own schedule from per-call entropy so
+    /// concurrent retriers spread out.
     pub fn connect_retry(
         addr: impl ToSocketAddrs + Clone,
         config: &ClientConfig,
         attempts: u32,
     ) -> io::Result<FlowClient> {
-        let mut backoff = Duration::from_millis(1);
-        let cap = Duration::from_millis(100);
+        let mut backoff = RetryBackoff::from_entropy();
         let mut last_err = None;
         for attempt in 0..attempts.max(1) {
             match FlowClient::connect_with(addr.clone(), config) {
@@ -130,8 +135,7 @@ impl FlowClient {
                 Err(e) if is_transient_connect_error(&e) => {
                     last_err = Some(e);
                     if attempt + 1 < attempts.max(1) {
-                        thread::sleep(backoff);
-                        backoff = (backoff * 2).min(cap);
+                        thread::sleep(backoff.next_delay());
                     }
                 }
                 Err(e) => return Err(e),
@@ -204,7 +208,20 @@ impl FlowClient {
         request: &QueryRequest,
         trace_id: Option<&str>,
     ) -> io::Result<()> {
-        let line = codec::encode_request_traced(request, trace_id);
+        self.submit_with(request, trace_id, None)
+    }
+
+    /// Like [`FlowClient::submit_traced`], also stamping a `deadline=<ms>`
+    /// budget on the request. A server (or router) that cannot answer
+    /// within the budget replies `error deadline exceeded` instead of
+    /// making the client wait for an answer it no longer wants.
+    pub fn submit_with(
+        &mut self,
+        request: &QueryRequest,
+        trace_id: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<()> {
+        let line = codec::encode_request_with(request, trace_id, deadline_ms);
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         self.pending += 1;
@@ -238,13 +255,26 @@ impl FlowClient {
     /// `update` is a pipeline sync point: call it only with no responses
     /// pending (it fails fast otherwise, rather than misattribute replies).
     pub fn update(&mut self, source: &str) -> io::Result<u64> {
+        self.update_at(source, None)
+    }
+
+    /// Like [`FlowClient::update`], optionally pinning the update to a
+    /// target epoch via the `epoch=` attribute: the server fast-forwards
+    /// its epoch counter to at least `target_epoch` when applying. The
+    /// router uses this to catch respawned replicas up with one compacted
+    /// update instead of a full history replay.
+    pub fn update_at(&mut self, source: &str, target_epoch: Option<u64>) -> io::Result<u64> {
         if self.pending > 0 {
             return Err(invalid_data(format!(
                 "update with {} responses pending; drain with recv() first",
                 self.pending
             )));
         }
-        writeln!(self.writer, "{}", codec::encode_update(source.len()))?;
+        writeln!(
+            self.writer,
+            "{}",
+            codec::encode_update_at(source.len(), target_epoch)
+        )?;
         self.writer.write_all(source.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -324,6 +354,61 @@ impl FlowClient {
     }
 }
 
+/// Decorrelated-jitter retry backoff (the "decorrelated jitter" scheme
+/// from the AWS architecture blog): each delay is drawn uniformly from
+/// `[base, prev * 3]` and capped, so consecutive delays are randomized
+/// *and* still grow on average, without the thundering-herd lockstep of
+/// deterministic exponential backoff.
+///
+/// The schedule is a pure function of the seed — two instances with the
+/// same seed sleep identically, which is what lets the chaos harness
+/// replay a reconnect storm deterministically.
+pub struct RetryBackoff {
+    rng: rand::rngs::StdRng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl RetryBackoff {
+    /// A schedule over `[base, cap]` driven by `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> RetryBackoff {
+        use rand::SeedableRng;
+        RetryBackoff {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            base,
+            cap: cap.max(base),
+            prev: base,
+        }
+    }
+
+    /// The connect-retry default (1ms base, 100ms cap) seeded from
+    /// per-call entropy, so concurrent retriers decorrelate.
+    pub fn from_entropy() -> RetryBackoff {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        // Distinct streams even when two threads read the same clock tick.
+        let tid = &now as *const u64 as u64;
+        RetryBackoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(100),
+            now.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tid,
+        )
+    }
+
+    /// The next delay to sleep: uniform in `[base, prev * 3]`, capped.
+    pub fn next_delay(&mut self) -> Duration {
+        use rand::Rng;
+        let base = self.base.as_millis() as u64;
+        let hi = (self.prev.as_millis() as u64).saturating_mul(3).max(base);
+        let drawn = Duration::from_millis(self.rng.gen_range(base..=hi));
+        self.prev = drawn.min(self.cap);
+        self.prev
+    }
+}
+
 /// Whether a connect error is worth retrying: the server may simply not be
 /// listening *yet* (spawn race) or the accept backlog overflowed.
 fn is_transient_connect_error(e: &io::Error) -> bool {
@@ -340,4 +425,43 @@ fn is_transient_connect_error(e: &io::Error) -> bool {
 
 fn invalid_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RetryBackoff;
+    use std::time::Duration;
+
+    fn schedule(seed: u64, n: usize) -> Vec<Duration> {
+        let mut b = RetryBackoff::new(Duration::from_millis(1), Duration::from_millis(100), seed);
+        (0..n).map(|_| b.next_delay()).collect()
+    }
+
+    /// Two clients retrying with different seeds must not sleep in
+    /// lockstep — that divergence is the whole point of the jitter.
+    #[test]
+    fn differently_seeded_retry_schedules_diverge() {
+        let a = schedule(1, 16);
+        let b = schedule(2, 16);
+        assert_ne!(a, b, "seeds 1 and 2 produced identical schedules");
+        // And the same seed replays the same schedule exactly.
+        assert_eq!(a, schedule(1, 16));
+    }
+
+    /// Every delay stays within `[base, cap]`, and the schedule still
+    /// grows from the base: jitter must not collapse backoff into a
+    /// busy-loop of minimum sleeps.
+    #[test]
+    fn jittered_delays_respect_base_and_cap() {
+        for seed in 0..32u64 {
+            let delays = schedule(seed, 32);
+            let base = Duration::from_millis(1);
+            let cap = Duration::from_millis(100);
+            assert!(delays.iter().all(|d| *d >= base && *d <= cap), "{delays:?}");
+            assert!(
+                delays.iter().any(|d| *d > Duration::from_millis(3)),
+                "seed {seed} never grew past 3ms: {delays:?}"
+            );
+        }
+    }
 }

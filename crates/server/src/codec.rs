@@ -110,12 +110,23 @@ pub enum Command {
         /// The request's `tid=` attribute, if the client sent one — to be
         /// echoed on the response envelope.
         trace_id: Option<String>,
+        /// The request's `deadline=<ms>` attribute, if the client sent
+        /// one: the total budget, measured from decode, after which the
+        /// client no longer wants the answer. The service sheds expired
+        /// jobs at dequeue; the router stops failover retries once the
+        /// budget is spent.
+        deadline_ms: Option<u64>,
     },
     /// `update <nbytes>`: the next `nbytes` bytes on the stream are the
     /// new program source, followed by one `\n`.
     Update {
         /// Length of the source text in bytes.
         bytes: usize,
+        /// The `epoch=<n>` attribute, if present: the fleet epoch this
+        /// update must land on. A respawned replica is warm-started with
+        /// the *latest* program only (not the full history), so its epoch
+        /// counter is fast-forwarded to match the fleet's.
+        epoch: Option<u64>,
     },
     /// `auth <esc-token>`: the connection-preamble authentication.
     Auth {
@@ -211,6 +222,30 @@ fn append_trace_id(mut line: String, trace_id: Option<&str>) -> String {
     if let Some(tid) = trace_id {
         line.push_str(" tid=");
         line.push_str(&esc(tid));
+    }
+    line
+}
+
+/// Extracts a numeric attribute (e.g. `deadline=250`, `epoch=3`),
+/// ignoring unknown keys. A present-but-malformed value is an error: the
+/// peer clearly meant to send the attribute, and silently dropping a
+/// deadline would turn bounded waits into unbounded ones.
+fn num_attr(attrs: &[(&str, &str)], name: &str) -> Result<Option<u64>, String> {
+    for (key, value) in attrs {
+        if *key == name {
+            return value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} attribute {value:?}"));
+        }
+    }
+    Ok(None)
+}
+
+/// Appends ` <name>=<value>` for a present numeric attribute.
+fn append_num_attr(mut line: String, name: &str, value: Option<u64>) -> String {
+    if let Some(value) = value {
+        line.push_str(&format!(" {name}={value}"));
     }
     line
 }
@@ -850,9 +885,30 @@ pub fn encode_request_traced(request: &QueryRequest, trace_id: Option<&str>) -> 
     append_trace_id(encode_request(request), trace_id)
 }
 
+/// Like [`encode_request_traced`], with a `deadline=<ms>` attribute
+/// carrying the client's total latency budget for this request.
+pub fn encode_request_with(
+    request: &QueryRequest,
+    trace_id: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> String {
+    append_num_attr(
+        append_trace_id(encode_request(request), trace_id),
+        "deadline",
+        deadline_ms,
+    )
+}
+
 /// Renders the `update` command line announcing `bytes` source bytes.
 pub fn encode_update(bytes: usize) -> String {
     format!("update {bytes}")
+}
+
+/// Like [`encode_update`], with an `epoch=<n>` attribute pinning the
+/// fleet epoch the update must land on (used to warm-start respawned
+/// replicas from the compacted latest program without replaying history).
+pub fn encode_update_at(bytes: usize, epoch: Option<u64>) -> String {
+    append_num_attr(encode_update(bytes), "epoch", epoch)
 }
 
 /// The `shutdown` command line.
@@ -889,6 +945,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
     let all_fields: Vec<&str> = line.split_whitespace().collect();
     let (fields, attrs) = split_attrs(&all_fields);
     let trace_id = trace_id_from_attrs(&attrs)?;
+    let deadline_ms = num_attr(&attrs, "deadline")?;
     let request = match fields[..] {
         ["summary", func] => QueryRequest::Summary(FuncId(parse_num(func, "function id")?)),
         ["results", func] => QueryRequest::Results(FuncId(parse_num(func, "function id")?)),
@@ -921,6 +978,7 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
         ["update", bytes] => {
             return Ok(Command::Update {
                 bytes: parse_num(bytes, "byte count")?,
+                epoch: num_attr(&attrs, "epoch")?,
             })
         }
         ["auth", token] => {
@@ -944,7 +1002,11 @@ pub fn decode_command(line: &str) -> Result<Command, String> {
             });
         }
     };
-    Ok(Command::Query { request, trace_id })
+    Ok(Command::Query {
+        request,
+        trace_id,
+        deadline_ms,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1056,6 +1118,7 @@ mod tests {
             Ok(Command::Query {
                 request: decoded,
                 trace_id: None,
+                deadline_ms: None,
             }) => assert_eq!(decoded, request, "from {line:?}"),
             other => panic!("{line:?} decoded to {other:?}"),
         }
@@ -1127,7 +1190,10 @@ mod tests {
     fn update_and_shutdown_lines_roundtrip() {
         assert_eq!(
             decode_command(&encode_update(1234)),
-            Ok(Command::Update { bytes: 1234 })
+            Ok(Command::Update {
+                bytes: 1234,
+                epoch: None
+            })
         );
         assert_eq!(decode_command(SHUTDOWN_LINE), Ok(Command::Shutdown));
         assert_eq!(decode_update_ack(&encode_update_ack(7)), Ok(7));
@@ -1513,6 +1579,7 @@ mod tests {
             Ok(Command::Query {
                 request: QueryRequest::Summary(FuncId(7)),
                 trace_id: None,
+                deadline_ms: None,
             })
         );
         assert_eq!(
@@ -1538,6 +1605,7 @@ mod tests {
             Ok(Command::Query {
                 request: QueryRequest::Summary(FuncId(7)),
                 trace_id: None,
+                deadline_ms: None,
             })
         );
         assert_eq!(
@@ -1545,11 +1613,15 @@ mod tests {
             Ok(Command::Query {
                 request: QueryRequest::Stats,
                 trace_id: Some("abc".to_string()),
+                deadline_ms: None,
             })
         );
         assert_eq!(
-            decode_command("update 99 deadline=5s"),
-            Ok(Command::Update { bytes: 99 })
+            decode_command("update 99 xfuture=5s"),
+            Ok(Command::Update {
+                bytes: 99,
+                epoch: None
+            })
         );
         assert_eq!(
             decode_command("shutdown reason=test"),
@@ -1567,8 +1639,46 @@ mod tests {
                     var: "2=x".to_string(),
                 },
                 trace_id: None,
+                deadline_ms: None,
             })
         );
+    }
+
+    /// The `deadline=<ms>` request attribute and the `epoch=<n>` update
+    /// attribute round-trip, compose with `tid=`, and reject malformed
+    /// values instead of silently dropping a live budget.
+    #[test]
+    fn deadline_and_epoch_attributes_roundtrip() {
+        assert_eq!(
+            decode_command(&encode_request_with(
+                &QueryRequest::Summary(FuncId(7)),
+                Some("req-1"),
+                Some(250),
+            )),
+            Ok(Command::Query {
+                request: QueryRequest::Summary(FuncId(7)),
+                trace_id: Some("req-1".to_string()),
+                deadline_ms: Some(250),
+            })
+        );
+        // Without a deadline the line is byte-identical to the traced form.
+        assert_eq!(
+            encode_request_with(&QueryRequest::Stats, None, None),
+            encode_request_traced(&QueryRequest::Stats, None),
+        );
+        assert_eq!(
+            decode_command(&encode_update_at(99, Some(12))),
+            Ok(Command::Update {
+                bytes: 99,
+                epoch: Some(12)
+            })
+        );
+        assert_eq!(encode_update_at(42, None), encode_update(42));
+        // A malformed value on a *known* numeric attribute is an error —
+        // treating `deadline=abc` as "no deadline" would turn a client's
+        // explicit budget into an unbounded wait.
+        assert!(decode_command("summary 7 deadline=abc").is_err());
+        assert!(decode_command("update 99 epoch=-3").is_err());
     }
 
     /// Trace ids round-trip through requests and envelopes, including ids
@@ -1582,6 +1692,7 @@ mod tests {
                 Ok(Command::Query {
                     request: QueryRequest::Stats,
                     trace_id: Some(tid.to_string()),
+                    deadline_ms: None,
                 }),
                 "from {line:?}"
             );
@@ -1606,6 +1717,7 @@ mod tests {
             Ok(Command::Query {
                 request: QueryRequest::Metrics,
                 trace_id: None,
+                deadline_ms: None,
             })
         );
         assert_eq!(encode_request(&QueryRequest::Metrics), "metrics");

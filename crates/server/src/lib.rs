@@ -61,5 +61,5 @@ pub mod codec;
 pub mod server;
 
 pub use budget::{constant_time_eq, read_line_bounded, BoundedLine, RateLimiter};
-pub use client::{ClientConfig, FlowClient};
+pub use client::{ClientConfig, FlowClient, RetryBackoff};
 pub use server::{FlowServer, ServerConfig};

@@ -33,6 +33,7 @@ use crate::budget::{constant_time_eq, read_line_bounded, BoundedLine, RateLimite
 use crate::codec::{self, Command};
 use flowistry_engine::scheduler::resolve_worker_threads;
 use flowistry_engine::{FlowService, QueryEnvelope, QueryRequest, QueryResponse, Ticket};
+use flowistry_fault::{sites as fault_sites, Fault};
 use flowistry_obs::{Counter, Histogram, Registry};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -40,7 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`FlowServer`].
 #[derive(Debug, Clone, Default)]
@@ -468,9 +469,25 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     };
     shared.metrics.connections.inc();
     let shared_for_writer = shared.clone();
+    // If the writer dies first — a write error, an injected fault, a panic —
+    // the socket must close with it: the reader clone would otherwise keep
+    // the connection half-open with nobody left to answer, and a peer
+    // blocked on a response would wait forever instead of seeing EOF.
+    struct CloseOnExit(Option<TcpStream>);
+    impl Drop for CloseOnExit {
+        fn drop(&mut self) {
+            if let Some(stream) = &self.0 {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+    let writer_guard = CloseOnExit(writer_stream.try_clone().ok());
     let writer = std::thread::Builder::new()
         .name("flow-conn-writer".to_string())
-        .spawn(move || writer_loop(&shared_for_writer, writer_stream, rx));
+        .spawn(move || {
+            let _guard = writer_guard;
+            writer_loop(&shared_for_writer, writer_stream, rx);
+        });
     let Ok(writer) = writer else { return };
 
     let shutdown_requested = reader_loop(shared, reader, &tx);
@@ -548,6 +565,31 @@ fn reader_loop(
         }
         let trimmed = line.as_str();
         let decoded_at = Instant::now();
+        // The frame-read failpoint: `err` models an undecodable frame
+        // (the client gets the same structured error a real decode
+        // failure produces), `delay` a stalled read, `panic` a reader
+        // crash — the connection drops, never the server.
+        match flowistry_fault::check(fault_sites::CODEC_FRAME_READ) {
+            Fault::None | Fault::PartialWrite(_) => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Err => {
+                shared.metrics.decode_errors.inc();
+                let pending = error_line(format!(
+                    "malformed request: injected fault {}",
+                    fault_sites::CODEC_FRAME_READ
+                ));
+                if tx.send(pending).is_err() {
+                    return false;
+                }
+                continue;
+            }
+            Fault::Panic => {
+                panic!(
+                    "failpoint {}: injected panic",
+                    fault_sites::CODEC_FRAME_READ
+                )
+            }
+        }
         let command = codec::decode_command(trimmed);
         // The auth preamble gates everything but itself: before a valid
         // token arrives, every other command — including malformed lines,
@@ -583,18 +625,26 @@ fn reader_loop(
                     error_line("bad auth token".to_string())
                 }
             }
-            Ok(Command::Query { request, trace_id }) => {
+            Ok(Command::Query {
+                request,
+                trace_id,
+                deadline_ms,
+            }) => {
                 shared.metrics.requests.inc();
                 let kind = request.kind_index();
                 Pending::Query(
-                    shared.service.submit_traced(request, trace_id),
+                    shared.service.submit_with_deadline(
+                        request,
+                        trace_id,
+                        deadline_ms.map(Duration::from_millis),
+                    ),
                     decoded_at,
                     kind,
                 )
             }
-            Ok(Command::Update { bytes }) => {
+            Ok(Command::Update { bytes, epoch }) => {
                 shared.metrics.requests.inc();
-                let mut pending = read_update(shared, &mut reader, bytes);
+                let mut pending = read_update(shared, &mut reader, bytes, epoch);
                 // An update is a sync point for *this connection*: requests
                 // pipelined after it must be served from the new epoch (or a
                 // later one), so don't touch the next line until the swap
@@ -635,7 +685,12 @@ fn reader_loop(
 
 /// Reads the `bytes` source bytes of an `update` command (plus the
 /// terminating newline), compiles, and schedules the swap.
-fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: usize) -> Pending {
+fn read_update(
+    shared: &ServerShared,
+    reader: &mut BufReader<TcpStream>,
+    bytes: usize,
+    target_epoch: Option<u64>,
+) -> Pending {
     let max_update_bytes = shared.config.effective_max_update_bytes();
     let error = |msg: String| {
         Pending::Line(codec::encode_envelope(&QueryEnvelope {
@@ -669,7 +724,7 @@ fn read_update(shared: &ServerShared, reader: &mut BufReader<TcpStream>, bytes: 
         Err(_) => return error("update source is not UTF-8".to_string()),
     };
     match flowistry_lang::compile(&source) {
-        Ok(program) => Pending::Update(shared.service.update(program)),
+        Ok(program) => Pending::Update(shared.service.update_at(program, target_epoch)),
         Err(diag) => error(format!("update failed to compile: {}", diag.message)),
     }
 }
@@ -703,6 +758,27 @@ fn writer_loop(shared: &ServerShared, stream: TcpStream, rx: Receiver<Pending>) 
             Pending::Update(epoch) => codec::encode_update_ack(epoch),
             Pending::Line(line) => line,
         };
+        // The frame-write failpoint. `partial_write` flushes a torn
+        // frame and drops the connection — the client sees a line with
+        // no newline, exactly what a peer crash mid-write produces;
+        // `err`/`panic` drop the connection whole.
+        match flowistry_fault::check(fault_sites::CODEC_FRAME_WRITE) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Err => return,
+            Fault::Panic => {
+                panic!(
+                    "failpoint {}: injected panic",
+                    fault_sites::CODEC_FRAME_WRITE
+                )
+            }
+            Fault::PartialWrite(frac) => {
+                let cut = (line.len() as f64 * frac) as usize;
+                let _ = out.write_all(&line.as_bytes()[..cut]);
+                let _ = out.flush();
+                return;
+            }
+        }
         if writeln!(out, "{line}").is_err() || out.flush().is_err() {
             return; // client went away; pending tickets still resolve server-side
         }

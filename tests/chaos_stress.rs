@@ -1,0 +1,87 @@
+//! The chaos gauntlet as a workspace test: the full fleet stack under a
+//! seeded fault schedule at several engine-worker widths.
+//!
+//! Each run asserts the three robustness invariants end to end:
+//!
+//! 1. every request is answered by exactly one well-formed response (a
+//!    bit-correct summary or a structured error envelope);
+//! 2. no request waits past its `deadline=` budget plus scheduling grace;
+//! 3. after the faults stop, every summary the fleet serves is
+//!    bit-identical to a never-faulted engine's answer — the cache never
+//!    launders a torn or stale shard into a wrong result.
+//!
+//! The failpoint registry is process-global, so every test here takes one
+//! lock; the schedule itself is a pure function of the seed, which the
+//! determinism test exploits without standing up a fleet at all.
+
+use flowistry_eval::{chaos_fault_spec, measure_chaos};
+use std::sync::{Mutex, MutexGuard};
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const SEED: u64 = 0xC0FFEE;
+
+fn gauntlet(workers: usize) {
+    let report = measure_chaos(0, SEED, 2, workers, 4, 10);
+    assert!(
+        report.invariant_violations.is_empty(),
+        "invariant violations at {workers} workers:\n  {}",
+        report.invariant_violations.join("\n  ")
+    );
+    assert!(
+        report.post_chaos_bit_identical,
+        "post-chaos summaries diverged from the fault-free run at {workers} workers"
+    );
+    assert_eq!(
+        report.requests_issued,
+        (4 * 10) as u64,
+        "every request must be accounted for"
+    );
+    assert_eq!(
+        report.ok_responses + report.structured_errors,
+        report.requests_issued,
+        "every request must resolve to exactly one well-formed response"
+    );
+}
+
+#[test]
+fn chaos_gauntlet_single_worker() {
+    let _guard = lock();
+    gauntlet(1);
+}
+
+#[test]
+fn chaos_gauntlet_two_workers() {
+    let _guard = lock();
+    gauntlet(2);
+}
+
+#[test]
+fn chaos_gauntlet_eight_workers() {
+    let _guard = lock();
+    gauntlet(8);
+}
+
+/// Fault schedules are a pure function of the seed: the same seed yields a
+/// byte-identical schedule on every run and machine, and a different seed
+/// diverges — the property that makes chaos failures replayable.
+#[test]
+fn fault_schedules_are_deterministic_per_seed() {
+    let spec = chaos_fault_spec(SEED);
+    let a = flowistry_fault::schedule_preview(&spec, 64).expect("preview");
+    let b = flowistry_fault::schedule_preview(&spec, 64).expect("preview");
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    assert!(
+        a.iter().any(|line| !line.ends_with(" none")),
+        "the gauntlet schedule must actually inject faults"
+    );
+    let other =
+        flowistry_fault::schedule_preview(&chaos_fault_spec(SEED + 1), 64).expect("preview");
+    assert_ne!(a, other, "different seeds must diverge");
+}
